@@ -1,0 +1,44 @@
+// Appendix B: the placements DistServe chooses for each end-to-end experiment.
+//
+// The paper's table (model, dataset) -> (prefill TP/PP, decode TP/PP). Ours prints the
+// Algorithm-2 choices for the paper testbed, plus the Algorithm-1 choices under an
+// Infiniband network for comparison. The paper's choices for reference:
+//   OPT-13B /ShareGPT  : prefill TP2 PP1, decode TP1 PP1
+//   OPT-66B /ShareGPT  : prefill TP4 PP1, decode TP2 PP2
+//   OPT-66B /LongBench : prefill TP4 PP1, decode TP2 PP2
+//   OPT-66B /HumanEval : prefill TP4 PP1, decode TP2 PP2
+//   OPT-175B/ShareGPT  : prefill TP3 PP3, decode TP4 PP3
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace distserve {
+
+int Main() {
+  const bench::Application apps[] = {
+      bench::ChatbotOpt13B(),       bench::ChatbotOpt66B(),      bench::ChatbotOpt175B(),
+      bench::CodeCompletionOpt66B(), bench::SummarizationOpt66B(),
+  };
+  bench::PrintBanner("Appendix B: placements chosen by the search algorithms");
+  std::printf("%-20s %-12s | %-16s %-16s | %-16s %-16s\n", "application", "dataset",
+              "alg2 prefill", "alg2 decode", "alg1 prefill", "alg1 decode");
+  for (const bench::Application& app : apps) {
+    const auto dataset = workload::MakeDatasetByName(app.dataset_name);
+    placement::PlannerInputs low_inputs = bench::MakePlannerInputs(
+        app, cluster::ClusterSpec::PaperTestbed(), dataset.get(), 1.0);
+    const placement::PlacementPlan low = placement::LowNodeAffinityPlacement(low_inputs).plan;
+    placement::PlannerInputs high_inputs = bench::MakePlannerInputs(
+        app, cluster::ClusterSpec::InfinibandCluster(), dataset.get(), 1.0);
+    const placement::PlacementPlan high =
+        placement::HighNodeAffinityPlacement(high_inputs).plan;
+    std::printf("%-20s %-12s | %-16s %-16s | %-16s %-16s\n", app.name.c_str(),
+                app.dataset_name.c_str(), low.prefill_par.ToString().c_str(),
+                low.decode_par.ToString().c_str(), high.prefill_par.ToString().c_str(),
+                high.decode_par.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

@@ -1,0 +1,257 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Encodes Table 1 (application -> model, SLOs, dataset), provides rate/SLO-scale sweeps over
+// any servable system, and prints aligned tables. Every bench binary prints the rows/series
+// of its corresponding paper exhibit; EXPERIMENTS.md records paper-vs-measured shapes.
+#ifndef DISTSERVE_BENCH_BENCH_COMMON_H_
+#define DISTSERVE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/vllm_system.h"
+#include "metrics/collector.h"
+#include "placement/algorithms.h"
+#include "serving/serving_system.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve::bench {
+
+// One Table-1 row.
+struct Application {
+  std::string name;
+  model::ModelSpec model;
+  metrics::SloSpec slo;
+  std::string dataset_name;  // for MakeDatasetByName
+  int vllm_tp;               // the paper's vLLM intra-op setting for this model
+};
+
+inline Application ChatbotOpt13B() {
+  return {"chatbot-13b", model::ModelSpec::Opt13B(), {0.2, 0.1}, "sharegpt", 1};
+}
+inline Application ChatbotOpt66B() {
+  return {"chatbot-66b", model::ModelSpec::Opt66B(), {0.4, 0.1}, "sharegpt", 4};
+}
+inline Application ChatbotOpt175B() {
+  return {"chatbot-175b", model::ModelSpec::Opt175B(), {4.0, 0.2}, "sharegpt", 8};
+}
+inline Application CodeCompletionOpt66B() {
+  return {"code-66b", model::ModelSpec::Opt66B(), {0.125, 0.2}, "humaneval", 4};
+}
+inline Application SummarizationOpt66B() {
+  return {"summarization-66b", model::ModelSpec::Opt66B(), {15.0, 0.15}, "longbench", 4};
+}
+
+// A servable system under test: returns per-request records for a trace.
+using RunFn = std::function<metrics::Collector(const workload::Trace&)>;
+
+// Builds a fresh DistServe engine run bound to `plan` (systems are single-use).
+inline RunFn MakeDistServeRunner(const model::ModelSpec& model,
+                                 const cluster::ClusterSpec& cluster,
+                                 const placement::PlacementPlan& plan) {
+  return [model, cluster, plan](const workload::Trace& trace) {
+    serving::ServingConfig config;
+    config.model = model;
+    config.cluster = cluster;
+    config.plan = plan;
+    serving::ServingSystem system(std::move(config));
+    return system.Run(trace);
+  };
+}
+
+inline RunFn MakeVllmRunner(const model::ModelSpec& model, const cluster::ClusterSpec& cluster,
+                            int tp, int num_instances,
+                            engine::ColocatedInstance::Options options = {}) {
+  return [model, cluster, tp, num_instances, options](const workload::Trace& trace) {
+    baselines::VllmConfig config;
+    config.model = model;
+    config.cluster = cluster;
+    config.par = {tp, 1};
+    config.num_instances = num_instances;
+    config.engine_options = options;
+    baselines::VllmSystem system(std::move(config));
+    return system.Run(trace);
+  };
+}
+
+// Planner with bench-appropriate fidelity. Results are deterministic for a fixed seed.
+inline placement::PlannerInputs MakePlannerInputs(const Application& app,
+                                                  const cluster::ClusterSpec& cluster,
+                                                  const workload::Dataset* dataset,
+                                                  double traffic_rate) {
+  placement::PlannerInputs inputs;
+  inputs.model = app.model;
+  inputs.cluster = cluster;
+  inputs.dataset = dataset;
+  inputs.slo = app.slo;
+  inputs.traffic_rate = traffic_rate;
+  inputs.search.num_requests = 300;
+  inputs.search.min_trace_duration = 40.0;
+  inputs.search.max_requests = 4000;
+  inputs.search.bisection_iters = 7;
+  return inputs;
+}
+
+struct SweepPoint {
+  double x = 0.0;  // per-GPU rate, or SLO scale
+  metrics::Attainment attainment;
+};
+
+// Attainment vs per-GPU rate (Figure 8/9 top rows). `total_gpus` converts the per-GPU axis to
+// an offered rate.
+inline std::vector<SweepPoint> RateSweep(const RunFn& run, const workload::Dataset& dataset,
+                                         const metrics::SloSpec& slo, int total_gpus,
+                                         const std::vector<double>& per_gpu_rates,
+                                         int num_requests, uint64_t seed) {
+  std::vector<SweepPoint> points;
+  for (double per_gpu : per_gpu_rates) {
+    workload::TraceSpec spec;
+    spec.rate = per_gpu * total_gpus;
+    spec.num_requests = num_requests;
+    spec.seed = seed;
+    const metrics::Collector results = run(workload::GenerateTrace(spec, dataset));
+    points.push_back({per_gpu, results.ComputeAttainment(slo)});
+  }
+  return points;
+}
+
+// Attainment vs SLO scale at a fixed rate (Figure 8/9 bottom rows). Scale < 1 tightens.
+inline std::vector<SweepPoint> SloScaleSweep(const RunFn& run, const workload::Dataset& dataset,
+                                             const metrics::SloSpec& base_slo, double rate,
+                                             const std::vector<double>& scales,
+                                             int num_requests, uint64_t seed) {
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = num_requests;
+  spec.seed = seed;
+  const workload::Trace trace = workload::GenerateTrace(spec, dataset);
+  const metrics::Collector results = run(trace);
+  std::vector<SweepPoint> points;
+  for (double scale : scales) {
+    points.push_back({scale, results.ComputeAttainment(base_slo.Scaled(scale))});
+  }
+  return points;
+}
+
+// Largest x whose attainment meets the target (0 when none); assumes points sorted by x with
+// attainment non-increasing (rate sweeps). For SLO-scale sweeps use SmallestMeeting instead.
+inline double LargestMeeting(const std::vector<SweepPoint>& points, double target) {
+  double best = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.attainment.both >= target) {
+      best = p.x;
+    }
+  }
+  return best;
+}
+
+inline double SmallestMeeting(const std::vector<SweepPoint>& points, double target) {
+  double best = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.attainment.both >= target && (best == 0.0 || p.x < best)) {
+      best = p.x;
+    }
+  }
+  return best;
+}
+
+inline void PrintSweepHeader(const char* x_name) {
+  std::printf("%-10s %-14s %10s %10s %10s\n", x_name, "system", "both", "ttft-only",
+              "tpot-only");
+}
+
+inline void PrintSweep(const char* system, const std::vector<SweepPoint>& points) {
+  for (const SweepPoint& p : points) {
+    std::printf("%-10.3f %-14s %9.1f%% %9.1f%% %9.1f%%\n", p.x, system,
+                100.0 * p.attainment.both, 100.0 * p.attainment.ttft_only,
+                100.0 * p.attainment.tpot_only);
+  }
+}
+
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Full Figure-8/9 style comparison for one application: plan DistServe with Algorithm 2 on
+// the paper testbed, size vLLM (paper tp, replicated) to the same GPU count, then sweep
+// attainment vs per-GPU rate and vs SLO scale, and report the 90%-attainment goodput and
+// tightest-SLO ratios.
+inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed) {
+  const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
+  const auto dataset = workload::MakeDatasetByName(app.dataset_name);
+
+  // DistServe: one Algorithm-2 segment pair.
+  placement::PlannerInputs inputs = MakePlannerInputs(app, cluster, dataset.get(), 1.0);
+  const placement::PlannerResult planned = placement::LowNodeAffinityPlacement(inputs);
+  placement::PlacementPlan plan = planned.plan;
+  plan.num_prefill = 1;
+  plan.num_decode = 1;
+  const int ds_gpus = plan.total_gpus();
+
+  // vLLM: the paper's tp for this model, replicated to (at least) the same GPU count.
+  const int vllm_instances = std::max(1, ds_gpus / app.vllm_tp);
+  const int vllm_gpus = vllm_instances * app.vllm_tp;
+
+  PrintBanner("End-to-end: " + app.name + " (" + app.model.name + ", " +
+              dataset->name() + ")");
+  std::printf("# SLO: TTFT<=%.3gs TPOT<=%.3gs | DistServe plan: %s\n", app.slo.ttft,
+              app.slo.tpot, plan.ToString().c_str());
+  std::printf("# vLLM baseline: tp=%d x %d instances (%d GPUs vs DistServe %d GPUs)\n",
+              app.vllm_tp, vllm_instances, vllm_gpus, ds_gpus);
+
+  const RunFn ds_run = MakeDistServeRunner(app.model, cluster, plan);
+  const RunFn vllm_run = MakeVllmRunner(app.model, cluster, app.vllm_tp, vllm_instances);
+
+  // Rate sweep around the planner's per-GPU goodput estimate.
+  const double est_per_gpu =
+      std::max(plan.per_gpu_goodput(), 0.05 / ds_gpus);
+  std::vector<double> rates;
+  for (double frac : {0.1, 0.25, 0.5, 0.7, 0.85, 1.0, 1.15, 1.3}) {
+    rates.push_back(est_per_gpu * frac);
+  }
+  std::printf("\n-- SLO attainment vs per-GPU rate (req/s/GPU) --\n");
+  PrintSweepHeader("rate/gpu");
+  const auto ds_rate = RateSweep(ds_run, *dataset, app.slo, ds_gpus, rates, num_requests, seed);
+  PrintSweep("DistServe", ds_rate);
+  const auto vllm_rate =
+      RateSweep(vllm_run, *dataset, app.slo, vllm_gpus, rates, num_requests, seed);
+  PrintSweep("vLLM", vllm_rate);
+  const double ds_goodput = LargestMeeting(ds_rate, 0.9);
+  const double vllm_goodput = LargestMeeting(vllm_rate, 0.9);
+  if (vllm_goodput > 0.0) {
+    std::printf("90%%-attainment per-GPU goodput: DistServe=%.3f vLLM=%.3f  (%.2fx)\n",
+                ds_goodput, vllm_goodput, ds_goodput / vllm_goodput);
+  } else {
+    std::printf(
+        "90%%-attainment per-GPU goodput: DistServe=%.3f vLLM=<%.3f (below sampled range) "
+        " (>= %.2fx)\n",
+        ds_goodput, rates.front(), ds_goodput / rates.front());
+  }
+
+  // SLO-scale sweep at a moderate shared rate.
+  const double scale_rate_per_gpu = est_per_gpu * 0.6;
+  std::printf("\n-- SLO attainment vs SLO scale (rate fixed at %.3f req/s/GPU) --\n",
+              scale_rate_per_gpu);
+  const std::vector<double> scales = {0.25, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0};
+  PrintSweepHeader("slo-scale");
+  const auto ds_scale = SloScaleSweep(ds_run, *dataset, app.slo, scale_rate_per_gpu * ds_gpus,
+                                      scales, num_requests, seed);
+  PrintSweep("DistServe", ds_scale);
+  const auto vllm_scale = SloScaleSweep(vllm_run, *dataset, app.slo,
+                                        scale_rate_per_gpu * vllm_gpus, scales, num_requests,
+                                        seed);
+  PrintSweep("vLLM", vllm_scale);
+  const double ds_tightest = SmallestMeeting(ds_scale, 0.9);
+  const double vllm_tightest = SmallestMeeting(vllm_scale, 0.9);
+  std::printf("tightest SLO scale at 90%%: DistServe=%.2f vLLM=%.2f  (%.2fx more stringent)\n",
+              ds_tightest, vllm_tightest,
+              ds_tightest > 0 ? vllm_tightest / ds_tightest : 0.0);
+}
+
+}  // namespace distserve::bench
+
+#endif  // DISTSERVE_BENCH_BENCH_COMMON_H_

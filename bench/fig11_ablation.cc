@@ -1,0 +1,129 @@
+// Figure 11: ablation of the two key ideas — disaggregation and the placement search —
+// on OPT-13B / ShareGPT-like traffic (the paper runs this in simulation, as do we).
+//
+// Four systems at equal GPU counts:
+//   vLLM           — colocated, the paper's default parallelism (tp=1 for 13B);
+//   vLLM++         — colocated, parallelism searched for best per-GPU goodput;
+//   DistServe-Low  — disaggregated, Algorithm 2 (segment-colocation constraint);
+//   DistServe-High — disaggregated, Algorithm 1 (no placement constraint, assumes fast
+//                    cross-node network: evaluated on the Infiniband cluster spec).
+// Paper's shape: DistServe-High >= DistServe-Low >> vLLM++ ~= vLLM.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "placement/fast_sim.h"
+
+namespace distserve {
+
+int Main() {
+  const bench::Application app = bench::ChatbotOpt13B();
+  const auto dataset = workload::MakeDatasetByName(app.dataset_name);
+  const cluster::ClusterSpec slow_cluster = cluster::ClusterSpec::PaperTestbed();
+  const cluster::ClusterSpec fast_cluster = cluster::ClusterSpec::InfinibandCluster();
+
+  placement::PlannerInputs inputs =
+      bench::MakePlannerInputs(app, slow_cluster, dataset.get(), 1.0);
+
+  bench::PrintBanner("Figure 11: ablation on OPT-13B + ShareGPT (per-GPU goodput, simulated)");
+
+  // vLLM (paper default tp=1) and vLLM++ (searched).
+  const double vllm_goodput =
+      baselines::SimulateColocatedGoodput(inputs, {app.vllm_tp, 1}) / app.vllm_tp;
+  const baselines::ColocatedSearchResult vllm_pp = baselines::FindBestColocatedConfig(inputs);
+
+  // DistServe-Low: Algorithm 2 on the 25 Gbps testbed.
+  const placement::PlannerResult low = placement::LowNodeAffinityPlacement(inputs);
+
+  // DistServe-High: Algorithm 1 assuming high cross-node bandwidth. Algorithm 1 sizes each
+  // phase independently, so for a per-GPU comparison we balance replica counts (smallest
+  // n, m maximizing min(n*prefill, m*decode) per GPU).
+  placement::PlannerInputs fast_inputs = inputs;
+  fast_inputs.cluster = fast_cluster;
+  placement::PlannerResult high = placement::HighNodeAffinityPlacement(fast_inputs);
+  {
+    double best_per_gpu = 0.0;
+    int best_n = 1;
+    int best_m = 1;
+    for (int n = 1; n <= 6; ++n) {
+      for (int m = 1; m <= 6; ++m) {
+        const double goodput = std::min(n * high.plan.prefill_goodput,
+                                        m * high.plan.decode_goodput);
+        const int gpus = n * high.plan.prefill_par.num_gpus() +
+                         m * high.plan.decode_par.num_gpus();
+        if (goodput / gpus > best_per_gpu) {
+          best_per_gpu = goodput / gpus;
+          best_n = n;
+          best_m = m;
+        }
+      }
+    }
+    high.plan.num_prefill = best_n;
+    high.plan.num_decode = best_m;
+  }
+
+  std::printf("%-16s %-28s %16s\n", "system", "configuration", "goodput (rps/GPU)");
+  std::printf("%-16s %-28s %16.3f\n", "vLLM",
+              ("colocated tp=" + std::to_string(app.vllm_tp)).c_str(), vllm_goodput);
+  std::printf("%-16s %-28s %16.3f\n", "vLLM++",
+              ("colocated " + vllm_pp.par.ToString()).c_str(), vllm_pp.per_gpu);
+  std::printf("%-16s %-28s %16.3f\n", "DistServe-Low",
+              ("P{" + low.plan.prefill_par.ToString() + "} D{" +
+               low.plan.decode_par.ToString() + "}")
+                  .c_str(),
+              low.plan.per_gpu_goodput());
+  std::printf("%-16s %-28s %16.3f\n", "DistServe-High",
+              ("P{" + high.plan.prefill_par.ToString() + "} D{" +
+               high.plan.decode_par.ToString() + "}")
+                  .c_str(),
+              high.plan.per_gpu_goodput());
+  std::printf(
+      "\nratios: DistServe-Low/vLLM=%.2fx  DistServe-High/vLLM=%.2fx  vLLM++/vLLM=%.2fx\n",
+      low.plan.per_gpu_goodput() / vllm_goodput, high.plan.per_gpu_goodput() / vllm_goodput,
+      vllm_pp.per_gpu / vllm_goodput);
+
+  // Attainment-vs-rate curves (the figure's x axis), fast-sim for all four systems.
+  std::printf("\n-- simulated SLO attainment vs per-GPU rate --\n");
+  bench::PrintSweepHeader("rate/gpu");
+  const model::LatencyModel vllm_lm(app.model, {app.vllm_tp, 1}, slow_cluster.gpu);
+  placement::ColocatedFastConfig coloc;
+  coloc.kv_capacity_tokens =
+      model::ShardedModelView(app.model, {app.vllm_tp, 1}).KvCapacityTokens(slow_cluster.gpu);
+  auto plan_records = [&](const placement::PlacementPlan& plan,
+                          const cluster::ClusterSpec& cluster, const workload::Trace& trace) {
+    const model::LatencyModel prefill_lm(app.model, plan.prefill_par, cluster.gpu);
+    const model::LatencyModel decode_lm(app.model, plan.decode_par, cluster.gpu);
+    placement::DisaggregatedFastConfig fast;
+    fast.num_prefill = plan.num_prefill;
+    fast.num_decode = plan.num_decode;
+    fast.decode_kv_capacity_tokens =
+        model::ShardedModelView(app.model, plan.decode_par).KvCapacityTokens(cluster.gpu);
+    return placement::SimulateDisaggregated(prefill_lm, decode_lm, trace, fast);
+  };
+  for (double per_gpu : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0}) {
+    workload::TraceSpec spec;
+    spec.num_requests = 2500;
+    spec.seed = 111;
+
+    spec.rate = per_gpu * app.vllm_tp;
+    const auto vllm_att = placement::FastAttainment(
+        placement::SimulateColocated(vllm_lm, workload::GenerateTrace(spec, *dataset), coloc),
+        app.slo);
+
+    spec.rate = per_gpu * low.plan.total_gpus();
+    const auto low_att = placement::FastAttainment(
+        plan_records(low.plan, slow_cluster, workload::GenerateTrace(spec, *dataset)), app.slo);
+
+    spec.rate = per_gpu * high.plan.total_gpus();
+    const auto high_att = placement::FastAttainment(
+        plan_records(high.plan, fast_cluster, workload::GenerateTrace(spec, *dataset)),
+        app.slo);
+
+    std::printf("%-10.2f %-14s %9.1f%% | DS-Low %5.1f%% | DS-High %5.1f%%\n", per_gpu, "vLLM",
+                100.0 * vllm_att.both, 100.0 * low_att.both, 100.0 * high_att.both);
+  }
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

@@ -1,0 +1,73 @@
+// Figure 12: placement-algorithm running time as the per-instance GPU budget (N x M) grows.
+//
+// google-benchmark over HighNodeAffinityPlacement (Alg. 1) and LowNodeAffinityPlacement
+// (Alg. 2), for OPT-13B and OPT-66B, at node limits 1-4 (8-32 GPUs per instance). The paper's
+// shape: running time grows with the GPU budget, is independent of model size (the simulator
+// is discrete-event), and Alg. 2's intra-node enumeration eventually costs more than Alg. 1.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace distserve {
+namespace {
+
+placement::PlannerInputs Inputs(const model::ModelSpec& model, int max_nodes) {
+  static const auto dataset = workload::MakeShareGptLike();
+  bench::Application app = bench::ChatbotOpt13B();
+  app.model = model;
+  placement::PlannerInputs inputs =
+      bench::MakePlannerInputs(app, cluster::ClusterSpec::PaperTestbed(), dataset.get(), 1.0);
+  inputs.max_nodes_per_instance = max_nodes;
+  // Fidelity reduced for timing runs (the paper times the algorithm, not the workload).
+  inputs.search.num_requests = 100;
+  inputs.search.min_trace_duration = 10.0;
+  inputs.search.max_requests = 600;
+  inputs.search.bisection_iters = 4;
+  return inputs;
+}
+
+void BM_HighAffinity13B(benchmark::State& state) {
+  const placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                                 static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_LowAffinity13B(benchmark::State& state) {
+  const placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                                 static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_HighAffinity66B(benchmark::State& state) {
+  const placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt66B(),
+                                                 static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_LowAffinity66B(benchmark::State& state) {
+  const placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt66B(),
+                                                 static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+BENCHMARK(BM_HighAffinity13B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowAffinity13B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighAffinity66B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowAffinity66B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace distserve
+
+BENCHMARK_MAIN();

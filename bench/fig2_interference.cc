@@ -1,0 +1,46 @@
+// Figure 2: prefill-decoding interference at batch level.
+//
+// Execution time of one engine step for OPT-13B as the decode batch size grows, comparing a
+// decode-only batch against the same batch plus a single prefill request (input 128 in Fig 2a,
+// 512 and 1024 for the Fig 2b slowdown trend). The paper's shape: adding one prefill multiplies
+// the step time severalfold, and the slowdown grows with prefill length.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace distserve {
+
+int Main() {
+  const model::ModelSpec spec = model::ModelSpec::Opt13B();
+  const model::LatencyModel lm(spec, {1, 1}, cluster::ClusterSpec::PaperTestbed().gpu);
+  constexpr int kAvgContext = 256;
+
+  bench::PrintBanner("Figure 2: batch execution time, decode-only vs +1 prefill (OPT-13B)");
+  std::printf("%-10s %12s %14s %14s %14s\n", "batch", "decode-only", "+prefill-128",
+              "+prefill-512", "+prefill-1024");
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const int64_t ctx = static_cast<int64_t>(batch) * kAvgContext;
+    const double decode_only = lm.FullTime(model::BatchWorkload::Decode(batch, ctx));
+    auto mixed = [&](int prefill_len) {
+      model::BatchWorkload workload = model::BatchWorkload::Decode(batch, ctx);
+      workload += model::BatchWorkload::PrefillSingle(prefill_len);
+      return lm.FullTime(workload);
+    };
+    std::printf("%-10d %10.2fms %12.2fms %12.2fms %12.2fms\n", batch, 1e3 * decode_only,
+                1e3 * mixed(128), 1e3 * mixed(512), 1e3 * mixed(1024));
+  }
+
+  std::printf("\n# Figure 2b analogue: slowdown of a 32-request decode batch vs prefill length\n");
+  std::printf("%-14s %12s\n", "prefill-len", "slowdown");
+  const double base = lm.FullTime(model::BatchWorkload::Decode(32, 32 * kAvgContext));
+  for (int len : {64, 128, 256, 512, 768, 1024, 1536, 2048}) {
+    model::BatchWorkload workload = model::BatchWorkload::Decode(32, 32 * kAvgContext);
+    workload += model::BatchWorkload::PrefillSingle(len);
+    std::printf("%-14d %11.2fx\n", len, lm.FullTime(workload) / base);
+  }
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

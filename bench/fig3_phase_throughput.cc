@@ -1,0 +1,50 @@
+// Figure 3: phase throughput characteristics (OPT-13B, one A100).
+//
+// (a) Prefill throughput (tokens/s) vs input length for batch sizes 1/2/4/8: throughput climbs
+//     until the GPU saturates around ~500-1000 total tokens, then flattens (and eventually
+//     declines as quadratic attention bites) — batching prefills only helps below L_m.
+// (b) Decode throughput vs batch size for several context lengths: near-linear growth until
+//     the compute roofline, motivating large decode batches.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace distserve {
+
+int Main() {
+  const model::ModelSpec spec = model::ModelSpec::Opt13B();
+  const model::LatencyModel lm(spec, {1, 1}, cluster::ClusterSpec::PaperTestbed().gpu);
+
+  bench::PrintBanner("Figure 3a: prefill throughput (tokens/s) vs input length x batch size");
+  std::printf("%-12s %12s %12s %12s %12s\n", "input-len", "batch=1", "batch=2", "batch=4",
+              "batch=8");
+  for (int len : {32, 64, 128, 256, 512, 768, 1024, 1536, 2048}) {
+    std::printf("%-12d", len);
+    for (int batch : {1, 2, 4, 8}) {
+      std::vector<int> lens(static_cast<size_t>(batch), len);
+      const double time = lm.PrefillFullTime(lens);
+      std::printf(" %11.0f", static_cast<double>(batch) * len / time);
+    }
+    std::printf("\n");
+  }
+  std::printf("# compute-saturation threshold L_m for this model/GPU: %lld tokens\n",
+              static_cast<long long>(lm.ComputeSaturationTokens()));
+
+  bench::PrintBanner("Figure 3b: decode throughput (tokens/s) vs batch size x context length");
+  std::printf("%-12s %12s %12s %12s\n", "batch", "ctx=128", "ctx=512", "ctx=1024");
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    std::printf("%-12d", batch);
+    for (int ctx : {128, 512, 1024}) {
+      const double time =
+          lm.DecodeStepFullTime(batch, static_cast<int64_t>(batch) * ctx);
+      std::printf(" %11.0f", static_cast<double>(batch) / time);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

@@ -1,0 +1,50 @@
+// Figure 5: decode-phase latency and throughput under different parallelism degrees.
+//
+// OPT-13B, batch size 128, input length 256, in the near-compute-bound large-batch regime the
+// paper studies. The shape: intra-op parallelism reduces per-step latency with diminishing
+// returns (communication + partitioning overheads), while inter-op parallelism scales
+// throughput almost linearly at ~flat latency (micro-batch pipelining).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace distserve {
+
+int Main() {
+  const model::ModelSpec spec = model::ModelSpec::Opt13B();
+  const cluster::GpuSpec gpu = cluster::ClusterSpec::PaperTestbed().gpu;
+  constexpr int kBatch = 128;
+  constexpr int kContext = 256;
+  const int64_t ctx_total = static_cast<int64_t>(kBatch) * kContext;
+
+  bench::PrintBanner("Figure 5: decode latency & throughput vs parallelism (13B, B=128, in=256)");
+  std::printf("%-12s %6s %14s %16s %12s\n", "config", "gpus", "step-latency", "throughput",
+              "latency-gain");
+  const double base_latency =
+      model::LatencyModel(spec, {1, 1}, gpu).DecodeStepFullTime(kBatch, ctx_total);
+
+  for (int tp : {1, 2, 4, 8}) {
+    const model::LatencyModel lm(spec, {tp, 1}, gpu);
+    const double step = lm.DecodeStepFullTime(kBatch, ctx_total);
+    std::printf("%-12s %6d %12.2fms %12.0f tok/s %11.2fx\n",
+                ("intra-op=" + std::to_string(tp)).c_str(), tp, 1e3 * step, kBatch / step,
+                base_latency / step);
+  }
+  for (int pp : {2, 4, 8}) {
+    // Inter-op: pp micro-batch lanes, each holding B=128 (memory scales with GPUs), stepping
+    // at whole-model latency; aggregate throughput multiplies by pp.
+    const model::LatencyModel lm(spec, {1, pp}, gpu);
+    const double lane_step = lm.DecodeStepFullTime(kBatch, ctx_total);
+    std::printf("%-12s %6d %12.2fms %12.0f tok/s %11.2fx\n",
+                ("inter-op=" + std::to_string(pp)).c_str(), pp, 1e3 * lane_step,
+                pp * kBatch / lane_step, base_latency / lane_step);
+  }
+  std::printf(
+      "\n# intra-op: latency shrinks sublinearly (diminishing returns); inter-op: ~flat\n"
+      "# latency, near-linear aggregate throughput — matching the paper's conclusions.\n");
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

@@ -1,0 +1,52 @@
+// Figure 7: input and output length distributions of the three workload datasets.
+//
+// Prints summary statistics and ASCII histograms for the ShareGPT-like, HumanEval-like, and
+// LongBench-like samplers. The paper's shape: HumanEval short/short, ShareGPT moderate with a
+// tail, LongBench inputs an order of magnitude longer with short outputs.
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.h"
+#include "workload/dataset.h"
+
+namespace distserve {
+namespace {
+
+void Describe(const workload::Dataset& dataset, double input_hi, double output_hi) {
+  Rng rng(2024);
+  PercentileTracker inputs;
+  PercentileTracker outputs;
+  Histogram in_hist(0.0, input_hi, 16);
+  Histogram out_hist(0.0, output_hi, 16);
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const workload::LengthSample s = dataset.Sample(rng);
+    inputs.Add(s.input_len);
+    outputs.Add(s.output_len);
+    in_hist.Add(s.input_len);
+    out_hist.Add(s.output_len);
+  }
+  std::printf("\n--- %s (%d samples) ---\n", dataset.name().c_str(), kSamples);
+  std::printf("input : mean=%-7.0f p50=%-7.0f p90=%-7.0f p99=%-7.0f max=%-7.0f\n",
+              inputs.Mean(), inputs.Percentile(50), inputs.Percentile(90),
+              inputs.Percentile(99), inputs.Max());
+  std::printf("output: mean=%-7.0f p50=%-7.0f p90=%-7.0f p99=%-7.0f max=%-7.0f\n",
+              outputs.Mean(), outputs.Percentile(50), outputs.Percentile(90),
+              outputs.Percentile(99), outputs.Max());
+  std::printf("input histogram:\n%s", in_hist.Render(60).c_str());
+  std::printf("output histogram:\n%s", out_hist.Render(60).c_str());
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 7: dataset length distributions ===\n");
+  Describe(*workload::MakeShareGptLike(), 1600, 800);
+  Describe(*workload::MakeHumanEvalLike(), 512, 400);
+  Describe(*workload::MakeLongBenchLike(), 12000, 500);
+  return 0;
+}
+
+}  // namespace distserve
+
+int main() { return distserve::Main(); }

@@ -1,0 +1,13 @@
+// Figure 8: chatbot application end-to-end, OPT-13B / OPT-66B / OPT-175B on ShareGPT-like
+// traffic. For each model: SLO attainment vs per-GPU rate (top row) and vs SLO scale (bottom
+// row), DistServe (Algorithm-2 placement) vs vLLM (paper parallelism), equal GPU counts.
+// Paper's shape: DistServe sustains 2.0x-3.41x the per-GPU rate and 1.4x-1.8x tighter SLOs.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace distserve::bench;
+  RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81);
+  RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82);
+  RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 9: code completion (HumanEval-like) and summarization (LongBench-like) on OPT-66B.
+// Same format as Figure 8. Paper's shape: DistServe sustains 3.2x rate / 1.5x tighter SLO on
+// code completion (TTFT-bound: real-time assistant) and 4.48x rate / 10.2x tighter SLO on
+// summarization (long prompts make colocated decoding collapse on TPOT).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace distserve::bench;
+  RunEndToEndComparison(CodeCompletionOpt66B(), /*num_requests=*/1500, /*seed=*/91);
+  RunEndToEndComparison(SummarizationOpt66B(), /*num_requests=*/800, /*seed=*/92);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Microbenchmarks of the DES core: event scheduling/firing throughput and an end-to-end
+// engine-step rate. A full Figure-8 sweep executes tens of millions of events; the DES core
+// must stay in the tens-of-nanoseconds-per-event range.
+#include <benchmark/benchmark.h>
+
+#include "cluster/gpu_spec.h"
+#include "engine/decode_instance.h"
+#include "simcore/simulator.h"
+#include "workload/generator.h"
+
+namespace distserve {
+namespace {
+
+void BM_ScheduleAndFire(benchmark::State& state) {
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.ScheduleAt(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ScheduleAndFire);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::vector<simcore::EventHandle> handles;
+    handles.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      handles.push_back(sim.ScheduleAt(static_cast<double>(i), [] {}));
+    }
+    for (size_t i = 0; i < handles.size(); i += 2) {
+      handles[i].Cancel();
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CancelHeavy);
+
+void BM_DecodeInstanceSteps(benchmark::State& state) {
+  const model::LatencyModel lm(model::ModelSpec::Opt13B(), {1, 1},
+                               cluster::GpuSpec::A100_80GB());
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    engine::DecodeInstance instance(&sim, lm, 1 << 20, {}, 0);
+    std::vector<std::unique_ptr<engine::RequestState>> states;
+    for (int i = 0; i < 64; ++i) {
+      workload::Request req;
+      req.id = i;
+      req.input_len = 128;
+      req.output_len = 32;
+      states.push_back(std::make_unique<engine::RequestState>(req));
+      instance.Submit(states.back().get());
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(instance.tokens_generated());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 31);
+}
+BENCHMARK(BM_DecodeInstanceSteps);
+
+}  // namespace
+}  // namespace distserve
+
+BENCHMARK_MAIN();

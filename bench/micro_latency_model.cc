@@ -1,0 +1,61 @@
+// Microbenchmarks of the latency-model hot path.
+//
+// LatencyModel::FullTime is evaluated millions of times inside the placement search (every
+// simulated engine step), so its cost bounds planner latency (Figure 12). These benchmarks
+// keep it honest.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/gpu_spec.h"
+#include "model/calibration.h"
+#include "model/latency_model.h"
+
+namespace distserve::model {
+namespace {
+
+void BM_DecodeStepTime(benchmark::State& state) {
+  const LatencyModel lm(ModelSpec::Opt13B(), {static_cast<int>(state.range(0)), 1},
+                        cluster::GpuSpec::A100_80GB());
+  int64_t batch = 1;
+  for (auto _ : state) {
+    batch = batch % 256 + 1;
+    benchmark::DoNotOptimize(lm.DecodeStepFullTime(batch, batch * 400));
+  }
+}
+BENCHMARK(BM_DecodeStepTime)->Arg(1)->Arg(4);
+
+void BM_PrefillBatchTime(benchmark::State& state) {
+  const LatencyModel lm(ModelSpec::Opt66B(), {4, 2}, cluster::GpuSpec::A100_80GB());
+  const std::vector<int> lens = {128, 256, 512, 128};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.PrefillFullTime(lens));
+  }
+}
+BENCHMARK(BM_PrefillBatchTime);
+
+void BM_MixedBatchTime(benchmark::State& state) {
+  const LatencyModel lm(ModelSpec::Opt13B(), {1, 1}, cluster::GpuSpec::A100_80GB());
+  BatchWorkload workload = BatchWorkload::PrefillSingle(512);
+  workload += BatchWorkload::Decode(64, 64 * 300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.FullTime(workload));
+  }
+}
+BENCHMARK(BM_MixedBatchTime);
+
+void BM_CoefficientFit(benchmark::State& state) {
+  const LatencyModel truth(ModelSpec::Opt13B(), {1, 1}, cluster::GpuSpec::A100_80GB());
+  Rng rng(1);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitCoefficients(ModelSpec::Opt13B(), {1, 1}, sweep,
+                                             truth.coeffs()));
+  }
+}
+BENCHMARK(BM_CoefficientFit);
+
+}  // namespace
+}  // namespace distserve::model
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Replanning under workload drift (§4.3 "Replaning").
+//
+// A serving deployment planned for chatbot traffic watches its live request stream with the
+// workload profiler. Mid-day, the traffic shifts to summarization-style requests (10x longer
+// prompts at a lower rate). The replanner detects the drift, fits an empirical dataset from
+// recent history, and recomputes the placement — this example shows the detection, the plan
+// change, and the attainment before/after redeployment.
+#include <cstdio>
+
+#include "core/distserve.h"
+#include "serving/replanner.h"
+
+int main() {
+  using namespace distserve;
+
+  const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
+  const model::ModelSpec model = model::ModelSpec::Opt66B();
+  const metrics::SloSpec slo{2.5, 0.15};
+
+  const auto chat = workload::MakeShareGptLike();
+  // The after-shift regime: report-drafting traffic with ~6x longer prompts than chat.
+  // (Full LongBench-scale prompts at this SLO would need Algorithm-1 territory; the point
+  // here is detection + replanning, so the shift stays within one node's capabilities.)
+  workload::LognormalDataset::Params report_params;
+  report_params.name = "reports";
+  report_params.input_mu = 7.2;
+  report_params.input_sigma = 0.45;
+  report_params.input_min = 256;
+  report_params.input_max = 4096;
+  report_params.output_mu = 5.2;
+  report_params.output_sigma = 0.5;
+  report_params.output_min = 16;
+  report_params.output_max = 512;
+  const workload::LognormalDataset summarize(report_params);
+
+  // Phase 1: plan for the chatbot regime.
+  DistServeOptions options;
+  options.model = model;
+  options.cluster = cluster;
+  options.slo = slo;
+  options.traffic_rate = 4.0;
+  options.dataset = chat.get();
+  options.search.num_requests = 250;
+  options.search.min_trace_duration = 30.0;
+  options.search.max_requests = 2500;
+  options.search.bisection_iters = 6;
+  DistServe server(options);
+  std::printf("Initial plan (chatbot regime): %s\n\n", server.Plan().ToString().c_str());
+
+  // The drifting trace: 1500 chatbot requests at 4 rps, then summarization at 1 rps.
+  workload::TraceSpec spec;
+  spec.rate = 4.0;
+  spec.num_requests = 2500;
+  spec.seed = 33;
+  const workload::Trace trace =
+      workload::GenerateShiftingTrace(spec, *chat, summarize, /*shift_after=*/1500,
+                                      /*second_rate=*/1.0);
+
+  // Feed the stream through the replanner.
+  int replans = 0;
+  double replan_time = 0.0;
+  std::optional<workload::EmpiricalDataset> fitted;
+  double fitted_rate = 0.0;
+  serving::Replanner::Options replan_options;
+  replan_options.profiler.window_size = 256;
+  replan_options.profiler.drift_threshold = 0.5;
+  replan_options.cooldown = 120.0;
+  serving::Replanner replanner(
+      replan_options,
+      [&](const workload::EmpiricalDataset& dataset, double rate, double when) {
+        ++replans;
+        replan_time = when;
+        fitted = dataset;
+        fitted_rate = rate;
+      });
+  for (const workload::Request& request : trace) {
+    replanner.Observe(request);
+  }
+  std::printf("Drift detected: %d replan trigger(s); first at t=%.0fs (shift began at t=%.0fs)\n",
+              replans, replan_time, trace[1500].arrival_time);
+  if (!fitted.has_value()) {
+    std::printf("No drift detected; nothing to do.\n");
+    return 0;
+  }
+  Rng rng(1);
+  const workload::LengthSample mean = fitted->MeanLengths(rng);
+  std::printf("Fitted recent window: mean input %d tokens, mean output %d, rate %.2f rps\n\n",
+              mean.input_len, mean.output_len, fitted_rate);
+
+  // Phase 2: recompute placement on the fitted workload.
+  DistServeOptions new_options = options;
+  new_options.dataset = &*fitted;
+  new_options.traffic_rate = fitted_rate;
+  DistServe new_server(new_options);
+  std::printf("Replanned placement (fitted regime): %s\n\n",
+              new_server.Plan().ToString().c_str());
+
+  // Compare old vs new plan on the post-shift traffic.
+  workload::TraceSpec post;
+  post.rate = 1.0;
+  post.num_requests = 600;
+  post.seed = 34;
+  const workload::Trace post_trace = workload::GenerateTrace(post, summarize);
+  auto run_with = [&](const placement::PlacementPlan& plan) {
+    serving::ServingConfig config;
+    config.model = model;
+    config.cluster = cluster;
+    config.plan = plan;
+    serving::ServingSystem system(std::move(config));
+    return system.Run(post_trace).ComputeAttainment(slo);
+  };
+  const metrics::Attainment stale = run_with(server.Plan());
+  const metrics::Attainment fresh = run_with(new_server.Plan());
+  std::printf("Post-shift attainment with the stale plan: %.1f%% | with the replanned plan: %.1f%%\n",
+              100.0 * stale.both, 100.0 * fresh.both);
+  std::printf("(The paper notes replanning runs in seconds and weight reloads in minutes,\n"
+              "well under the hourly timescale of real workload shifts.)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "baselines/vllm_system.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "placement/fast_sim.h"
+
+namespace distserve::baselines {
+
+VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
+  DS_CHECK_GE(config_.num_instances, 1);
+  if (config_.engine_options.cpu_overhead_per_step == 0.0) {
+    config_.engine_options.cpu_overhead_per_step = kVllmStepCpuOverhead;
+  }
+  const model::LatencyCoefficients coeffs =
+      config_.coefficients.value_or(model::LatencyCoefficients::FromGpu(config_.cluster.gpu));
+  model::LatencyModel lm(config_.model, config_.par, coeffs);
+  DS_CHECK(lm.view().FitsInMemory(config_.cluster.gpu))
+      << config_.model.name << " with " << config_.par.ToString() << " does not fit GPU memory";
+  const int64_t kv_tokens = lm.view().KvCapacityTokens(config_.cluster.gpu);
+  for (int i = 0; i < config_.num_instances; ++i) {
+    instances_.push_back(std::make_unique<engine::ColocatedInstance>(
+        &sim_, lm, kv_tokens, config_.engine_options, i));
+    instances_.back()->set_on_complete([this](engine::RequestState* r) {
+      collector_.Record(r->record);
+      ++completed_;
+    });
+  }
+}
+
+VllmSystem::~VllmSystem() = default;
+
+metrics::Collector VllmSystem::Run(const workload::Trace& trace) {
+  collector_ = metrics::Collector();
+  collector_.Reserve(trace.size());
+  states_.clear();
+  states_.reserve(trace.size());
+  completed_ = 0;
+  for (const workload::Request& req : trace) {
+    states_.push_back(std::make_unique<engine::RequestState>(req));
+    engine::RequestState* state = states_.back().get();
+    sim_.ScheduleAt(req.arrival_time, [this, state] {
+      // Least-loaded dispatch across replicas.
+      engine::ColocatedInstance* best = instances_.front().get();
+      int64_t best_load = std::numeric_limits<int64_t>::max();
+      for (const auto& inst : instances_) {
+        if (inst->load() < best_load) {
+          best_load = inst->load();
+          best = inst.get();
+        }
+      }
+      best->Enqueue(state);
+    });
+  }
+  sim_.Run();
+  DS_CHECK_EQ(completed_, static_cast<int64_t>(trace.size()))
+      << "requests lost in flight: the vLLM simulation deadlocked";
+  return std::move(collector_);
+}
+
+double SimulateColocatedGoodput(const placement::PlannerInputs& inputs,
+                                const model::ParallelismConfig& par) {
+  DS_CHECK(inputs.dataset != nullptr);
+  DS_CHECK_EQ(par.pp, 1);
+  const model::LatencyModel lm(inputs.model, par, inputs.cluster.gpu);
+  const model::ShardedModelView view(inputs.model, par);
+  if (!view.FitsInMemory(inputs.cluster.gpu)) {
+    return 0.0;
+  }
+  placement::ColocatedFastConfig fast;
+  fast.num_instances = 1;
+  fast.cpu_overhead_per_step = kVllmStepCpuOverhead;
+  fast.kv_capacity_tokens = view.KvCapacityTokens(inputs.cluster.gpu);
+  if (fast.kv_capacity_tokens <= 0) {
+    return 0.0;
+  }
+  auto attainment = [&](const workload::Trace& trace) {
+    const std::vector<placement::FastRecord> records =
+        placement::SimulateColocated(lm, trace, fast);
+    return placement::FastAttainment(records, inputs.slo).both;
+  };
+  placement::GoodputSearchOptions search = inputs.search;
+  search.attainment_target = inputs.attainment_target;
+  return placement::FindMaxRate(attainment, *inputs.dataset, search);
+}
+
+ColocatedSearchResult FindBestColocatedConfig(const placement::PlannerInputs& inputs) {
+  ColocatedSearchResult best;
+  for (int tp = 1; tp <= inputs.cluster.gpus_per_node; tp *= 2) {
+    const model::ParallelismConfig par{tp, 1};
+    const double goodput = SimulateColocatedGoodput(inputs, par);
+    const double per_gpu = goodput / static_cast<double>(par.num_gpus());
+    if (per_gpu > best.per_gpu) {
+      best = ColocatedSearchResult{par, goodput, per_gpu};
+    }
+  }
+  return best;
+}
+
+}  // namespace distserve::baselines

@@ -1,0 +1,82 @@
+// The vLLM baseline (§6.1) and its variants.
+//
+// vLLM colocates prefill and decoding on each instance with continuous batching and
+// PagedAttention-style block memory; the paper configures intra-op parallelism 1/4/8 for
+// OPT-13B/66B/175B and replicates instances. "vLLM++" (§6.4) additionally searches the
+// parallelism degree for the best per-GPU goodput. The SARATHI-style chunked-prefill variant
+// (§2.2's "advanced variant of continuous batching") splits prompts into chunks piggybacked on
+// decode steps, trading TTFT for TPOT.
+#ifndef DISTSERVE_BASELINES_VLLM_SYSTEM_H_
+#define DISTSERVE_BASELINES_VLLM_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "engine/colocated_instance.h"
+#include "engine/request_state.h"
+#include "metrics/collector.h"
+#include "placement/algorithms.h"
+#include "simcore/simulator.h"
+#include "workload/request.h"
+
+namespace distserve::baselines {
+
+// Measured per-iteration CPU overhead of the Python-scheduled vLLM the paper evaluates
+// (scheduler + sampler host work); applied to both the engine-level baseline and its fast
+// simulator so Table 2 compares like with like.
+inline constexpr double kVllmStepCpuOverhead = 1.5e-3;
+
+struct VllmConfig {
+  model::ModelSpec model;
+  cluster::ClusterSpec cluster;
+  // vLLM supports intra-op parallelism only (pp must stay 1).
+  model::ParallelismConfig par{1, 1};
+  int num_instances = 1;
+  engine::ColocatedInstance::Options engine_options;
+  std::optional<model::LatencyCoefficients> coefficients;
+};
+
+// Engine-level DES run of one or more colocated instances with least-loaded dispatch.
+class VllmSystem {
+ public:
+  explicit VllmSystem(VllmConfig config);
+
+  VllmSystem(const VllmSystem&) = delete;
+  VllmSystem& operator=(const VllmSystem&) = delete;
+  ~VllmSystem();
+
+  metrics::Collector Run(const workload::Trace& trace);
+
+  const std::vector<std::unique_ptr<engine::ColocatedInstance>>& instances() const {
+    return instances_;
+  }
+  int total_gpus() const { return config_.par.num_gpus() * config_.num_instances; }
+
+ private:
+  VllmConfig config_;
+  simcore::Simulator sim_;
+  std::vector<std::unique_ptr<engine::ColocatedInstance>> instances_;
+  std::vector<std::unique_ptr<engine::RequestState>> states_;
+  metrics::Collector collector_;
+  int64_t completed_ = 0;
+};
+
+// Per-instance goodput of a colocated configuration under joint TTFT+TPOT SLOs, using the
+// fast colocated simulator (resample + binary search, like the placement algorithms).
+double SimulateColocatedGoodput(const placement::PlannerInputs& inputs,
+                                const model::ParallelismConfig& par);
+
+// "vLLM++": enumerate intra-op degrees {1, 2, 4, 8, ...} up to a node and return the per-GPU
+// goodput-optimal configuration with its goodput.
+struct ColocatedSearchResult {
+  model::ParallelismConfig par{1, 1};
+  double goodput = 0.0;   // per instance
+  double per_gpu = 0.0;
+};
+ColocatedSearchResult FindBestColocatedConfig(const placement::PlannerInputs& inputs);
+
+}  // namespace distserve::baselines
+
+#endif  // DISTSERVE_BASELINES_VLLM_SYSTEM_H_

@@ -1,0 +1,31 @@
+#include "cluster/gpu_spec.h"
+
+namespace distserve::cluster {
+
+namespace {
+constexpr double kTera = 1e12;
+constexpr double kGiga = 1e9;
+constexpr int64_t kGiB = 1024LL * 1024 * 1024;
+}  // namespace
+
+GpuSpec GpuSpec::A100_80GB() {
+  GpuSpec spec;
+  spec.name = "A100-SXM4-80GB";
+  spec.peak_fp16_flops = 312.0 * kTera;
+  spec.hbm_bandwidth = 2039.0 * kGiga;
+  spec.memory_bytes = 80 * kGiB;
+  spec.compute_efficiency = 0.30;
+  spec.memory_efficiency = 0.55;
+  spec.nvlink_bandwidth = 300.0 * kGiga;
+  spec.allreduce_latency = 8e-6;
+  return spec;
+}
+
+GpuSpec GpuSpec::A100_40GB() {
+  GpuSpec spec = A100_80GB();
+  spec.name = "A100-SXM4-40GB";
+  spec.memory_bytes = 40 * kGiB;
+  return spec;
+}
+
+}  // namespace distserve::cluster

@@ -1,0 +1,59 @@
+// Hardware description of a GPU SKU.
+//
+// The paper's testbed uses NVIDIA SXM A100-80GB GPUs. The latency model (src/model) converts
+// these raw capabilities, derated by achievable-efficiency factors, into the Appendix-A
+// coefficients C1..C5. Keeping the spec separate from the coefficients lets tests swap in
+// hypothetical hardware (e.g. halved HBM bandwidth) and check that conclusions shift the way
+// the paper's analysis predicts.
+#ifndef DISTSERVE_CLUSTER_GPU_SPEC_H_
+#define DISTSERVE_CLUSTER_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace distserve::cluster {
+
+struct GpuSpec {
+  std::string name;
+
+  // Peak dense FP16 tensor-core throughput, FLOP/s.
+  double peak_fp16_flops = 0.0;
+
+  // Peak HBM bandwidth, bytes/s.
+  double hbm_bandwidth = 0.0;
+
+  // Device memory capacity, bytes.
+  int64_t memory_bytes = 0;
+
+  // Fraction of peak FLOPs achievable end-to-end by the serving engine's prefill path.
+  // Calibrated against the paper's Figure 1: a prefill-only system on one A100 sustains
+  // ~5.6 rps at 512-token prompts for OPT-13B, implying ~140 ms per prefill and an effective
+  // MFU near 0.30 (kernel efficiency x scheduler/runtime overheads).
+  double compute_efficiency = 0.30;
+
+  // Fraction of peak HBM bandwidth achievable by the decode path, calibrated the same way:
+  // Figure 1's decode-only system sustains ~10 rps per A100 on OPT-13B, implying ~23 ms
+  // weight-read time per step (=26 GB at ~55% of peak bandwidth).
+  double memory_efficiency = 0.55;
+
+  // Unidirectional NVLink bandwidth between two GPUs in the same node, bytes/s.
+  double nvlink_bandwidth = 0.0;
+
+  // Per-collective launch latency for NCCL-style all-reduce, seconds.
+  double allreduce_latency = 8e-6;
+
+  // Effective FLOP/s and bytes/s after derating.
+  double effective_flops() const { return peak_fp16_flops * compute_efficiency; }
+  double effective_bandwidth() const { return hbm_bandwidth * memory_efficiency; }
+
+  // NVIDIA A100-SXM4-80GB: 312 TFLOPS FP16 tensor, 2039 GB/s HBM2e, 600 GB/s NVLink
+  // (aggregate bidirectional; ~300 GB/s usable per direction for a ring collective).
+  static GpuSpec A100_80GB();
+
+  // NVIDIA A100-SXM4-40GB: same compute/bandwidth, half the memory. Used in capacity tests.
+  static GpuSpec A100_40GB();
+};
+
+}  // namespace distserve::cluster
+
+#endif  // DISTSERVE_CLUSTER_GPU_SPEC_H_

@@ -1,0 +1,94 @@
+#include "cluster/topology.h"
+
+#include "common/logging.h"
+
+namespace distserve::cluster {
+
+double ClusterSpec::TransferBandwidth(const GpuId& src, const GpuId& dst) const {
+  if (src.node == dst.node) {
+    return gpu.nvlink_bandwidth;
+  }
+  return cross_node_bandwidth;
+}
+
+double ClusterSpec::TransferLatency(const GpuId& src, const GpuId& dst) const {
+  if (src.node == dst.node) {
+    return intra_node_latency;
+  }
+  return cross_node_latency;
+}
+
+ClusterSpec ClusterSpec::PaperTestbed() {
+  ClusterSpec spec;
+  spec.gpu = GpuSpec::A100_80GB();
+  spec.num_nodes = 4;
+  spec.gpus_per_node = 8;
+  spec.cross_node_bandwidth = 25.0e9 / 8.0;  // 25 Gbps.
+  return spec;
+}
+
+ClusterSpec ClusterSpec::InfinibandCluster() {
+  ClusterSpec spec = PaperTestbed();
+  spec.cross_node_bandwidth = 800.0e9 / 8.0;  // 800 Gbps.
+  return spec;
+}
+
+GpuAllocator::GpuAllocator(const ClusterSpec& spec)
+    : spec_(spec),
+      busy_(static_cast<size_t>(spec.num_nodes),
+            std::vector<bool>(static_cast<size_t>(spec.gpus_per_node), false)),
+      free_count_(spec.total_gpus()) {}
+
+int GpuAllocator::free_on_node(int node) const {
+  DS_CHECK_GE(node, 0);
+  DS_CHECK_LT(node, spec_.num_nodes);
+  int free = 0;
+  for (bool b : busy_[static_cast<size_t>(node)]) {
+    if (!b) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+std::optional<std::vector<GpuId>> GpuAllocator::Allocate(int count, int per_node) {
+  DS_CHECK_GT(count, 0);
+  DS_CHECK_GT(per_node, 0);
+  per_node = std::min(per_node, spec_.gpus_per_node);
+  if (count > free_count_) {
+    return std::nullopt;
+  }
+  std::vector<GpuId> result;
+  result.reserve(static_cast<size_t>(count));
+  // First fit: scan nodes, taking up to per_node free GPUs from each.
+  for (int node = 0; node < spec_.num_nodes && static_cast<int>(result.size()) < count; ++node) {
+    int taken = 0;
+    for (int idx = 0; idx < spec_.gpus_per_node && taken < per_node &&
+                      static_cast<int>(result.size()) < count;
+         ++idx) {
+      if (!busy_[static_cast<size_t>(node)][static_cast<size_t>(idx)]) {
+        result.push_back(GpuId{node, idx});
+        ++taken;
+      }
+    }
+  }
+  if (static_cast<int>(result.size()) < count) {
+    return std::nullopt;
+  }
+  for (const GpuId& id : result) {
+    busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)] = true;
+  }
+  free_count_ -= count;
+  return result;
+}
+
+void GpuAllocator::Free(const std::vector<GpuId>& gpus) {
+  for (const GpuId& id : gpus) {
+    DS_CHECK(busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)])
+        << "double free of GPU node=" << id.node << " index=" << id.index;
+    busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)] = false;
+    ++free_count_;
+  }
+}
+
+}  // namespace distserve::cluster

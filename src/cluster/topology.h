@@ -1,0 +1,81 @@
+// Cluster topology: nodes of GPUs with an intra-node NVLink fabric and a cross-node network.
+//
+// The placement algorithms (src/placement) care about two things from the topology: how many
+// GPUs an instance may span (node limit x GPUs per node), and which bandwidth a KV-cache
+// transfer between a prefill GPU group and a decode GPU group will see (NVLink when colocated
+// in a node, the NIC otherwise). GpuAllocator provides simple first-fit bookkeeping used when a
+// placement plan is materialised onto physical GPUs.
+#ifndef DISTSERVE_CLUSTER_TOPOLOGY_H_
+#define DISTSERVE_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/gpu_spec.h"
+
+namespace distserve::cluster {
+
+// Identifies one physical GPU as (node, index-within-node).
+struct GpuId {
+  int node = 0;
+  int index = 0;
+
+  friend bool operator==(const GpuId&, const GpuId&) = default;
+};
+
+struct ClusterSpec {
+  GpuSpec gpu;
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+
+  // Cross-node network bandwidth per node pair, bytes/s (the paper's testbed: 25 Gbps;
+  // an Infiniband cluster: 800 Gbps).
+  double cross_node_bandwidth = 25.0e9 / 8.0;
+
+  // One-way network latency for a cross-node message, seconds.
+  double cross_node_latency = 10e-6;
+
+  // Intra-node GPU-to-GPU latency (cudaMemcpy/NVLink), seconds.
+  double intra_node_latency = 2e-6;
+
+  int total_gpus() const { return num_nodes * gpus_per_node; }
+
+  // Bandwidth seen by a transfer between two GPUs, picking NVLink when they share a node.
+  double TransferBandwidth(const GpuId& src, const GpuId& dst) const;
+  double TransferLatency(const GpuId& src, const GpuId& dst) const;
+
+  // The paper's testbed: 4 nodes x 8 A100-80GB, 25 Gbps cross-node.
+  static ClusterSpec PaperTestbed();
+
+  // A high node-affinity cluster: same GPUs but 800 Gbps Infiniband cross-node.
+  static ClusterSpec InfinibandCluster();
+};
+
+// First-fit allocator of physical GPUs. An instance's GPUs are allocated node-contiguously:
+// a request for `count` GPUs with `max_per_node` spread returns GPUs grouped so that each
+// node-group holds `per_node` consecutive GPUs (per_node = count / num_groups).
+class GpuAllocator {
+ public:
+  explicit GpuAllocator(const ClusterSpec& spec);
+
+  // Allocates `count` GPUs packed into as few nodes as possible, at most `per_node` on any
+  // node. Returns std::nullopt when the cluster cannot satisfy the request; on success the
+  // returned GPUs are marked busy.
+  std::optional<std::vector<GpuId>> Allocate(int count, int per_node);
+
+  // Marks previously allocated GPUs free again.
+  void Free(const std::vector<GpuId>& gpus);
+
+  int free_gpus() const { return free_count_; }
+  int free_on_node(int node) const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<std::vector<bool>> busy_;  // [node][gpu index]
+  int free_count_ = 0;
+};
+
+}  // namespace distserve::cluster
+
+#endif  // DISTSERVE_CLUSTER_TOPOLOGY_H_

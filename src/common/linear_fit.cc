@@ -1,0 +1,86 @@
+#include "common/linear_fit.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distserve {
+
+std::optional<std::vector<double>> LeastSquaresFit(const std::vector<LinearSample>& samples) {
+  if (samples.empty()) {
+    return std::nullopt;
+  }
+  const size_t dim = samples[0].features.size();
+  if (dim == 0 || samples.size() < dim) {
+    return std::nullopt;
+  }
+  // Normal equations: (A^T A) x = A^T b.
+  std::vector<std::vector<double>> ata(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> atb(dim, 0.0);
+  for (const LinearSample& s : samples) {
+    DS_CHECK_EQ(s.features.size(), dim);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        ata[i][j] += s.features[i] * s.features[j];
+      }
+      atb[i] += s.features[i] * s.target;
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < dim; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < dim; ++row) {
+      if (std::fabs(ata[row][col]) > std::fabs(ata[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(ata[pivot][col]) < 1e-30) {
+      return std::nullopt;
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(atb[col], atb[pivot]);
+    for (size_t row = col + 1; row < dim; ++row) {
+      const double factor = ata[row][col] / ata[col][col];
+      for (size_t k = col; k < dim; ++k) {
+        ata[row][k] -= factor * ata[col][k];
+      }
+      atb[row] -= factor * atb[col];
+    }
+  }
+  std::vector<double> x(dim, 0.0);
+  for (size_t row = dim; row-- > 0;) {
+    double acc = atb[row];
+    for (size_t k = row + 1; k < dim; ++k) {
+      acc -= ata[row][k] * x[k];
+    }
+    x[row] = acc / ata[row][row];
+  }
+  return x;
+}
+
+double RSquared(const std::vector<LinearSample>& samples, const std::vector<double>& coeffs) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (const LinearSample& s : samples) {
+    mean += s.target;
+  }
+  mean /= static_cast<double>(samples.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const LinearSample& s : samples) {
+    double pred = 0.0;
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+      pred += coeffs[i] * s.features[i];
+    }
+    ss_res += (s.target - pred) * (s.target - pred);
+    ss_tot += (s.target - mean) * (s.target - mean);
+  }
+  if (ss_tot <= 0.0) {
+    return ss_res <= 1e-30 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace distserve

@@ -1,0 +1,31 @@
+// Ordinary least-squares fitting of small linear models.
+//
+// The paper's Appendix A determines the latency-model coefficients C1..C5 by "profiling and
+// interpolation". model::FitCoefficients reproduces that step: it gathers (feature, latency)
+// samples from a profiled instance and solves the normal equations here. Dimensions are tiny
+// (<= 4 features), so Gaussian elimination with partial pivoting is plenty.
+#ifndef DISTSERVE_COMMON_LINEAR_FIT_H_
+#define DISTSERVE_COMMON_LINEAR_FIT_H_
+
+#include <optional>
+#include <vector>
+
+namespace distserve {
+
+// One observation: predicted = sum_i coeff[i] * features[i].
+struct LinearSample {
+  std::vector<double> features;
+  double target = 0.0;
+};
+
+// Solves min ||A x - b||^2 over the samples. Returns std::nullopt when the normal equations are
+// singular (e.g. a feature column is identically zero). All samples must share the same feature
+// dimensionality.
+std::optional<std::vector<double>> LeastSquaresFit(const std::vector<LinearSample>& samples);
+
+// Coefficient of determination (R^2) for a fitted model; 1.0 is a perfect fit.
+double RSquared(const std::vector<LinearSample>& samples, const std::vector<double>& coeffs);
+
+}  // namespace distserve
+
+#endif  // DISTSERVE_COMMON_LINEAR_FIT_H_

@@ -1,0 +1,77 @@
+#include "core/distserve.h"
+
+#include "common/logging.h"
+
+namespace distserve {
+
+DistServe::DistServe(DistServeOptions options) : options_(std::move(options)) {
+  DS_CHECK(options_.dataset != nullptr || options_.plan_override.has_value())
+      << "DistServe needs a dataset to plan for (or an explicit plan override)";
+}
+
+bool DistServe::ResolveHighAffinity() const {
+  switch (options_.placement_mode) {
+    case DistServeOptions::PlacementMode::kHighAffinity:
+      return true;
+    case DistServeOptions::PlacementMode::kLowAffinity:
+      return false;
+    case DistServeOptions::PlacementMode::kAuto:
+      break;
+  }
+  // Heuristic from §3.3: cross-node transfers are invisible when the NIC can move a typical
+  // request's KV cache well within a prefill execution (~100 ms). Otherwise stay intra-node.
+  Rng rng(options_.search.seed);
+  const workload::LengthSample mean = options_.dataset->MeanLengths(rng);
+  const double kv_bytes = static_cast<double>(mean.input_len) *
+                          static_cast<double>(options_.model.kv_bytes_per_token());
+  const double transfer_time = kv_bytes / options_.cluster.cross_node_bandwidth;
+  return transfer_time < 0.010;  // 10 ms: negligible against TTFT-scale latencies
+}
+
+const placement::PlacementPlan& DistServe::Plan() { return PlannerDetails().plan; }
+
+const placement::PlannerResult& DistServe::PlannerDetails() {
+  if (planner_result_.has_value()) {
+    return *planner_result_;
+  }
+  if (options_.plan_override.has_value()) {
+    placement::PlannerResult result;
+    result.plan = *options_.plan_override;
+    used_high_affinity_ = !result.plan.intra_node_transfers;
+    planner_result_ = std::move(result);
+    return *planner_result_;
+  }
+  placement::PlannerInputs inputs;
+  inputs.model = options_.model;
+  inputs.cluster = options_.cluster;
+  inputs.dataset = options_.dataset;
+  inputs.slo = options_.slo;
+  inputs.attainment_target = options_.attainment_target;
+  inputs.traffic_rate = options_.traffic_rate;
+  inputs.search = options_.search;
+  used_high_affinity_ = ResolveHighAffinity();
+  planner_result_ = used_high_affinity_ ? placement::HighNodeAffinityPlacement(inputs)
+                                        : placement::LowNodeAffinityPlacement(inputs);
+  DS_LOG(Info) << "DistServe plan: " << planner_result_->plan.ToString();
+  return *planner_result_;
+}
+
+metrics::Collector DistServe::Serve(const workload::Trace& trace) {
+  serving::ServingConfig config;
+  config.model = options_.model;
+  config.cluster = options_.cluster;
+  config.plan = Plan();
+  serving::ServingSystem system(std::move(config));
+  return system.Run(trace);
+}
+
+metrics::Collector DistServe::ServeGenerated(double rate, int num_requests, uint64_t seed) {
+  DS_CHECK(options_.dataset != nullptr);
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = num_requests;
+  spec.seed = seed;
+  return Serve(workload::GenerateTrace(spec, *options_.dataset));
+}
+
+}  // namespace distserve

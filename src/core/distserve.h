@@ -1,0 +1,85 @@
+// DistServe public facade: plan a placement, then serve traffic with it.
+//
+// This is the library's front door, mirroring the paper's workflow end to end:
+//
+//   DistServeOptions opts = {...model, cluster, SLOs, expected traffic...};
+//   DistServe server(opts);
+//   const placement::PlacementPlan& plan = server.Plan();    // Algorithm 1 or 2 + simulator
+//   metrics::Collector results = server.Serve(trace);        // engine-level DES run
+//   auto attainment = results.ComputeAttainment(opts.slo);
+//
+// Lower layers stay fully usable on their own (every bench drives them directly); the facade
+// packages the common path for applications and the examples.
+#ifndef DISTSERVE_CORE_DISTSERVE_H_
+#define DISTSERVE_CORE_DISTSERVE_H_
+
+#include <memory>
+#include <optional>
+
+#include "cluster/topology.h"
+#include "metrics/collector.h"
+#include "placement/algorithms.h"
+#include "placement/placement.h"
+#include "serving/serving_system.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve {
+
+struct DistServeOptions {
+  model::ModelSpec model;
+  cluster::ClusterSpec cluster;
+  metrics::SloSpec slo;
+  double attainment_target = 0.9;
+
+  // Expected traffic rate (requests/second); sizes the replication counts.
+  double traffic_rate = 1.0;
+
+  // Workload distribution the planner optimizes for. Non-owning; must outlive the facade.
+  const workload::Dataset* dataset = nullptr;
+
+  // Placement algorithm: high node-affinity clusters (Algorithm 1, cross-node transfers OK)
+  // versus low node-affinity (Algorithm 2, stage-colocated segments). Defaults to choosing by
+  // the cluster's cross-node bandwidth against the expected per-request KV volume.
+  enum class PlacementMode { kAuto, kHighAffinity, kLowAffinity };
+  PlacementMode placement_mode = PlacementMode::kAuto;
+
+  // Planner simulation fidelity.
+  placement::GoodputSearchOptions search;
+
+  // Manual plan override: skips the planner entirely when set.
+  std::optional<placement::PlacementPlan> plan_override;
+};
+
+class DistServe {
+ public:
+  explicit DistServe(DistServeOptions options);
+
+  // Computes (or returns the cached / overridden) placement plan.
+  const placement::PlacementPlan& Plan();
+
+  // Full planner result including evaluated candidates; runs Plan() if needed.
+  const placement::PlannerResult& PlannerDetails();
+
+  // Serves a trace on a fresh engine-level runtime built from the plan.
+  metrics::Collector Serve(const workload::Trace& trace);
+
+  // Convenience: generate a trace from the configured dataset at `rate` and serve it.
+  metrics::Collector ServeGenerated(double rate, int num_requests, uint64_t seed);
+
+  const DistServeOptions& options() const { return options_; }
+
+  // The placement mode actually resolved (meaningful after Plan() with kAuto).
+  bool used_high_affinity() const { return used_high_affinity_; }
+
+ private:
+  bool ResolveHighAffinity() const;
+
+  DistServeOptions options_;
+  std::optional<placement::PlannerResult> planner_result_;
+  bool used_high_affinity_ = false;
+};
+
+}  // namespace distserve
+
+#endif  // DISTSERVE_CORE_DISTSERVE_H_

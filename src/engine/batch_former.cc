@@ -1,0 +1,37 @@
+#include "engine/batch_former.h"
+
+#include "common/logging.h"
+
+namespace distserve::engine {
+
+std::vector<RequestState*> FormPrefillBatch(
+    std::deque<RequestState*>& queue, const PrefillBatchPolicy& policy,
+    const std::function<bool(int64_t)>& memory_fits) {
+  std::vector<RequestState*> batch;
+  if (queue.empty()) {
+    return batch;
+  }
+  int64_t total_tokens = 0;
+  while (!queue.empty() && static_cast<int>(batch.size()) < policy.max_batch_size) {
+    RequestState* head = queue.front();
+    const int64_t head_tokens = head->request.input_len;
+    const bool is_first = batch.empty();
+    // Only the head of an empty batch may exceed the token target.
+    if (!is_first && total_tokens + head_tokens > policy.target_tokens) {
+      break;
+    }
+    if (!memory_fits(total_tokens + head_tokens)) {
+      break;
+    }
+    batch.push_back(head);
+    queue.pop_front();
+    total_tokens += head_tokens;
+    // An over-length head runs alone.
+    if (is_first && head_tokens >= policy.target_tokens) {
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace distserve::engine

@@ -1,0 +1,39 @@
+// Prefill batch formation (§4.3 "reducing pipeline bubbles").
+//
+// The paper schedules prefill batches whose total new-token count is close to L_m, the GPU
+// saturation threshold: multiple short prompts are batched together, prompts longer than L_m
+// run alone. Keeping batch sizes near L_m equalises stage execution times across batches,
+// which minimises pipeline bubbles under inter-op parallelism. Extracted from the instance so
+// the policy is unit-testable in isolation.
+#ifndef DISTSERVE_ENGINE_BATCH_FORMER_H_
+#define DISTSERVE_ENGINE_BATCH_FORMER_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "engine/request_state.h"
+
+namespace distserve::engine {
+
+struct PrefillBatchPolicy {
+  // Token budget per batch; the saturation threshold L_m from LatencyModel.
+  int64_t target_tokens = 512;
+  // Hard cap on requests per batch.
+  int max_batch_size = 64;
+};
+
+// Pops a FCFS prefix of `queue` into a batch:
+//   - the head request is always eligible (even when longer than target_tokens — the paper
+//     schedules over-length prompts individually);
+//   - subsequent requests join while the running token total stays within target_tokens and
+//     the batch is below max_batch_size;
+//   - `memory_fits(total_tokens)` gates every admission including the head; if even the head
+//     cannot fit, an empty batch is returned and the queue is left untouched (KV stall).
+std::vector<RequestState*> FormPrefillBatch(
+    std::deque<RequestState*>& queue, const PrefillBatchPolicy& policy,
+    const std::function<bool(int64_t)>& memory_fits);
+
+}  // namespace distserve::engine
+
+#endif  // DISTSERVE_ENGINE_BATCH_FORMER_H_

@@ -1,0 +1,172 @@
+#include "engine/colocated_instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distserve::engine {
+
+ColocatedInstance::ColocatedInstance(simcore::Simulator* sim,
+                                     model::LatencyModel latency_model,
+                                     int64_t kv_capacity_tokens, Options options, int id)
+    : sim_(sim),
+      latency_model_(std::move(latency_model)),
+      kv_(kv_capacity_tokens, options.kv_block_size),
+      options_(options),
+      id_(id) {
+  DS_CHECK(sim != nullptr);
+  DS_CHECK_EQ(latency_model_.par().pp, 1)
+      << "the colocated (vLLM) baseline supports intra-op parallelism only";
+  DS_CHECK_GT(options_.max_batch_size, 0);
+  DS_CHECK_GT(options_.max_prefill_tokens_per_step, 0);
+  DS_CHECK_GT(options_.chunk_size, 0);
+}
+
+void ColocatedInstance::Enqueue(RequestState* request) {
+  DS_CHECK(request != nullptr);
+  DS_CHECK_LE(kv_.BlocksForTokens(request->request.total_len()), kv_.total_blocks())
+      << "request " << request->request.id << " can never fit colocated instance " << id_;
+  waiting_.push_back(request);
+  MaybeStep();
+}
+
+void ColocatedInstance::MaybeStep() {
+  if (step_in_flight_) {
+    return;
+  }
+  // Admission: move waiting requests into the prefilling set while KV memory and the batch
+  // cap allow. Reservation covers the full final context (prompt + outputs).
+  while (!waiting_.empty() &&
+         static_cast<int>(prefilling_.size() + decoding_.size()) < options_.max_batch_size &&
+         kv_.CanReserve(waiting_.front()->request.total_len())) {
+    RequestState* request = waiting_.front();
+    const bool reserved = kv_.Reserve(request->request.id, request->request.total_len());
+    DS_CHECK(reserved);
+    waiting_.pop_front();
+    prefilling_.push_back(request);
+  }
+
+  // Select this step's prefill work.
+  model::BatchWorkload workload;
+  std::vector<RequestState*> prefilled_now;
+  int64_t prefill_tokens_in_step = 0;
+  if (!prefilling_.empty()) {
+    if (options_.mode == Options::SchedulingMode::kChunked) {
+      // SARATHI: one chunk from the head prompt per step, piggybacked on decodes.
+      RequestState* head = prefilling_.front();
+      const int remaining = head->request.input_len - head->prefill_tokens_done;
+      const int chunk = std::min(options_.chunk_size, remaining);
+      const double window_start = head->prefill_tokens_done;
+      if (head->prefill_tokens_done == 0) {
+        head->record.prefill_start = sim_->now();
+      }
+      head->prefill_tokens_done += chunk;
+      workload.prefill_tokens += chunk;
+      // Chunk attention reads the whole window so far: ~ c * (p + c) token-pairs.
+      workload.prefill_sq_tokens +=
+          static_cast<double>(chunk) * (window_start + static_cast<double>(chunk));
+      prefill_tokens_in_step += chunk;
+      if (head->prefill_tokens_done == head->request.input_len) {
+        prefilled_now.push_back(head);
+        prefilling_.pop_front();
+      }
+    } else {
+      // vLLM: whole prompts, FCFS, bounded by the per-step token budget (the head prompt
+      // always runs even if it alone exceeds the budget).
+      while (!prefilling_.empty()) {
+        RequestState* head = prefilling_.front();
+        const int64_t prompt = head->request.input_len;
+        if (!prefilled_now.empty() &&
+            prefill_tokens_in_step + prompt > options_.max_prefill_tokens_per_step) {
+          break;
+        }
+        head->prefill_tokens_done = head->request.input_len;
+        head->record.prefill_start = sim_->now();
+        workload.prefill_tokens += prompt;
+        workload.prefill_sq_tokens += static_cast<double>(prompt) * static_cast<double>(prompt);
+        prefill_tokens_in_step += prompt;
+        prefilled_now.push_back(head);
+        prefilling_.pop_front();
+      }
+    }
+  }
+
+  // Decode side. Under prefill-priority scheduling a step carrying prefill work is
+  // prefill-only: resident decodes stall until it finishes (the vLLM baseline behaviour the
+  // paper measures). Mixed/chunked modes batch decodes into the same step.
+  const bool prefill_only_step =
+      options_.mode == Options::SchedulingMode::kPrefillPriority && !prefilled_now.empty();
+  const bool decodes_advance = !decoding_.empty() && !prefill_only_step;
+  if (decodes_advance) {
+    int64_t context_tokens = 0;
+    for (const RequestState* r : decoding_) {
+      context_tokens += r->context_len();
+    }
+    workload.decode_requests = static_cast<int64_t>(decoding_.size());
+    workload.decode_context_tokens = context_tokens;
+  }
+
+  if (workload.empty()) {
+    return;  // Idle; the next Enqueue re-arms the loop.
+  }
+
+  const double step_time =
+      latency_model_.FullTime(workload) + options_.cpu_overhead_per_step;
+  step_in_flight_ = true;
+  busy_seconds_ += step_time;
+  ++steps_executed_;
+  sim_->ScheduleAfter(step_time,
+                      [this, prefilled_now = std::move(prefilled_now),
+                       decodes_advance]() mutable {
+                        StepEnd(std::move(prefilled_now), decodes_advance);
+                      });
+}
+
+void ColocatedInstance::StepEnd(std::vector<RequestState*> prefilled_now,
+                                bool decodes_advanced) {
+  step_in_flight_ = false;
+  const double now = sim_->now();
+
+  // Decode advancement and completions (skipped when the step was prefill-only).
+  if (decodes_advanced) {
+    std::vector<RequestState*> still_decoding;
+    still_decoding.reserve(decoding_.size());
+    for (RequestState* r : decoding_) {
+      ++r->decode_steps_done;
+      ++tokens_generated_;
+      if (r->remaining_decode_steps() <= 0) {
+        r->record.completion = now;
+        kv_.Release(r->request.id);
+        if (on_complete_) {
+          on_complete_(r);
+        }
+      } else {
+        still_decoding.push_back(r);
+      }
+    }
+    decoding_ = std::move(still_decoding);
+  }
+
+  // Prompts that finished this step produce their first token now; colocation means no
+  // transfer and no decode queue (they are already resident).
+  for (RequestState* r : prefilled_now) {
+    r->record.first_token = now;
+    r->record.transfer_start = now;
+    r->record.transfer_end = now;
+    r->record.decode_start = now;
+    ++tokens_generated_;
+    if (r->request.output_len <= 1) {
+      r->record.completion = now;
+      kv_.Release(r->request.id);
+      if (on_complete_) {
+        on_complete_(r);
+      }
+    } else {
+      decoding_.push_back(r);
+    }
+  }
+
+  MaybeStep();
+}
+
+}  // namespace distserve::engine

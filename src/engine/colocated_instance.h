@@ -1,0 +1,104 @@
+// A colocated prefill+decode instance: the vLLM-style baseline (§2.2, §6.1).
+//
+// One model replica serves both phases with iteration-level continuous batching (Orca): each
+// engine step carries every resident decode request plus newly admitted prefills, and takes
+// the mixed-batch time from the unified roofline model — which is precisely where
+// prefill-decoding interference comes from (a 512-token prompt in the batch pushes the shared
+// GEMMs into the compute-bound regime, stretching every decode token in that step; Figure 2).
+//
+// Three scheduling modes:
+//   * kPrefillPriority (vLLM, the paper's baseline): when prompts wait, the engine runs a
+//     prefill-only iteration (bounded by the per-step token budget and KV memory), stalling
+//     every resident decode for its duration — the queuing flavour of interference (§2.3
+//     "ineffective scheduling");
+//   * kMixed (Orca-style): prompts and decodes share one batch; interference appears as the
+//     roofline `max()` stretching the shared step;
+//   * kChunked (SARATHI): prompts split into fixed-size chunks, one chunk per step,
+//     piggybacked onto decodes — trading TTFT for TPOT, as §2.2 describes.
+//
+// The paper's evaluated vLLM supports intra-op parallelism only, so pp must be 1 here.
+#ifndef DISTSERVE_ENGINE_COLOCATED_INSTANCE_H_
+#define DISTSERVE_ENGINE_COLOCATED_INSTANCE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "engine/kv_block_manager.h"
+#include "engine/request_state.h"
+#include "model/latency_model.h"
+#include "simcore/simulator.h"
+
+namespace distserve::engine {
+
+class ColocatedInstance {
+ public:
+  struct Options {
+    enum class SchedulingMode {
+      kPrefillPriority,  // vLLM: prefill-only iterations stall decodes
+      kMixed,            // Orca: one shared batch
+      kChunked,          // SARATHI: chunked prefill piggybacked on decodes
+    };
+
+    SchedulingMode mode = SchedulingMode::kPrefillPriority;
+    int max_batch_size = 256;
+    // Prefill tokens admitted into one step (vLLM's max_num_batched_tokens analogue).
+    int64_t max_prefill_tokens_per_step = 4096;
+    int chunk_size = 512;  // kChunked only
+    int kv_block_size = 16;
+    // Host-side scheduler/runtime overhead added to every iteration. The 2023-era vLLM the
+    // paper evaluates runs a Python scheduling loop costing O(ms) per iteration — one of the
+    // stated motivations for DistServe's C++ engine (§5). Zero by default; the vLLM baseline
+    // sets kVllmStepCpuOverhead.
+    double cpu_overhead_per_step = 0.0;
+  };
+
+  ColocatedInstance(simcore::Simulator* sim, model::LatencyModel latency_model,
+                    int64_t kv_capacity_tokens, Options options, int id);
+
+  ColocatedInstance(const ColocatedInstance&) = delete;
+  ColocatedInstance& operator=(const ColocatedInstance&) = delete;
+
+  void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
+
+  // Adds an arriving request to the FCFS waiting queue.
+  void Enqueue(RequestState* request);
+
+  int64_t load() const {
+    return static_cast<int64_t>(waiting_.size() + prefilling_.size() + decoding_.size());
+  }
+  size_t waiting_count() const { return waiting_.size(); }
+
+  int id() const { return id_; }
+  const KvBlockManager& kv() const { return kv_; }
+
+  // Observability.
+  int64_t steps_executed() const { return steps_executed_; }
+  int64_t tokens_generated() const { return tokens_generated_; }
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  void MaybeStep();
+  void StepEnd(std::vector<RequestState*> prefilled_now, bool decodes_advanced);
+
+  simcore::Simulator* sim_;
+  model::LatencyModel latency_model_;
+  KvBlockManager kv_;
+  Options options_;
+  int id_;
+
+  std::function<void(RequestState*)> on_complete_;
+
+  std::deque<RequestState*> waiting_;       // not yet admitted (no KV reserved)
+  std::deque<RequestState*> prefilling_;    // admitted, prompt partially processed (chunked)
+  std::vector<RequestState*> decoding_;     // prompt done, generating tokens
+  bool step_in_flight_ = false;
+
+  int64_t steps_executed_ = 0;
+  int64_t tokens_generated_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace distserve::engine
+
+#endif  // DISTSERVE_ENGINE_COLOCATED_INSTANCE_H_

@@ -1,0 +1,131 @@
+#include "engine/decode_instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distserve::engine {
+
+DecodeInstance::DecodeInstance(simcore::Simulator* sim, model::LatencyModel latency_model,
+                               int64_t kv_capacity_tokens, Options options, int id)
+    : sim_(sim),
+      latency_model_(std::move(latency_model)),
+      kv_(kv_capacity_tokens, options.kv_block_size),
+      options_(options),
+      id_(id),
+      lanes_(static_cast<size_t>(latency_model_.par().pp)) {
+  DS_CHECK(sim != nullptr);
+  DS_CHECK_GT(options_.max_batch_size, 0);
+  DS_CHECK_GT(options_.admission_watermark, 0.0);
+  DS_CHECK_LE(options_.admission_watermark, 1.0);
+}
+
+int DecodeInstance::per_lane_cap() const {
+  const int lanes = static_cast<int>(lanes_.size());
+  return std::max(1, options_.max_batch_size / lanes);
+}
+
+void DecodeInstance::Submit(RequestState* request) {
+  DS_CHECK(request != nullptr);
+  DS_CHECK_GE(request->request.output_len, 2)
+      << "single-token requests must not be submitted to decode";
+  request->decode_instance = id_;
+  pending_.push_back(request);
+  TryAdmit();
+}
+
+void DecodeInstance::TryAdmit() {
+  const int64_t usable_blocks = static_cast<int64_t>(
+      static_cast<double>(kv_.total_blocks()) * options_.admission_watermark);
+  while (!pending_.empty()) {
+    RequestState* request = pending_.front();
+    const int64_t needed_tokens = request->request.total_len();
+    const int64_t needed_blocks = kv_.BlocksForTokens(needed_tokens);
+    DS_CHECK_LE(needed_blocks, usable_blocks)
+        << "request " << request->request.id << " can never fit decode instance " << id_;
+    if (kv_.used_blocks() + needed_blocks > usable_blocks) {
+      break;  // Wait for completions to release memory; prefill side buffers the KV.
+    }
+    const bool reserved = kv_.Reserve(request->request.id, needed_tokens);
+    DS_CHECK(reserved);
+    pending_.pop_front();
+    ++resident_count_;
+    request->record.transfer_start = sim_->now();
+    if (transfer_fn_) {
+      transfer_fn_(request, [this, request] { OnTransferDone(request); });
+    } else {
+      OnTransferDone(request);
+    }
+  }
+}
+
+void DecodeInstance::OnTransferDone(RequestState* request) {
+  request->record.transfer_end = sim_->now();
+  // Least-loaded lane assignment.
+  size_t best = 0;
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const size_t lane_load = lanes_[i].active.size() + lanes_[i].joining.size();
+    if (lane_load < best_load) {
+      best_load = lane_load;
+      best = i;
+    }
+  }
+  lanes_[best].joining.push_back(request);
+  LaneMaybeStep(best);
+}
+
+void DecodeInstance::LaneMaybeStep(size_t lane_idx) {
+  Lane& lane = lanes_[lane_idx];
+  if (lane.step_in_flight) {
+    return;
+  }
+  // Merge joiners up to the lane cap; they start decoding this step.
+  const int cap = per_lane_cap();
+  while (!lane.joining.empty() && static_cast<int>(lane.active.size()) < cap) {
+    RequestState* request = lane.joining.front();
+    lane.joining.erase(lane.joining.begin());
+    request->record.decode_start = sim_->now();
+    lane.active.push_back(request);
+  }
+  if (lane.active.empty()) {
+    return;
+  }
+  int64_t context_tokens = 0;
+  for (const RequestState* r : lane.active) {
+    context_tokens += r->context_len();
+  }
+  const double step_time = latency_model_.DecodeStepFullTime(
+      static_cast<int64_t>(lane.active.size()), context_tokens);
+  lane.step_in_flight = true;
+  busy_seconds_ += step_time;
+  ++steps_executed_;
+  sim_->ScheduleAfter(step_time, [this, lane_idx] { LaneStepEnd(lane_idx); });
+}
+
+void DecodeInstance::LaneStepEnd(size_t lane_idx) {
+  Lane& lane = lanes_[lane_idx];
+  lane.step_in_flight = false;
+  std::vector<RequestState*> still_active;
+  still_active.reserve(lane.active.size());
+  for (RequestState* r : lane.active) {
+    ++r->decode_steps_done;
+    ++tokens_generated_;
+    if (r->remaining_decode_steps() <= 0) {
+      r->record.completion = sim_->now();
+      kv_.Release(r->request.id);
+      --resident_count_;
+      if (on_complete_) {
+        on_complete_(r);
+      }
+    } else {
+      still_active.push_back(r);
+    }
+  }
+  lane.active = std::move(still_active);
+  // Freed memory may admit pending requests before the next step forms.
+  TryAdmit();
+  LaneMaybeStep(lane_idx);
+}
+
+}  // namespace distserve::engine

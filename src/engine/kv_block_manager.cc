@@ -1,0 +1,63 @@
+#include "engine/kv_block_manager.h"
+
+#include "common/logging.h"
+
+namespace distserve::engine {
+
+KvBlockManager::KvBlockManager(int64_t capacity_tokens, int block_size)
+    : block_size_(block_size) {
+  DS_CHECK_GE(capacity_tokens, 0);
+  DS_CHECK_GT(block_size, 0);
+  total_blocks_ = capacity_tokens / block_size;
+}
+
+int64_t KvBlockManager::BlocksForTokens(int64_t tokens) const {
+  return (tokens + block_size_ - 1) / block_size_;
+}
+
+bool KvBlockManager::CanReserve(int64_t tokens) const {
+  return BlocksForTokens(tokens) <= free_blocks();
+}
+
+bool KvBlockManager::Reserve(SeqId seq, int64_t tokens) {
+  DS_CHECK(!sequences_.contains(seq)) << "sequence " << seq << " already reserved";
+  DS_CHECK_GE(tokens, 0);
+  const int64_t blocks = BlocksForTokens(tokens);
+  if (blocks > free_blocks()) {
+    return false;
+  }
+  sequences_[seq] = SeqState{tokens, blocks};
+  used_blocks_ += blocks;
+  return true;
+}
+
+bool KvBlockManager::Grow(SeqId seq, int64_t extra) {
+  DS_CHECK_GE(extra, 0);
+  auto it = sequences_.find(seq);
+  DS_CHECK(it != sequences_.end()) << "growing unknown sequence " << seq;
+  const int64_t new_tokens = it->second.tokens + extra;
+  const int64_t new_blocks = BlocksForTokens(new_tokens);
+  const int64_t delta = new_blocks - it->second.blocks;
+  if (delta > free_blocks()) {
+    return false;
+  }
+  it->second.tokens = new_tokens;
+  it->second.blocks = new_blocks;
+  used_blocks_ += delta;
+  return true;
+}
+
+void KvBlockManager::Release(SeqId seq) {
+  auto it = sequences_.find(seq);
+  DS_CHECK(it != sequences_.end()) << "releasing unknown sequence " << seq;
+  used_blocks_ -= it->second.blocks;
+  DS_DCHECK(used_blocks_ >= 0);
+  sequences_.erase(it);
+}
+
+int64_t KvBlockManager::SequenceTokens(SeqId seq) const {
+  auto it = sequences_.find(seq);
+  return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+}  // namespace distserve::engine

@@ -1,0 +1,64 @@
+// Paged KV-cache block manager (the PagedAttention memory model).
+//
+// GPU memory left after weights is carved into fixed-size blocks of `block_size` token slots.
+// Sequences reserve whole blocks; the manager tracks per-sequence holdings so growth by one
+// token only allocates when a block boundary is crossed. The engine uses reservation-style
+// admission (reserve the full final length up front) to model vLLM's preemption-free steady
+// state, but the manager equally supports incremental growth — both paths are unit-tested.
+#ifndef DISTSERVE_ENGINE_KV_BLOCK_MANAGER_H_
+#define DISTSERVE_ENGINE_KV_BLOCK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace distserve::engine {
+
+using SeqId = int64_t;
+
+class KvBlockManager {
+ public:
+  // `capacity_tokens` is the pool size in token slots; `block_size` the tokens per block.
+  KvBlockManager(int64_t capacity_tokens, int block_size);
+
+  int64_t total_blocks() const { return total_blocks_; }
+  int64_t free_blocks() const { return total_blocks_ - used_blocks_; }
+  int64_t used_blocks() const { return used_blocks_; }
+  int block_size() const { return block_size_; }
+
+  // Blocks needed to hold `tokens` token slots.
+  int64_t BlocksForTokens(int64_t tokens) const;
+
+  // Whether a fresh reservation of `tokens` slots would succeed right now.
+  bool CanReserve(int64_t tokens) const;
+
+  // Reserves blocks for a new sequence expected to reach `tokens` slots. Returns false (and
+  // changes nothing) when the pool cannot satisfy it. The sequence must not already exist.
+  bool Reserve(SeqId seq, int64_t tokens);
+
+  // Grows an existing sequence's reservation by `extra` tokens (allocating blocks only when
+  // a boundary is crossed). Returns false without changes when the pool is exhausted.
+  bool Grow(SeqId seq, int64_t extra);
+
+  // Releases every block held by `seq`. CHECK-fails if the sequence is unknown.
+  void Release(SeqId seq);
+
+  bool Holds(SeqId seq) const { return sequences_.contains(seq); }
+  int64_t SequenceTokens(SeqId seq) const;
+  size_t sequence_count() const { return sequences_.size(); }
+
+ private:
+  struct SeqState {
+    int64_t tokens = 0;
+    int64_t blocks = 0;
+  };
+
+  int64_t total_blocks_;
+  int block_size_;
+  int64_t used_blocks_ = 0;
+  std::unordered_map<SeqId, SeqState> sequences_;
+};
+
+}  // namespace distserve::engine
+
+#endif  // DISTSERVE_ENGINE_KV_BLOCK_MANAGER_H_

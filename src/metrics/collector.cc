@@ -1,0 +1,110 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace distserve::metrics {
+
+std::string LatencyBreakdown::ToString() const {
+  const double sum = total();
+  auto pct = [sum](double x) { return sum > 0.0 ? 100.0 * x / sum : 0.0; };
+  std::ostringstream out;
+  out << "prefill_queue=" << pct(prefill_queue) << "% prefill_exec=" << pct(prefill_exec)
+      << "% transfer=" << pct(transfer) << "% decode_queue=" << pct(decode_queue)
+      << "% decode_exec=" << pct(decode_exec) << "%";
+  return out.str();
+}
+
+void Collector::Record(const RequestRecord& record) {
+  DS_DCHECK(record.first_token >= record.arrival);
+  DS_DCHECK(record.completion >= record.first_token);
+  records_.push_back(record);
+}
+
+Attainment Collector::ComputeAttainment(const SloSpec& slo) const {
+  Attainment result;
+  if (records_.empty()) {
+    return result;
+  }
+  int64_t both = 0;
+  int64_t ttft_ok = 0;
+  int64_t tpot_ok = 0;
+  for (const RequestRecord& r : records_) {
+    const bool t_ok = r.Ttft() <= slo.ttft;
+    const bool p_ok = r.Tpot() <= slo.tpot;
+    both += (t_ok && p_ok) ? 1 : 0;
+    ttft_ok += t_ok ? 1 : 0;
+    tpot_ok += p_ok ? 1 : 0;
+  }
+  const double n = static_cast<double>(records_.size());
+  result.both = both / n;
+  result.ttft_only = ttft_ok / n;
+  result.tpot_only = tpot_ok / n;
+  return result;
+}
+
+LatencyBreakdown Collector::ComputeBreakdown() const {
+  LatencyBreakdown breakdown;
+  for (const RequestRecord& r : records_) {
+    breakdown.prefill_queue += r.PrefillQueueTime();
+    breakdown.prefill_exec += r.PrefillExecTime();
+    breakdown.transfer += r.TransferTime();
+    breakdown.decode_queue += r.DecodeQueueTime();
+    breakdown.decode_exec += r.DecodeExecTime();
+  }
+  return breakdown;
+}
+
+namespace {
+
+PercentileTracker TrackBy(const std::vector<RequestRecord>& records,
+                          double (RequestRecord::*fn)() const) {
+  PercentileTracker tracker;
+  tracker.Reserve(records.size());
+  for (const RequestRecord& r : records) {
+    tracker.Add((r.*fn)());
+  }
+  return tracker;
+}
+
+}  // namespace
+
+double Collector::TtftPercentile(double q) const {
+  return TrackBy(records_, &RequestRecord::Ttft).Percentile(q);
+}
+
+double Collector::TpotPercentile(double q) const {
+  return TrackBy(records_, &RequestRecord::Tpot).Percentile(q);
+}
+
+double Collector::MeanTtft() const { return TrackBy(records_, &RequestRecord::Ttft).Mean(); }
+
+double Collector::MeanTpot() const { return TrackBy(records_, &RequestRecord::Tpot).Mean(); }
+
+std::vector<double> Collector::SortedTransferTimes() const {
+  std::vector<double> times;
+  times.reserve(records_.size());
+  for (const RequestRecord& r : records_) {
+    times.push_back(r.TransferTime());
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+double Collector::CompletedThroughput() const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double first_arrival = records_.front().arrival;
+  double last_completion = records_.front().completion;
+  for (const RequestRecord& r : records_) {
+    first_arrival = std::min(first_arrival, r.arrival);
+    last_completion = std::max(last_completion, r.completion);
+  }
+  const double span = last_completion - first_arrival;
+  return span > 0.0 ? static_cast<double>(records_.size()) / span : 0.0;
+}
+
+}  // namespace distserve::metrics

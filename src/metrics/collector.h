@@ -1,0 +1,109 @@
+// Per-request lifecycle records and the evaluation metrics of §6.
+//
+// A request's life in DistServe has five stages (§6.3): prefill queuing, prefill execution,
+// KV-cache transmission, decoding queuing, and decoding execution. The engine stamps each
+// boundary; this module derives TTFT / TPOT, SLO attainment (both SLOs, and each SLO alone —
+// the dotted/dashed curves of Figure 8), latency percentiles, the stage breakdown of
+// Figure 10a, and the transfer-time CDF of Figure 10b.
+#ifndef DISTSERVE_METRICS_COLLECTOR_H_
+#define DISTSERVE_METRICS_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "workload/request.h"
+
+namespace distserve::metrics {
+
+struct RequestRecord {
+  workload::RequestId id = 0;
+  double arrival = 0.0;
+  int input_len = 0;
+  int output_len = 0;
+
+  double prefill_start = 0.0;   // prefill execution begins (leaves prefill queue)
+  double first_token = 0.0;     // prefill completes = first output token ready
+  double transfer_start = 0.0;  // KV-cache pull begins (equals transfer_end when colocated)
+  double transfer_end = 0.0;
+  double decode_start = 0.0;    // joins a decode batch (first decode step begins)
+  double completion = 0.0;      // last token generated
+
+  // Time to first token: prefill queueing + execution (+ any dispatch delay).
+  double Ttft() const { return first_token - arrival; }
+
+  // Time per output token over the decode phase; 0 for single-token outputs.
+  double Tpot() const {
+    if (output_len <= 1) {
+      return 0.0;
+    }
+    return (completion - first_token) / static_cast<double>(output_len - 1);
+  }
+
+  double PrefillQueueTime() const { return prefill_start - arrival; }
+  double PrefillExecTime() const { return first_token - prefill_start; }
+  double TransferTime() const { return transfer_end - transfer_start; }
+  double DecodeQueueTime() const { return decode_start - transfer_end; }
+  double DecodeExecTime() const { return completion - decode_start; }
+  double TotalLatency() const { return completion - arrival; }
+};
+
+// Latency requirements of an application (Table 1).
+struct SloSpec {
+  double ttft = 0.0;  // seconds
+  double tpot = 0.0;  // seconds
+
+  SloSpec Scaled(double scale) const { return SloSpec{ttft * scale, tpot * scale}; }
+};
+
+// Fractions of requests meeting the SLOs.
+struct Attainment {
+  double both = 0.0;
+  double ttft_only = 0.0;  // fraction meeting the TTFT SLO (regardless of TPOT)
+  double tpot_only = 0.0;  // fraction meeting the TPOT SLO (regardless of TTFT)
+};
+
+// Sums of time spent by all requests in each lifecycle stage (Figure 10a).
+struct LatencyBreakdown {
+  double prefill_queue = 0.0;
+  double prefill_exec = 0.0;
+  double transfer = 0.0;
+  double decode_queue = 0.0;
+  double decode_exec = 0.0;
+
+  double total() const {
+    return prefill_queue + prefill_exec + transfer + decode_queue + decode_exec;
+  }
+  std::string ToString() const;  // percentages, one line
+};
+
+class Collector {
+ public:
+  void Record(const RequestRecord& record);
+  void Reserve(size_t n) { records_.reserve(n); }
+
+  size_t count() const { return records_.size(); }
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  Attainment ComputeAttainment(const SloSpec& slo) const;
+  LatencyBreakdown ComputeBreakdown() const;
+
+  double TtftPercentile(double q) const;
+  double TpotPercentile(double q) const;
+  double MeanTtft() const;
+  double MeanTpot() const;
+
+  // Sorted KV-transfer durations (Figure 10b CDF).
+  std::vector<double> SortedTransferTimes() const;
+
+  // Requests per second completed over the span from first arrival to last completion.
+  double CompletedThroughput() const;
+
+ private:
+  std::vector<RequestRecord> records_;
+};
+
+}  // namespace distserve::metrics
+
+#endif  // DISTSERVE_METRICS_COLLECTOR_H_

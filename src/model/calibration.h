@@ -1,0 +1,49 @@
+// Coefficient calibration: the paper's "profiling and interpolation" step (Appendix A).
+//
+// The authors profile the real engine on (batch shape, latency) pairs and fit C1..C5 by
+// interpolation. We reproduce that pipeline: GenerateProfile() plays the role of running the
+// engine (using a ground-truth LatencyModel, optionally with multiplicative measurement noise),
+// and FitCoefficients() recovers the coefficients by ordinary least squares. With zero noise
+// and regime-pure samples the fit recovers the ground truth exactly, which the tests assert.
+#ifndef DISTSERVE_MODEL_CALIBRATION_H_
+#define DISTSERVE_MODEL_CALIBRATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/latency_model.h"
+
+namespace distserve::model {
+
+struct ProfileSample {
+  BatchWorkload batch;
+  double latency = 0.0;  // measured full-model forward time, seconds
+};
+
+struct ProfileSweep {
+  std::vector<ProfileSample> prefill;  // pure-prefill points (varying prompt length / batch)
+  std::vector<ProfileSample> decode;   // pure-decode points (varying batch / context)
+};
+
+// Runs the standard calibration sweep against `truth` (prompt lengths 64..2048, decode batches
+// 1..256 with proportional contexts). `noise_frac` applies multiplicative Gaussian noise to
+// each measurement, emulating real profiling jitter.
+ProfileSweep GenerateProfile(const LatencyModel& truth, Rng& rng, double noise_frac);
+
+// Fits (c1, c2, c3) from the prefill samples and (c4, c5) from the decode samples of `sweep`,
+// for the model/parallelism the sweep was collected on. Communication parameters are copied
+// from `base` (they are measured separately in practice). Returns std::nullopt when the sweep
+// is too small or degenerate for a stable fit.
+std::optional<LatencyCoefficients> FitCoefficients(const ModelSpec& spec,
+                                                   const ParallelismConfig& par,
+                                                   const ProfileSweep& sweep,
+                                                   const LatencyCoefficients& base);
+
+// Mean relative error of `coeffs` predictions against the sweep measurements.
+double ProfileError(const ModelSpec& spec, const ParallelismConfig& par,
+                    const ProfileSweep& sweep, const LatencyCoefficients& coeffs);
+
+}  // namespace distserve::model
+
+#endif  // DISTSERVE_MODEL_CALIBRATION_H_

@@ -1,0 +1,39 @@
+#include "model/model_spec.h"
+
+namespace distserve::model {
+
+int64_t ModelSpec::param_count() const {
+  const int64_t h = hidden_size;
+  const int64_t m = ffn_size;
+  const int64_t per_layer = 4 * h * h + 2 * h * m;  // QKV + attn-out + FFN in/out.
+  return static_cast<int64_t>(num_layers) * per_layer +
+         2 * static_cast<int64_t>(vocab_size) * h;
+}
+
+int64_t ModelSpec::kv_bytes_per_token() const {
+  return 2LL * num_layers * hidden_size * dtype_bytes;
+}
+
+namespace {
+
+ModelSpec Make(const std::string& name, int layers, int hidden, int heads) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.num_layers = layers;
+  spec.hidden_size = hidden;
+  spec.num_heads = heads;
+  spec.ffn_size = 4 * hidden;
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec ModelSpec::Opt1_3B() { return Make("OPT-1.3B", 24, 2048, 32); }
+ModelSpec ModelSpec::Opt2_7B() { return Make("OPT-2.7B", 32, 2560, 32); }
+ModelSpec ModelSpec::Opt6_7B() { return Make("OPT-6.7B", 32, 4096, 32); }
+ModelSpec ModelSpec::Opt13B() { return Make("OPT-13B", 40, 5120, 40); }
+ModelSpec ModelSpec::Opt30B() { return Make("OPT-30B", 48, 7168, 56); }
+ModelSpec ModelSpec::Opt66B() { return Make("OPT-66B", 64, 9216, 72); }
+ModelSpec ModelSpec::Opt175B() { return Make("OPT-175B", 96, 12288, 96); }
+
+}  // namespace distserve::model

@@ -1,0 +1,46 @@
+// Transformer model architecture descriptions (the OPT family used by the paper).
+//
+// Only the quantities that enter the Appendix-A latency model and the memory accounting are
+// kept: layer count, hidden size, head count, FFN width, vocabulary, and datatype width.
+#ifndef DISTSERVE_MODEL_MODEL_SPEC_H_
+#define DISTSERVE_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace distserve::model {
+
+struct ModelSpec {
+  std::string name;
+  int num_layers = 0;       // L
+  int hidden_size = 0;      // h
+  int num_heads = 0;        // n
+  int ffn_size = 0;         // m (4h for OPT)
+  int vocab_size = 50272;   // V (OPT tokenizer)
+  int dtype_bytes = 2;      // FP16 throughout the paper
+
+  int head_size() const { return hidden_size / num_heads; }  // s
+
+  // Approximate parameter count: 12 h^2 per layer for m = 4h (QKV 3h^2, attn-out h^2,
+  // FFN 2hm = 8h^2) plus input/output embeddings.
+  int64_t param_count() const;
+
+  // Model weight footprint in bytes at dtype_bytes precision.
+  int64_t weight_bytes() const { return param_count() * dtype_bytes; }
+
+  // KV-cache bytes per token across the whole model: 2 (K and V) x L x h x dtype.
+  int64_t kv_bytes_per_token() const;
+
+  // The OPT family (architecture dimensions from Zhang et al., 2022).
+  static ModelSpec Opt1_3B();
+  static ModelSpec Opt2_7B();
+  static ModelSpec Opt6_7B();
+  static ModelSpec Opt13B();
+  static ModelSpec Opt30B();
+  static ModelSpec Opt66B();
+  static ModelSpec Opt175B();
+};
+
+}  // namespace distserve::model
+
+#endif  // DISTSERVE_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,44 @@
+#include "model/parallelism.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace distserve::model {
+
+std::string ParallelismConfig::ToString() const {
+  std::ostringstream out;
+  out << "tp=" << tp << ",pp=" << pp;
+  return out.str();
+}
+
+ShardedModelView::ShardedModelView(const ModelSpec& spec, const ParallelismConfig& par)
+    : spec_(spec), par_(par) {
+  DS_CHECK_GE(par.tp, 1);
+  DS_CHECK_GE(par.pp, 1);
+  DS_CHECK_LE(par.pp, spec.num_layers);
+  layers_per_stage_ = (spec.num_layers + par.pp - 1) / par.pp;
+  weight_bytes_per_gpu_ = spec.weight_bytes() / par.num_gpus();
+  kv_bytes_per_token_per_gpu_ = spec.kv_bytes_per_token() / par.num_gpus();
+}
+
+bool ShardedModelView::FitsInMemory(const cluster::GpuSpec& gpu, double reserve_fraction) const {
+  const double usable =
+      static_cast<double>(gpu.memory_bytes) * (1.0 - reserve_fraction);
+  return static_cast<double>(weight_bytes_per_gpu_) < usable;
+}
+
+int64_t ShardedModelView::KvCapacityTokens(const cluster::GpuSpec& gpu,
+                                           double reserve_fraction) const {
+  const double usable_per_gpu =
+      static_cast<double>(gpu.memory_bytes) * (1.0 - reserve_fraction) -
+      static_cast<double>(weight_bytes_per_gpu_);
+  if (usable_per_gpu <= 0.0) {
+    return 0;
+  }
+  const double total_kv_bytes = usable_per_gpu * par_.num_gpus();
+  return static_cast<int64_t>(total_kv_bytes /
+                              static_cast<double>(spec_.kv_bytes_per_token()));
+}
+
+}  // namespace distserve::model

@@ -1,0 +1,67 @@
+// Model-parallelism configuration and the per-GPU view of a sharded model.
+//
+// The paper uses two axes (§2.2): intra-operator (tensor) parallelism, which partitions each
+// GEMM across `tp` GPUs, and inter-operator (pipeline) parallelism, which partitions the L
+// layers into `pp` stages. A ShardedModelView precomputes the per-GPU quantities every other
+// module needs: per-GPU weight bytes, per-stage layer count, and the KV-cache capacity left
+// after weights and an activation reserve.
+#ifndef DISTSERVE_MODEL_PARALLELISM_H_
+#define DISTSERVE_MODEL_PARALLELISM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/gpu_spec.h"
+#include "model/model_spec.h"
+
+namespace distserve::model {
+
+struct ParallelismConfig {
+  int tp = 1;  // intra-op (tensor) degree
+  int pp = 1;  // inter-op (pipeline) degree
+
+  int num_gpus() const { return tp * pp; }
+  std::string ToString() const;
+
+  friend bool operator==(const ParallelismConfig&, const ParallelismConfig&) = default;
+};
+
+// Fraction of per-GPU memory reserved for activations, CUDA context, and fragmentation slack.
+inline constexpr double kDefaultActivationReserveFraction = 0.08;
+
+class ShardedModelView {
+ public:
+  ShardedModelView(const ModelSpec& spec, const ParallelismConfig& par);
+
+  const ModelSpec& spec() const { return spec_; }
+  const ParallelismConfig& par() const { return par_; }
+
+  // Layers executed by the slowest pipeline stage (ceil(L / pp)).
+  int layers_per_stage() const { return layers_per_stage_; }
+
+  // Weight bytes resident on each GPU.
+  int64_t weight_bytes_per_gpu() const { return weight_bytes_per_gpu_; }
+
+  // KV-cache bytes one token occupies on each GPU (total kv bytes / (tp * pp)).
+  int64_t kv_bytes_per_token_per_gpu() const { return kv_bytes_per_token_per_gpu_; }
+
+  // Whether the sharded weights fit in `gpu` memory with the activation reserve.
+  bool FitsInMemory(const cluster::GpuSpec& gpu,
+                    double reserve_fraction = kDefaultActivationReserveFraction) const;
+
+  // Number of tokens whose KV cache fits in the instance after weights + reserve, pooled
+  // across all tp*pp GPUs. Returns 0 when the weights alone do not fit.
+  int64_t KvCapacityTokens(const cluster::GpuSpec& gpu,
+                           double reserve_fraction = kDefaultActivationReserveFraction) const;
+
+ private:
+  ModelSpec spec_;
+  ParallelismConfig par_;
+  int layers_per_stage_;
+  int64_t weight_bytes_per_gpu_;
+  int64_t kv_bytes_per_token_per_gpu_;
+};
+
+}  // namespace distserve::model
+
+#endif  // DISTSERVE_MODEL_PARALLELISM_H_

@@ -1,0 +1,241 @@
+#include "placement/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/latency_model.h"
+#include "placement/fast_sim.h"
+
+namespace distserve::placement {
+
+namespace {
+
+model::LatencyModel MakeLm(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  return model::LatencyModel(inputs.model, par, inputs.cluster.gpu);
+}
+
+bool ConfigFeasible(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  if (par.pp > inputs.model.num_layers) {
+    return false;
+  }
+  // Tensor parallelism shards attention head-wise: tp must divide the head count (e.g. the
+  // paper's tp=3 on OPT-175B's 96 heads).
+  if (inputs.model.num_heads % par.tp != 0) {
+    return false;
+  }
+  const model::ShardedModelView view(inputs.model, par);
+  return view.FitsInMemory(inputs.cluster.gpu);
+}
+
+int ReplicaCount(double traffic_rate, double goodput) {
+  if (goodput <= 0.0) {
+    return 1;  // infeasible config; keep a single instance so the plan stays constructible
+  }
+  return std::max(1, static_cast<int>(std::ceil(traffic_rate / goodput)));
+}
+
+// Prefers `candidate` over `incumbent` on per-GPU goodput, breaking near-ties (within 10%)
+// toward the smaller instance: replication scales capacity just as well, smaller instances
+// quantize better against the actual traffic rate, and they bound the fault blast radius
+// (§4.3 discusses decode-instance faults crippling many prefill instances).
+bool Improves(const CandidateResult& candidate, int candidate_gpus,
+              const CandidateResult& incumbent, int incumbent_gpus) {
+  if (incumbent.per_gpu <= 0.0) {
+    return candidate.per_gpu > 0.0;
+  }
+  if (candidate.per_gpu > incumbent.per_gpu * 1.10) {
+    return true;
+  }
+  return candidate.per_gpu > incumbent.per_gpu * 0.90 && candidate_gpus < incumbent_gpus;
+}
+
+// Smallest feasible configuration (fewest GPUs, then lowest tp) for fallback plans when no
+// candidate meets the attainment target: the plan still has to be constructible.
+model::ParallelismConfig SmallestFeasible(const PlannerInputs& inputs, int max_nodes) {
+  const int gpus_per_node = inputs.cluster.gpus_per_node;
+  for (int gpus = 1; gpus <= max_nodes * gpus_per_node; ++gpus) {
+    for (int tp = 1; tp <= std::min(gpus, gpus_per_node); ++tp) {
+      if (gpus % tp != 0) {
+        continue;
+      }
+      const model::ParallelismConfig par{tp, gpus / tp};
+      if (ConfigFeasible(inputs, par)) {
+        return par;
+      }
+    }
+  }
+  return model::ParallelismConfig{gpus_per_node, max_nodes};
+}
+
+}  // namespace
+
+double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  DS_CHECK(inputs.dataset != nullptr);
+  const model::LatencyModel lm = MakeLm(inputs, par);
+  const int64_t target_tokens = std::max<int64_t>(512, lm.ComputeSaturationTokens());
+  auto attainment = [&](const workload::Trace& trace) {
+    const std::vector<double> finish =
+        SimulatePrefillFinishTimes(lm, trace, target_tokens, /*max_batch_size=*/64);
+    int64_t ok = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (finish[i] - trace[i].arrival_time <= inputs.slo.ttft) {
+        ++ok;
+      }
+    }
+    return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
+  };
+  GoodputSearchOptions search = inputs.search;
+  search.attainment_target = inputs.attainment_target;
+  return inputs.prefill_goodput_derate * FindMaxRate(attainment, *inputs.dataset, search);
+}
+
+double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  DS_CHECK(inputs.dataset != nullptr);
+  const model::LatencyModel lm = MakeLm(inputs, par);
+  const int64_t kv_capacity = lm.view().KvCapacityTokens(inputs.cluster.gpu);
+  if (kv_capacity <= 0) {
+    return 0.0;
+  }
+  auto attainment = [&](const workload::Trace& trace) {
+    std::vector<double> ready(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+      ready[i] = trace[i].arrival_time;
+    }
+    const std::vector<double> tpots =
+        SimulateDecodeTpots(lm, kv_capacity, trace, ready, inputs.decode_max_batch);
+    int64_t ok = 0;
+    for (double t : tpots) {
+      if (t <= inputs.slo.tpot) {
+        ++ok;
+      }
+    }
+    return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
+  };
+  GoodputSearchOptions search = inputs.search;
+  search.attainment_target = inputs.attainment_target;
+  return inputs.decode_goodput_derate * FindMaxRate(attainment, *inputs.dataset, search);
+}
+
+PlannerResult HighNodeAffinityPlacement(const PlannerInputs& inputs) {
+  PlannerResult result;
+  const int num_nodes =
+      inputs.max_nodes_per_instance > 0 ? inputs.max_nodes_per_instance : inputs.cluster.num_nodes;
+  const int gpus_per_node = inputs.cluster.gpus_per_node;
+
+  CandidateResult best_prefill;
+  CandidateResult best_decode;
+  for (int intra = 1; intra <= gpus_per_node; ++intra) {
+    const int max_inter = (num_nodes * gpus_per_node) / intra;
+    for (int inter = 1; inter <= max_inter; ++inter) {
+      const model::ParallelismConfig par{intra, inter};
+      if (!ConfigFeasible(inputs, par)) {
+        continue;
+      }
+      ++result.configs_evaluated;
+      const double prefill_goodput = SimulatePrefillGoodput(inputs, par);
+      const double decode_goodput = SimulateDecodeGoodput(inputs, par);
+      const double gpus = par.num_gpus();
+      CandidateResult prefill_candidate{par, prefill_goodput, prefill_goodput / gpus, 0, 0};
+      CandidateResult decode_candidate{par, decode_goodput, decode_goodput / gpus, 0, 0};
+      result.prefill_candidates.push_back(prefill_candidate);
+      result.decode_candidates.push_back(decode_candidate);
+      if (Improves(prefill_candidate, par.num_gpus(), best_prefill,
+                   best_prefill.par.num_gpus())) {
+        best_prefill = prefill_candidate;
+      }
+      if (Improves(decode_candidate, par.num_gpus(), best_decode,
+                   best_decode.par.num_gpus())) {
+        best_decode = decode_candidate;
+      }
+    }
+  }
+
+  const int fallback_nodes = num_nodes;
+  if (best_prefill.per_gpu <= 0.0) {
+    best_prefill.par = SmallestFeasible(inputs, fallback_nodes);
+  }
+  if (best_decode.per_gpu <= 0.0) {
+    best_decode.par = SmallestFeasible(inputs, fallback_nodes);
+  }
+  PlacementPlan plan;
+  plan.prefill_par = best_prefill.par;
+  plan.decode_par = best_decode.par;
+  plan.prefill_goodput = best_prefill.goodput;
+  plan.decode_goodput = best_decode.goodput;
+  plan.num_prefill = ReplicaCount(inputs.traffic_rate, best_prefill.goodput);
+  plan.num_decode = ReplicaCount(inputs.traffic_rate, best_decode.goodput);
+  plan.intra_node_transfers = false;
+  result.plan = plan;
+  return result;
+}
+
+PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
+  PlannerResult result;
+  const int num_nodes =
+      inputs.max_nodes_per_instance > 0 ? inputs.max_nodes_per_instance : inputs.cluster.num_nodes;
+  const int gpus_per_node = inputs.cluster.gpus_per_node;
+
+  CandidateResult best_pair;
+  for (int inter = 1; inter <= num_nodes && inter <= inputs.model.num_layers; ++inter) {
+    // Memoize per-phase goodputs: they depend only on (tp, inter), not on the pairing.
+    std::vector<double> prefill_goodput(static_cast<size_t>(gpus_per_node) + 1, -1.0);
+    std::vector<double> decode_goodput(static_cast<size_t>(gpus_per_node) + 1, -1.0);
+    auto phase_goodput = [&](std::vector<double>& cache, int tp, bool is_prefill) {
+      if (cache[static_cast<size_t>(tp)] < 0.0) {
+        const model::ParallelismConfig par{tp, inter};
+        if (!ConfigFeasible(inputs, par)) {
+          cache[static_cast<size_t>(tp)] = 0.0;
+        } else {
+          ++result.configs_evaluated;
+          cache[static_cast<size_t>(tp)] = is_prefill ? SimulatePrefillGoodput(inputs, par)
+                                                      : SimulateDecodeGoodput(inputs, par);
+        }
+      }
+      return cache[static_cast<size_t>(tp)];
+    };
+
+    // An "instance segment" pair occupies tp_p + tp_d GPUs on each of `inter` nodes. Nodes may
+    // host multiple independent pairs when tp_p + tp_d divides into M, so optimizing per-GPU
+    // goodput of one pair is sufficient.
+    for (int tp_p = 1; tp_p < gpus_per_node; ++tp_p) {
+      for (int tp_d = 1; tp_p + tp_d <= gpus_per_node; ++tp_d) {
+        const double pg = phase_goodput(prefill_goodput, tp_p, /*is_prefill=*/true);
+        const double dg = phase_goodput(decode_goodput, tp_d, /*is_prefill=*/false);
+        if (pg <= 0.0 || dg <= 0.0) {
+          continue;
+        }
+        const double pair = std::min(pg, dg);
+        const double per_gpu = pair / static_cast<double>(inter * (tp_p + tp_d));
+        CandidateResult candidate{model::ParallelismConfig{0, inter}, pair, per_gpu, tp_p, tp_d};
+        result.pair_candidates.push_back(candidate);
+        if (Improves(candidate, inter * (tp_p + tp_d), best_pair,
+                     best_pair.par.pp * (best_pair.pair_prefill_tp + best_pair.pair_decode_tp))) {
+          best_pair = candidate;
+        }
+      }
+    }
+  }
+
+  PlacementPlan plan;
+  if (best_pair.per_gpu > 0.0) {
+    const int replicas = ReplicaCount(inputs.traffic_rate, best_pair.goodput);
+    plan.prefill_par = model::ParallelismConfig{best_pair.pair_prefill_tp, best_pair.par.pp};
+    plan.decode_par = model::ParallelismConfig{best_pair.pair_decode_tp, best_pair.par.pp};
+    plan.num_prefill = replicas;
+    plan.num_decode = replicas;
+    plan.prefill_goodput = best_pair.goodput;
+    plan.decode_goodput = best_pair.goodput;
+  } else {
+    // Nothing met the target; fall back to the smallest feasible pair so the plan remains
+    // constructible (callers can still observe goodput 0).
+    const model::ParallelismConfig fallback = SmallestFeasible(inputs, num_nodes);
+    plan.prefill_par = fallback;
+    plan.decode_par = fallback;
+  }
+  plan.intra_node_transfers = true;
+  result.plan = plan;
+  return result;
+}
+
+}  // namespace distserve::placement

@@ -1,0 +1,82 @@
+// The paper's placement algorithms.
+//
+// Algorithm 1 (high node-affinity clusters, §4.1): enumerate (intra_op, inter_op) for prefill
+// and decode instances independently, estimate each configuration's goodput with the fast
+// simulator, keep the per-GPU-goodput-optimal config for each phase, then replicate each
+// phase to meet the target traffic rate. Valid when cross-node bandwidth is plentiful, since
+// prefill and decode instances may land on different nodes.
+//
+// Algorithm 2 (low node-affinity clusters, §4.2): constrain corresponding pipeline stages of a
+// prefill and a decode instance to share a node ("instance segments"), so KV transfers ride
+// NVLink. Enumerate the inter-op degree, then all intra-node splits of the node's M GPUs
+// between the prefill segment and the decode segment; evaluate each paired configuration as a
+// unit and replicate the best pair.
+#ifndef DISTSERVE_PLACEMENT_ALGORITHMS_H_
+#define DISTSERVE_PLACEMENT_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "metrics/collector.h"
+#include "model/model_spec.h"
+#include "placement/goodput.h"
+#include "placement/placement.h"
+#include "workload/dataset.h"
+
+namespace distserve::placement {
+
+struct PlannerInputs {
+  model::ModelSpec model;
+  cluster::ClusterSpec cluster;
+  const workload::Dataset* dataset = nullptr;
+  metrics::SloSpec slo;
+  double attainment_target = 0.9;
+
+  // Target overall traffic rate R (requests/second) used for replication counts.
+  double traffic_rate = 1.0;
+
+  // Node limit per instance (the paper's N); 0 means the whole cluster.
+  int max_nodes_per_instance = 0;
+
+  // Decode batching cap.
+  int decode_max_batch = 512;
+
+  // Safety derates applied to simulated phase goodputs before scoring and replication. The
+  // decode-only simulator is optimistic: it sees smooth trace arrivals where the real decode
+  // instance sees bursty prefill-completion clumps, and measured TPOT rides the SLO edge at
+  // saturation. The prefill simulator is near-exact (M/D/1-validated), so its derate is mild.
+  double prefill_goodput_derate = 0.95;
+  double decode_goodput_derate = 0.80;
+
+  GoodputSearchOptions search;
+};
+
+// One evaluated candidate (kept for reporting / Figure 12 cost accounting).
+struct CandidateResult {
+  model::ParallelismConfig par;
+  double goodput = 0.0;       // per instance (or per pair for Algorithm 2)
+  double per_gpu = 0.0;
+  int pair_prefill_tp = 0;    // Algorithm 2 only
+  int pair_decode_tp = 0;     // Algorithm 2 only
+};
+
+struct PlannerResult {
+  PlacementPlan plan;
+  std::vector<CandidateResult> prefill_candidates;
+  std::vector<CandidateResult> decode_candidates;
+  std::vector<CandidateResult> pair_candidates;  // Algorithm 2
+  int configs_evaluated = 0;
+};
+
+// Per-phase goodput of one parallelism config, measured with the fast simulator against the
+// phase-specific SLO. Exposed for tests and the ablation bench.
+double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par);
+double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par);
+
+PlannerResult HighNodeAffinityPlacement(const PlannerInputs& inputs);
+PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs);
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_ALGORITHMS_H_

@@ -1,0 +1,368 @@
+#include "placement/fast_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace distserve::placement {
+
+using model::BatchWorkload;
+
+metrics::Attainment FastAttainment(const std::vector<FastRecord>& records,
+                                   const metrics::SloSpec& slo) {
+  metrics::Attainment result;
+  if (records.empty()) {
+    return result;
+  }
+  int64_t both = 0;
+  int64_t ttft_ok = 0;
+  int64_t tpot_ok = 0;
+  for (const FastRecord& r : records) {
+    const bool t_ok = r.ttft <= slo.ttft;
+    const bool p_ok = r.tpot <= slo.tpot;
+    both += (t_ok && p_ok) ? 1 : 0;
+    ttft_ok += t_ok ? 1 : 0;
+    tpot_ok += p_ok ? 1 : 0;
+  }
+  const double n = static_cast<double>(records.size());
+  result.both = both / n;
+  result.ttft_only = ttft_ok / n;
+  result.tpot_only = tpot_ok / n;
+  return result;
+}
+
+std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
+                                               const workload::Trace& trace,
+                                               int64_t target_tokens, int max_batch_size) {
+  DS_CHECK_GT(target_tokens, 0);
+  DS_CHECK_GT(max_batch_size, 0);
+  std::vector<double> finish(trace.size(), 0.0);
+  const int pp = lm.par().pp;
+  size_t i = 0;
+  double stage0_free = 0.0;
+  double prev_entry = 0.0;
+  double prev_stage = 0.0;
+  bool first_batch = true;
+  while (i < trace.size()) {
+    const double launch = std::max(trace[i].arrival_time, stage0_free);
+    // L_m-aware FCFS batch formation over requests already arrived at launch time.
+    std::vector<int> lens;
+    size_t j = i;
+    int64_t tokens = 0;
+    while (j < trace.size() && static_cast<int>(lens.size()) < max_batch_size) {
+      const workload::Request& r = trace[j];
+      if (r.arrival_time > launch) {
+        break;
+      }
+      const bool is_head = lens.empty();
+      if (!is_head && tokens + r.input_len > target_tokens) {
+        break;
+      }
+      lens.push_back(r.input_len);
+      tokens += r.input_len;
+      ++j;
+      if (is_head && r.input_len >= target_tokens) {
+        break;  // over-length prompts run alone
+      }
+    }
+    const BatchWorkload workload = BatchWorkload::Prefill(lens);
+    const double stage_time = lm.StageTime(workload);
+    const double full_time = lm.FullTime(workload);
+    double entry = launch;
+    if (!first_batch && pp > 1 && prev_stage > stage_time) {
+      entry = std::max(entry,
+                       prev_entry + prev_stage +
+                           static_cast<double>(pp - 1) * (prev_stage - stage_time));
+    }
+    const double batch_finish = entry + full_time;
+    for (size_t k = i; k < j; ++k) {
+      finish[k] = batch_finish;
+    }
+    stage0_free = entry + stage_time;
+    prev_entry = entry;
+    prev_stage = stage_time;
+    first_batch = false;
+    i = j;
+  }
+  return finish;
+}
+
+std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
+                                        int64_t kv_capacity_tokens,
+                                        const workload::Trace& trace,
+                                        const std::vector<double>& ready_times,
+                                        int max_batch_size) {
+  DS_CHECK_EQ(trace.size(), ready_times.size());
+  DS_CHECK_GT(max_batch_size, 0);
+  std::vector<double> tpot(trace.size(), 0.0);
+
+  // Admission order: by readiness (FCFS at the decode instance). Requests whose full context
+  // can never fit this pool score an infinite TPOT — the configuration simply cannot serve
+  // them, which the goodput search turns into a low attainment rather than an error.
+  std::vector<size_t> order;
+  order.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].output_len < 2) {
+      continue;
+    }
+    if (trace[i].total_len() > kv_capacity_tokens) {
+      tpot[i] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ready_times[a] < ready_times[b];
+  });
+
+  struct Active {
+    size_t idx;
+    int remaining;
+    int64_t ctx;
+    double join;
+  };
+  std::vector<Active> active;
+  const int pp = lm.par().pp;
+  size_t next = 0;
+  double now = 0.0;
+  int64_t used_tokens = 0;
+
+  while (next < order.size() || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, ready_times[order[next]]);
+    }
+    // Admit ready requests while memory and the batch cap allow.
+    while (next < order.size() && ready_times[order[next]] <= now &&
+           static_cast<int>(active.size()) < max_batch_size) {
+      const size_t idx = order[next];
+      const int64_t need = trace[idx].total_len();
+      if (used_tokens + need > kv_capacity_tokens) {
+        break;
+      }
+      used_tokens += need;
+      // TPOT is measured from first-token readiness, so admission queueing counts toward it
+      // (matching RequestRecord::Tpot in the engine runtime).
+      active.push_back(Active{idx, trace[idx].output_len - 1,
+                              static_cast<int64_t>(trace[idx].input_len) + 1,
+                              ready_times[idx]});
+      ++next;
+    }
+    if (active.empty()) {
+      continue;  // jump to the next ready time at loop head
+    }
+    // One decode step at the micro-batch lane cadence.
+    const int64_t batch = static_cast<int64_t>(active.size());
+    int64_t ctx_sum = 0;
+    for (const Active& a : active) {
+      ctx_sum += a.ctx;
+    }
+    const int64_t lane_batch = (batch + pp - 1) / pp;
+    const int64_t lane_ctx = ctx_sum / pp;
+    now += lm.FullTime(BatchWorkload::Decode(lane_batch, std::max<int64_t>(lane_ctx, 1)));
+    std::vector<Active> still;
+    still.reserve(active.size());
+    for (Active& a : active) {
+      --a.remaining;
+      ++a.ctx;
+      if (a.remaining <= 0) {
+        tpot[a.idx] = (now - a.join) / static_cast<double>(trace[a.idx].output_len - 1);
+        used_tokens -= trace[a.idx].total_len();
+      } else {
+        still.push_back(a);
+      }
+    }
+    active = std::move(still);
+  }
+  return tpot;
+}
+
+std::vector<FastRecord> SimulateDisaggregated(const model::LatencyModel& prefill_lm,
+                                              const model::LatencyModel& decode_lm,
+                                              const workload::Trace& trace,
+                                              const DisaggregatedFastConfig& config) {
+  DS_CHECK_GE(config.num_prefill, 1);
+  DS_CHECK_GE(config.num_decode, 1);
+  std::vector<FastRecord> records(trace.size());
+
+  // Phase 1: round-robin prefill across instances.
+  std::vector<double> first_token(trace.size(), 0.0);
+  for (int inst = 0; inst < config.num_prefill; ++inst) {
+    workload::Trace sub;
+    std::vector<size_t> idx;
+    for (size_t i = static_cast<size_t>(inst); i < trace.size();
+         i += static_cast<size_t>(config.num_prefill)) {
+      sub.push_back(trace[i]);
+      idx.push_back(i);
+    }
+    const std::vector<double> finish = SimulatePrefillFinishTimes(
+        prefill_lm, sub, config.prefill_target_tokens, config.prefill_max_batch);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      first_token[idx[k]] = finish[k];
+      records[idx[k]].ttft = finish[k] - trace[idx[k]].arrival_time;
+    }
+  }
+
+  // Phase 2: round-robin decode with arrivals at prefill completion.
+  for (int inst = 0; inst < config.num_decode; ++inst) {
+    workload::Trace sub;
+    std::vector<double> ready;
+    std::vector<size_t> idx;
+    for (size_t i = static_cast<size_t>(inst); i < trace.size();
+         i += static_cast<size_t>(config.num_decode)) {
+      sub.push_back(trace[i]);
+      ready.push_back(first_token[i]);
+      idx.push_back(i);
+    }
+    const std::vector<double> tpots = SimulateDecodeTpots(
+        decode_lm, config.decode_kv_capacity_tokens, sub, ready, config.decode_max_batch);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      records[idx[k]].tpot = tpots[k];
+    }
+  }
+  return records;
+}
+
+namespace {
+
+// Single colocated instance over a sub-trace; writes results through `global_idx`.
+void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& trace,
+                          const std::vector<size_t>& global_idx,
+                          const ColocatedFastConfig& config,
+                          std::vector<FastRecord>& records) {
+  struct Active {
+    size_t local_idx;
+    int remaining;
+    int64_t ctx;
+    double first_token;
+  };
+  std::deque<size_t> waiting;
+  std::vector<Active> decoding;
+  size_t next_arrival = 0;
+  double now = 0.0;
+  int64_t used_tokens = 0;
+
+  auto pull_arrivals = [&] {
+    while (next_arrival < trace.size() && trace[next_arrival].arrival_time <= now) {
+      waiting.push_back(next_arrival);
+      ++next_arrival;
+    }
+  };
+
+  while (true) {
+    pull_arrivals();
+    if (waiting.empty() && decoding.empty()) {
+      if (next_arrival >= trace.size()) {
+        break;
+      }
+      now = trace[next_arrival].arrival_time;
+      continue;
+    }
+
+    // Step formation: decodes plus admitted whole prompts under the token budget.
+    BatchWorkload workload;
+    std::vector<size_t> prefilled_now;
+    int64_t prefill_tokens = 0;
+    while (!waiting.empty() &&
+           static_cast<int>(decoding.size() + prefilled_now.size()) < config.max_batch_size) {
+      const size_t idx = waiting.front();
+      const int64_t need = trace[idx].total_len();
+      if (need > config.kv_capacity_tokens) {
+        // Unserveable on this configuration: count as failing both SLOs and drop it.
+        records[global_idx[idx]].ttft = std::numeric_limits<double>::infinity();
+        records[global_idx[idx]].tpot = std::numeric_limits<double>::infinity();
+        waiting.pop_front();
+        continue;
+      }
+      if (used_tokens + need > config.kv_capacity_tokens) {
+        break;
+      }
+      const int64_t prompt = trace[idx].input_len;
+      if (!prefilled_now.empty() &&
+          prefill_tokens + prompt > config.max_prefill_tokens_per_step) {
+        break;
+      }
+      used_tokens += need;
+      waiting.pop_front();
+      workload.prefill_tokens += prompt;
+      workload.prefill_sq_tokens += static_cast<double>(prompt) * static_cast<double>(prompt);
+      prefill_tokens += prompt;
+      prefilled_now.push_back(idx);
+    }
+    // Prefill-priority scheduling (matching the vLLM engine baseline): a step carrying
+    // prefill work is prefill-only and stalls resident decodes.
+    const bool decodes_advance = decoding.empty() ? false : prefilled_now.empty();
+    if (decodes_advance) {
+      int64_t ctx_sum = 0;
+      for (const Active& a : decoding) {
+        ctx_sum += a.ctx;
+      }
+      workload.decode_requests = static_cast<int64_t>(decoding.size());
+      workload.decode_context_tokens = ctx_sum;
+    }
+
+    if (workload.empty()) {
+      // Memory-stalled with nothing running cannot happen (used_tokens would be 0);
+      // we are waiting for the next arrival.
+      DS_CHECK(next_arrival < trace.size());
+      now = trace[next_arrival].arrival_time;
+      continue;
+    }
+
+    now += lm.FullTime(workload) + config.cpu_overhead_per_step;
+
+    // Decode advancement (skipped on prefill-only steps).
+    if (decodes_advance) {
+      std::vector<Active> still;
+      still.reserve(decoding.size());
+      for (Active& a : decoding) {
+        --a.remaining;
+        ++a.ctx;
+        if (a.remaining <= 0) {
+          records[global_idx[a.local_idx]].tpot =
+              (now - a.first_token) / static_cast<double>(trace[a.local_idx].output_len - 1);
+          used_tokens -= trace[a.local_idx].total_len();
+        } else {
+          still.push_back(a);
+        }
+      }
+      decoding = std::move(still);
+    }
+
+    // Prompts finished this step.
+    for (size_t idx : prefilled_now) {
+      records[global_idx[idx]].ttft = now - trace[idx].arrival_time;
+      if (trace[idx].output_len <= 1) {
+        used_tokens -= trace[idx].total_len();
+      } else {
+        decoding.push_back(Active{idx, trace[idx].output_len - 1,
+                                  static_cast<int64_t>(trace[idx].input_len) + 1, now});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FastRecord> SimulateColocated(const model::LatencyModel& lm,
+                                          const workload::Trace& trace,
+                                          const ColocatedFastConfig& config) {
+  DS_CHECK_GE(config.num_instances, 1);
+  DS_CHECK_GT(config.kv_capacity_tokens, 0);
+  std::vector<FastRecord> records(trace.size());
+  for (int inst = 0; inst < config.num_instances; ++inst) {
+    workload::Trace sub;
+    std::vector<size_t> idx;
+    for (size_t i = static_cast<size_t>(inst); i < trace.size();
+         i += static_cast<size_t>(config.num_instances)) {
+      sub.push_back(trace[i]);
+      idx.push_back(i);
+    }
+    SimulateColocatedOne(lm, sub, idx, config, records);
+  }
+  return records;
+}
+
+}  // namespace distserve::placement

@@ -1,0 +1,50 @@
+#include "placement/goodput.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distserve::placement {
+
+double FindMaxRate(const std::function<double(const workload::Trace&)>& attainment_at,
+                   const workload::Dataset& dataset, const GoodputSearchOptions& options) {
+  DS_CHECK(attainment_at != nullptr);
+  DS_CHECK_GT(options.rate_floor, 0.0);
+  auto attainment_at_rate = [&](double rate) {
+    workload::TraceSpec spec;
+    spec.rate = rate;
+    spec.burstiness_cv = options.burstiness_cv;
+    const double wanted = rate * options.min_trace_duration;
+    spec.num_requests = static_cast<int>(std::clamp<double>(
+        wanted, options.num_requests, options.max_requests));
+    spec.seed = options.seed;
+    return attainment_at(workload::GenerateTrace(spec, dataset));
+  };
+
+  if (attainment_at_rate(options.rate_floor) < options.attainment_target) {
+    return 0.0;
+  }
+  // Exponential probe for the first failing rate.
+  double lo = options.rate_floor;
+  double hi = options.rate_probe;
+  while (attainment_at_rate(hi) >= options.attainment_target) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e5) {
+      return lo;  // effectively unbounded for this trial size
+    }
+  }
+  // Bisection between the last passing and first failing rates.
+  for (int i = 0; i < options.bisection_iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (attainment_at_rate(mid) >= options.attainment_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace distserve::placement

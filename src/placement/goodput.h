@@ -1,0 +1,40 @@
+// Goodput measurement: the maximum request rate a configuration sustains while meeting the
+// SLO-attainment target (the paper's per-GPU goodput metric, §1).
+//
+// The paper "enumerates the placements via binary search and finds the maximum rate that meets
+// the SLO attainment target with simulation trials" (§4.1). FindMaxRate does exactly that: an
+// exponential probe to bracket the knee, then bisection; each probe regenerates a trace at the
+// candidate rate from the workload distribution (resampling, as the paper does).
+#ifndef DISTSERVE_PLACEMENT_GOODPUT_H_
+#define DISTSERVE_PLACEMENT_GOODPUT_H_
+
+#include <functional>
+
+#include "workload/generator.h"
+
+namespace distserve::placement {
+
+struct GoodputSearchOptions {
+  double attainment_target = 0.9;
+  double rate_floor = 0.02;   // below this the config is considered useless
+  double rate_probe = 1.0;    // initial probe rate
+  int bisection_iters = 10;
+  // Trace sizing: at least `num_requests`, grown so the trace spans `min_trace_duration`
+  // virtual seconds at the candidate rate (decode residence is tens of seconds, so short
+  // traces never reach steady state and wildly overestimate goodput), capped at
+  // `max_requests` to bound planner cost on hopeless high-rate probes.
+  int num_requests = 400;
+  double min_trace_duration = 60.0;
+  int max_requests = 20000;
+  double burstiness_cv = 1.0;
+  uint64_t seed = 1234;
+};
+
+// `attainment_at(trace)` returns the joint SLO attainment for one trace. Returns the largest
+// rate (requests/second) whose attainment meets the target, or 0 when even rate_floor fails.
+double FindMaxRate(const std::function<double(const workload::Trace&)>& attainment_at,
+                   const workload::Dataset& dataset, const GoodputSearchOptions& options);
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_GOODPUT_H_

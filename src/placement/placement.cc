@@ -1,0 +1,26 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace distserve::placement {
+
+double PlacementPlan::system_goodput() const {
+  return std::min(prefill_goodput * num_prefill, decode_goodput * num_decode);
+}
+
+double PlacementPlan::per_gpu_goodput() const {
+  const int gpus = total_gpus();
+  return gpus > 0 ? system_goodput() / gpus : 0.0;
+}
+
+std::string PlacementPlan::ToString() const {
+  std::ostringstream out;
+  out << "prefill{" << prefill_par.ToString() << "}x" << num_prefill << " decode{"
+      << decode_par.ToString() << "}x" << num_decode
+      << (intra_node_transfers ? " [intra-node transfers]" : " [cross-node transfers]")
+      << " est_goodput=" << system_goodput() << " rps over " << total_gpus() << " GPUs";
+  return out.str();
+}
+
+}  // namespace distserve::placement

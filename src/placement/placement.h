@@ -1,0 +1,45 @@
+// Placement plan types: the output of the paper's Algorithms 1 and 2.
+//
+// A placement names (a) the parallelism configuration of prefill and decoding instances,
+// (b) how many replicas of each to deploy, and (c) whether the plan guarantees that KV-cache
+// transfers stay inside a node (the Algorithm-2 "instance segment" colocation constraint, which
+// forces corresponding pipeline stages of a prefill and a decode instance onto the same node so
+// transfers ride NVLink instead of the cross-node NIC).
+#ifndef DISTSERVE_PLACEMENT_PLACEMENT_H_
+#define DISTSERVE_PLACEMENT_PLACEMENT_H_
+
+#include <string>
+
+#include "model/parallelism.h"
+
+namespace distserve::placement {
+
+struct PlacementPlan {
+  model::ParallelismConfig prefill_par;
+  int num_prefill = 1;
+  model::ParallelismConfig decode_par;
+  int num_decode = 1;
+
+  // True when the plan colocates corresponding prefill/decode pipeline stages per node
+  // (Algorithm 2), so KV transfers use intra-node NVLink bandwidth.
+  bool intra_node_transfers = false;
+
+  // Per-instance goodput estimates from the placement simulator (requests/second), recorded
+  // for reporting and replication arithmetic.
+  double prefill_goodput = 0.0;
+  double decode_goodput = 0.0;
+
+  int total_gpus() const {
+    return prefill_par.num_gpus() * num_prefill + decode_par.num_gpus() * num_decode;
+  }
+
+  // System goodput limited by the scarcer phase.
+  double system_goodput() const;
+  double per_gpu_goodput() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_PLACEMENT_H_

@@ -1,0 +1,80 @@
+#include "queueing/md1.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace distserve::queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double Md1AvgQueueingDelay(double rate, double service_time) {
+  DS_CHECK_GT(service_time, 0.0);
+  DS_CHECK_GE(rate, 0.0);
+  const double rho = rate * service_time;
+  if (rho >= 1.0) {
+    return kInf;
+  }
+  return rate * service_time * service_time / (2.0 * (1.0 - rho));
+}
+
+double Md1AvgTtft(double rate, double service_time) {
+  const double wait = Md1AvgQueueingDelay(rate, service_time);
+  return service_time + wait;
+}
+
+double InterOp2AvgTtft(double rate, double service_time) {
+  DS_CHECK_GT(service_time, 0.0);
+  const double rho = rate * service_time;  // bottleneck stage utilization = R * D/2 * 2
+  if (rho >= 2.0) {
+    return kInf;
+  }
+  return service_time + rate * service_time * service_time / (4.0 * (2.0 - rho));
+}
+
+double IntraOp2AvgTtft(double rate, double service_time, double speedup_k) {
+  DS_CHECK_GT(service_time, 0.0);
+  DS_CHECK_GT(speedup_k, 1.0);
+  if (rate * service_time >= speedup_k) {
+    return kInf;
+  }
+  return service_time / speedup_k +
+         rate * service_time * service_time /
+             (2.0 * speedup_k * (speedup_k - rate * service_time));
+}
+
+double Md1MaxStableRate(double service_time) { return 1.0 / service_time; }
+
+double InterOp2MaxStableRate(double service_time) { return 2.0 / service_time; }
+
+double IntraOp2MaxStableRate(double service_time, double speedup_k) {
+  return speedup_k / service_time;
+}
+
+double InterIntraCrossoverRate(double service_time, double speedup_k) {
+  double hi =
+      std::min(InterOp2MaxStableRate(service_time), IntraOp2MaxStableRate(service_time, speedup_k)) *
+      0.999;
+  auto diff = [&](double rate) {
+    return IntraOp2AvgTtft(rate, service_time, speedup_k) - InterOp2AvgTtft(rate, service_time);
+  };
+  // At rate ~0 intra-op wins (execution-time term dominates); find where the sign flips.
+  double lo = 1e-9;
+  if (diff(lo) > 0.0 || diff(hi) < 0.0) {
+    return 0.0;  // no crossover inside the stable range
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (diff(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace distserve::queueing

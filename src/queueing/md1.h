@@ -1,0 +1,39 @@
+// Closed-form queueing models from §3.1 of the paper.
+//
+// A disaggregated prefill instance serving uniform-length prompts FCFS without batching is an
+// M/D/1 queue, giving Eq. 1 for average TTFT. Eq. 2 and Eq. 3 extend it to 2-way inter-op and
+// 2-way intra-op parallelism. These closed forms serve two purposes here: they drive the
+// analytical curves in bench_fig4_prefill_parallelism, and they are the ground truth the DES
+// engine is property-tested against (an engine run with FixedDataset + Poisson arrivals must
+// converge to Eq. 1).
+#ifndef DISTSERVE_QUEUEING_MD1_H_
+#define DISTSERVE_QUEUEING_MD1_H_
+
+namespace distserve::queueing {
+
+// Average wait-in-queue of an M/D/1 queue: R*D^2 / (2*(1 - R*D)). Requires R*D < 1.
+double Md1AvgQueueingDelay(double rate, double service_time);
+
+// Eq. 1: Avg_TTFT = D + R*D^2 / (2*(1-R*D)). Returns +infinity when the queue is unstable.
+double Md1AvgTtft(double rate, double service_time);
+
+// Eq. 2: 2-way inter-op parallelism. The bottleneck stage serves at D/2 while request latency
+// stays ~D: Avg_TTFT = D + R*D^2 / (4*(2 - R*D)).
+double InterOp2AvgTtft(double rate, double service_time);
+
+// Eq. 3: 2-way intra-op parallelism with speedup K in (1, 2]:
+// Avg_TTFT = D/K + R*D^2 / (2*K*(K - R*D)).
+double IntraOp2AvgTtft(double rate, double service_time, double speedup_k);
+
+// Maximum stable rate of each variant (utilization < 1).
+double Md1MaxStableRate(double service_time);
+double InterOp2MaxStableRate(double service_time);
+double IntraOp2MaxStableRate(double service_time, double speedup_k);
+
+// Rate at which Eq. 2 and Eq. 3 cross (inter-op overtakes intra-op). Found by bisection over
+// the stable range; returns 0 when one dominates everywhere below both stability limits.
+double InterIntraCrossoverRate(double service_time, double speedup_k);
+
+}  // namespace distserve::queueing
+
+#endif  // DISTSERVE_QUEUEING_MD1_H_

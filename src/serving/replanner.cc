@@ -1,0 +1,27 @@
+#include "serving/replanner.h"
+
+#include "common/logging.h"
+
+namespace distserve::serving {
+
+Replanner::Replanner(Options options, ReplanFn on_replan)
+    : options_(options), on_replan_(std::move(on_replan)), profiler_(options.profiler) {
+  DS_CHECK(on_replan_ != nullptr);
+}
+
+void Replanner::Observe(const workload::Request& request) {
+  profiler_.Observe(request);
+  if (!profiler_.DriftDetected()) {
+    return;
+  }
+  if (request.arrival_time - last_replan_time_ < options_.cooldown) {
+    return;
+  }
+  last_replan_time_ = request.arrival_time;
+  ++replans_triggered_;
+  const workload::WorkloadProfiler::WindowStats stats = profiler_.RecentStats();
+  on_replan_(profiler_.FitRecent(), stats.rate, request.arrival_time);
+  profiler_.Rebase();
+}
+
+}  // namespace distserve::serving

@@ -1,0 +1,49 @@
+// Periodic replanning (§4.3 "Replaning").
+//
+// A workload profiler watches the live request stream; when its statistics (mean input/output
+// length, arrival rate) drift beyond a threshold, the replanner fires a callback carrying a
+// dataset fitted from recent history and the observed rate — the inputs a placement algorithm
+// needs to compute a fresh plan. A cooldown prevents thrashing while a replan is in flight
+// (the paper notes weight reloading takes minutes versus hourly workload shifts).
+#ifndef DISTSERVE_SERVING_REPLANNER_H_
+#define DISTSERVE_SERVING_REPLANNER_H_
+
+#include <functional>
+
+#include "workload/dataset.h"
+#include "workload/profiler.h"
+#include "workload/request.h"
+
+namespace distserve::serving {
+
+class Replanner {
+ public:
+  struct Options {
+    workload::WorkloadProfiler::Options profiler;
+    // Minimum virtual time between replans, seconds.
+    double cooldown = 600.0;
+  };
+
+  // `on_replan(fitted_dataset, observed_rate, trigger_time)` computes and installs a new plan.
+  using ReplanFn =
+      std::function<void(const workload::EmpiricalDataset&, double rate, double trigger_time)>;
+
+  Replanner(Options options, ReplanFn on_replan);
+
+  // Feeds one observed request (call at its arrival, with arrival_time set).
+  void Observe(const workload::Request& request);
+
+  int replans_triggered() const { return replans_triggered_; }
+  const workload::WorkloadProfiler& profiler() const { return profiler_; }
+
+ private:
+  Options options_;
+  ReplanFn on_replan_;
+  workload::WorkloadProfiler profiler_;
+  double last_replan_time_ = -1e18;
+  int replans_triggered_ = 0;
+};
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_REPLANNER_H_

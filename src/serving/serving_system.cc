@@ -1,0 +1,140 @@
+#include "serving/serving_system.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace distserve::serving {
+
+namespace {
+
+model::LatencyCoefficients ResolveCoefficients(const ServingConfig& config) {
+  if (config.coefficients.has_value()) {
+    return *config.coefficients;
+  }
+  return model::LatencyCoefficients::FromGpu(config.cluster.gpu);
+}
+
+}  // namespace
+
+ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) {
+  const model::LatencyCoefficients coeffs = ResolveCoefficients(config_);
+  const placement::PlacementPlan& plan = config_.plan;
+  DS_CHECK_GE(plan.num_prefill, 1);
+  DS_CHECK_GE(plan.num_decode, 1);
+
+  kv_bytes_per_prompt_token_ = config_.model.kv_bytes_per_token();
+
+  // Prefill instances.
+  model::LatencyModel prefill_model(config_.model, plan.prefill_par, coeffs);
+  DS_CHECK(prefill_model.view().FitsInMemory(config_.cluster.gpu))
+      << config_.model.name << " with " << plan.prefill_par.ToString()
+      << " does not fit GPU memory";
+  engine::PrefillInstance::Options prefill_opts = config_.prefill_options;
+  if (prefill_opts.batch_policy.target_tokens <= 0) {
+    prefill_opts.batch_policy.target_tokens =
+        std::max<int64_t>(512, prefill_model.ComputeSaturationTokens());
+  }
+  prefill_token_target_ = prefill_opts.batch_policy.target_tokens;
+  const int64_t prefill_kv_tokens =
+      prefill_model.view().KvCapacityTokens(config_.cluster.gpu);
+  for (int i = 0; i < plan.num_prefill; ++i) {
+    prefills_.push_back(std::make_unique<engine::PrefillInstance>(
+        &sim_, prefill_model, prefill_kv_tokens, prefill_opts, i));
+    prefills_.back()->set_on_complete(
+        [this](engine::RequestState* r) { OnPrefillDone(r); });
+  }
+
+  // Decode instances and their ingress links.
+  model::LatencyModel decode_model(config_.model, plan.decode_par, coeffs);
+  DS_CHECK(decode_model.view().FitsInMemory(config_.cluster.gpu))
+      << config_.model.name << " with " << plan.decode_par.ToString()
+      << " does not fit GPU memory";
+  const int64_t decode_kv_tokens = decode_model.view().KvCapacityTokens(config_.cluster.gpu);
+  const double link_bw = plan.intra_node_transfers ? config_.cluster.gpu.nvlink_bandwidth
+                                                   : config_.cluster.cross_node_bandwidth;
+  const double link_lat = plan.intra_node_transfers ? config_.cluster.intra_node_latency
+                                                    : config_.cluster.cross_node_latency;
+  for (int i = 0; i < plan.num_decode; ++i) {
+    decodes_.push_back(std::make_unique<engine::DecodeInstance>(
+        &sim_, decode_model, decode_kv_tokens, config_.decode_options, i));
+    links_.push_back(std::make_unique<Link>(&sim_, link_bw, link_lat,
+                                            "decode-" + std::to_string(i) + "-ingress"));
+    engine::DecodeInstance* decode = decodes_.back().get();
+    Link* link = links_.back().get();
+    decode->set_transfer_fn([this, link](engine::RequestState* r, std::function<void()> done) {
+      const int64_t bytes =
+          static_cast<int64_t>(r->request.input_len) * kv_bytes_per_prompt_token_;
+      link->Transfer(bytes, [this, r, done = std::move(done)] {
+        // Pull complete: the prefill side may now release its copy.
+        prefills_[static_cast<size_t>(r->prefill_instance)]->ReleaseKv(r);
+        done();
+      });
+    });
+    decode->set_on_complete([this](engine::RequestState* r) { OnDecodeDone(r); });
+  }
+}
+
+ServingSystem::~ServingSystem() = default;
+
+void ServingSystem::DispatchArrival(engine::RequestState* request) {
+  // Shortest-queue prefill dispatch (by queued tokens, which tracks work better than count).
+  engine::PrefillInstance* best = prefills_.front().get();
+  int64_t best_tokens = std::numeric_limits<int64_t>::max();
+  for (const auto& p : prefills_) {
+    if (p->outstanding_tokens() < best_tokens) {
+      best_tokens = p->outstanding_tokens();
+      best = p.get();
+    }
+  }
+  best->Enqueue(request);
+}
+
+void ServingSystem::OnPrefillDone(engine::RequestState* request) {
+  if (request->request.output_len <= 1) {
+    // Single-token output: the request completes at prefill; no transfer, no decode.
+    const double now = sim_.now();
+    request->record.transfer_start = now;
+    request->record.transfer_end = now;
+    request->record.decode_start = now;
+    request->record.completion = now;
+    prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
+    OnDecodeDone(request);
+    return;
+  }
+  // Least-loaded decode dispatch.
+  size_t best = 0;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (size_t i = 0; i < decodes_.size(); ++i) {
+    if (decodes_[i]->load() < best_load) {
+      best_load = decodes_[i]->load();
+      best = i;
+    }
+  }
+  decodes_[best]->Submit(request);
+}
+
+void ServingSystem::OnDecodeDone(engine::RequestState* request) {
+  collector_.Record(request->record);
+  ++completed_;
+}
+
+metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
+  collector_ = metrics::Collector();
+  collector_.Reserve(trace.size());
+  states_.clear();
+  states_.reserve(trace.size());
+  completed_ = 0;
+  for (const workload::Request& req : trace) {
+    states_.push_back(std::make_unique<engine::RequestState>(req));
+    engine::RequestState* state = states_.back().get();
+    sim_.ScheduleAt(req.arrival_time, [this, state] { DispatchArrival(state); });
+  }
+  sim_.Run();
+  DS_CHECK_EQ(completed_, static_cast<int64_t>(trace.size()))
+      << "requests lost in flight: the simulation deadlocked";
+  return std::move(collector_);
+}
+
+}  // namespace distserve::serving

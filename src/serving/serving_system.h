@@ -1,0 +1,89 @@
+// The end-to-end DistServe runtime (Figure 6).
+//
+// Builds prefill and decode instances per a PlacementPlan, wires the centralized controller
+// policies of §4.3 — dispatch each arrival to the prefill instance with the shortest queue
+// (by queued tokens), then hand the finished prefill to the least-loaded decode instance —
+// and routes pull-based KV transfers over per-decode-instance ingress links. Running a trace
+// yields a metrics::Collector with the full per-request lifecycle.
+//
+// This engine-level runtime is the "real system" of our Table-2 reproduction; the fast
+// placement simulator (src/placement/simulate.h) is a coarser, independent implementation.
+#ifndef DISTSERVE_SERVING_SERVING_SYSTEM_H_
+#define DISTSERVE_SERVING_SERVING_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "engine/decode_instance.h"
+#include "engine/prefill_instance.h"
+#include "engine/request_state.h"
+#include "metrics/collector.h"
+#include "placement/placement.h"
+#include "serving/transfer.h"
+#include "simcore/simulator.h"
+#include "workload/request.h"
+
+namespace distserve::serving {
+
+struct ServingConfig {
+  model::ModelSpec model;
+  cluster::ClusterSpec cluster;
+  placement::PlacementPlan plan;
+
+  // Engine knobs. A batch_policy.target_tokens of 0 auto-derives L_m from the latency model
+  // (never below 512, matching the paper's observation that A100 saturates around 512 tokens
+  // on a 13B model).
+  engine::PrefillInstance::Options prefill_options;
+  engine::DecodeInstance::Options decode_options;
+
+  // Optional override of the latency coefficients (e.g. fitted ones); when unset they are
+  // derived from cluster.gpu.
+  std::optional<model::LatencyCoefficients> coefficients;
+};
+
+class ServingSystem {
+ public:
+  explicit ServingSystem(ServingConfig config);
+
+  ServingSystem(const ServingSystem&) = delete;
+  ServingSystem& operator=(const ServingSystem&) = delete;
+  ~ServingSystem();
+
+  // Replays the trace to completion and returns the per-request records.
+  metrics::Collector Run(const workload::Trace& trace);
+
+  // Observability (valid after Run).
+  const std::vector<std::unique_ptr<engine::PrefillInstance>>& prefill_instances() const {
+    return prefills_;
+  }
+  const std::vector<std::unique_ptr<engine::DecodeInstance>>& decode_instances() const {
+    return decodes_;
+  }
+  const std::vector<std::unique_ptr<Link>>& ingress_links() const { return links_; }
+  const simcore::Simulator& simulator() const { return sim_; }
+
+  // The auto-derived prefill batch token target actually in effect.
+  int64_t prefill_token_target() const { return prefill_token_target_; }
+
+ private:
+  void DispatchArrival(engine::RequestState* request);
+  void OnPrefillDone(engine::RequestState* request);
+  void OnDecodeDone(engine::RequestState* request);
+
+  ServingConfig config_;
+  simcore::Simulator sim_;
+  std::vector<std::unique_ptr<engine::PrefillInstance>> prefills_;
+  std::vector<std::unique_ptr<engine::DecodeInstance>> decodes_;
+  std::vector<std::unique_ptr<Link>> links_;  // one ingress link per decode instance
+  std::vector<std::unique_ptr<engine::RequestState>> states_;
+  metrics::Collector collector_;
+  int64_t kv_bytes_per_prompt_token_ = 0;
+  int64_t prefill_token_target_ = 0;
+  int64_t completed_ = 0;
+};
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_SERVING_SYSTEM_H_

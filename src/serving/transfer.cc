@@ -1,0 +1,27 @@
+#include "serving/transfer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distserve::serving {
+
+Link::Link(simcore::Simulator* sim, double bandwidth, double latency, std::string name)
+    : sim_(sim), bandwidth_(bandwidth), latency_(latency), name_(std::move(name)) {
+  DS_CHECK(sim != nullptr);
+  DS_CHECK_GT(bandwidth, 0.0);
+  DS_CHECK_GE(latency, 0.0);
+}
+
+void Link::Transfer(int64_t bytes, std::function<void()> done) {
+  DS_CHECK_GE(bytes, 0);
+  const double service = static_cast<double>(bytes) / bandwidth_;
+  const double start = std::max(sim_->now(), busy_until_);
+  busy_until_ = start + service;
+  busy_seconds_ += service;
+  bytes_transferred_ += bytes;
+  ++transfers_;
+  sim_->ScheduleAt(busy_until_ + latency_, std::move(done));
+}
+
+}  // namespace distserve::serving

@@ -1,0 +1,51 @@
+// KV-cache transfer modelling.
+//
+// A Link is a FIFO bandwidth pipe: concurrent transfers serialize (NIC or NVLink contention)
+// and each completes `latency + bytes/bandwidth` after it reaches the head of the pipe. The
+// serving system gives every decode instance one ingress link whose bandwidth depends on the
+// placement: NVLink when the plan colocates corresponding pipeline stages per node
+// (Algorithm 2), the cross-node NIC otherwise. This reproduces the §6.3 measurement setup:
+// per-request transfer time and its CDF, with contention under bursts.
+#ifndef DISTSERVE_SERVING_TRANSFER_H_
+#define DISTSERVE_SERVING_TRANSFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "simcore/simulator.h"
+
+namespace distserve::serving {
+
+class Link {
+ public:
+  // `bandwidth` bytes/second, `latency` seconds per transfer.
+  Link(simcore::Simulator* sim, double bandwidth, double latency, std::string name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Enqueues a transfer; `done` fires at completion time.
+  void Transfer(int64_t bytes, std::function<void()> done);
+
+  double bandwidth() const { return bandwidth_; }
+  const std::string& name() const { return name_; }
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+  int64_t transfers() const { return transfers_; }
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  simcore::Simulator* sim_;
+  double bandwidth_;
+  double latency_;
+  std::string name_;
+
+  double busy_until_ = 0.0;
+  int64_t bytes_transferred_ = 0;
+  int64_t transfers_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_TRANSFER_H_

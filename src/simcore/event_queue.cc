@@ -1,0 +1,56 @@
+#include "simcore/event_queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace distserve::simcore {
+
+void EventHandle::Cancel() {
+  if (alive_) {
+    *alive_ = false;
+  }
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  DS_DCHECK(when >= 0.0);
+  auto alive = std::make_shared<bool>(true);
+  heap_.push_back(Entry{when, next_seq_++, alive, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(alive);
+}
+
+void EventQueue::DropDead() const {
+  while (!heap_.empty() && !*heap_.front().alive) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  DropDead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  DropDead();
+  if (heap_.empty()) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DropDead();
+  DS_CHECK(!heap_.empty()) << "Pop on empty event queue";
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *entry.alive = false;  // Mark fired so handles report !pending().
+  return Fired{entry.time, std::move(entry.fn)};
+}
+
+}  // namespace distserve::simcore

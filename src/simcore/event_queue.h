@@ -1,0 +1,84 @@
+// A deterministic pending-event set for discrete-event simulation.
+//
+// Events are (time, sequence, callback) triples kept in a binary min-heap. The monotonically
+// increasing sequence number breaks time ties in insertion order, which makes simulations
+// bit-reproducible regardless of heap internals. Events can be cancelled in O(1) via a shared
+// liveness flag (lazy deletion: dead entries are skipped when they reach the top).
+#ifndef DISTSERVE_SIMCORE_EVENT_QUEUE_H_
+#define DISTSERVE_SIMCORE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace distserve::simcore {
+
+using SimTime = double;  // seconds of virtual time
+
+// Handle to a scheduled event; lets the owner cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call multiple times or on a
+  // default-constructed handle.
+  void Cancel();
+
+  // True when the event is still pending (scheduled, not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `when`. Ordering among equal times is insertion order.
+  EventHandle Schedule(SimTime when, std::function<void()> fn);
+
+  // True when no live (uncancelled) event remains.
+  bool empty() const;
+
+  // Entries currently stored, counting cancelled-but-uncollected ones (upper bound on live).
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest live event; +infinity when empty.
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    std::shared_ptr<bool> alive;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Removes cancelled entries from the heap top.
+  void DropDead() const;
+
+  mutable std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace distserve::simcore
+
+#endif  // DISTSERVE_SIMCORE_EVENT_QUEUE_H_

@@ -1,0 +1,25 @@
+#include "workload/arrival.h"
+
+#include "common/logging.h"
+
+namespace distserve::workload {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) { DS_CHECK_GT(rate, 0.0); }
+
+double PoissonArrivals::NextGap(Rng& rng) { return rng.Exponential(rate_); }
+
+GammaArrivals::GammaArrivals(double rate, double cv) : rate_(rate), cv_(cv) {
+  DS_CHECK_GT(rate, 0.0);
+  DS_CHECK_GT(cv, 0.0);
+  // For Gamma(shape k, scale theta): mean = k*theta, CV = 1/sqrt(k).
+  shape_ = 1.0 / (cv * cv);
+  scale_ = 1.0 / (rate * shape_);
+}
+
+double GammaArrivals::NextGap(Rng& rng) { return rng.Gamma(shape_, scale_); }
+
+FixedArrivals::FixedArrivals(double rate) : rate_(rate) { DS_CHECK_GT(rate, 0.0); }
+
+double FixedArrivals::NextGap(Rng& /*rng*/) { return 1.0 / rate_; }
+
+}  // namespace distserve::workload

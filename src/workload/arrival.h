@@ -1,0 +1,68 @@
+// Arrival processes: generators of request inter-arrival gaps.
+//
+// The paper's datasets carry no timestamps, so it generates arrivals from a Poisson process at
+// a controlled rate (§6.1). We additionally provide a Gamma-renewal process whose coefficient
+// of variation dials burstiness up or down (CV = 1 recovers Poisson) — used by the
+// burstiness/pull-transfer failure-injection experiments — and a deterministic process used by
+// queueing-theory validation tests (M/D/1 needs Poisson, but fixed-interval gives D/D/1).
+#ifndef DISTSERVE_WORKLOAD_ARRIVAL_H_
+#define DISTSERVE_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace distserve::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Next inter-arrival gap in seconds (>= 0).
+  virtual double NextGap(Rng& rng) = 0;
+
+  // Mean request rate (requests/second) this process targets.
+  virtual double rate() const = 0;
+};
+
+// Poisson arrivals: exponential gaps with the given rate.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+  double NextGap(Rng& rng) override;
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Gamma-renewal arrivals with mean rate `rate` and coefficient of variation `cv`.
+// cv > 1 produces bursty traffic; cv < 1 smoother-than-Poisson; cv == 1 is exactly Poisson.
+class GammaArrivals : public ArrivalProcess {
+ public:
+  GammaArrivals(double rate, double cv);
+  double NextGap(Rng& rng) override;
+  double rate() const override { return rate_; }
+  double cv() const { return cv_; }
+
+ private:
+  double rate_;
+  double cv_;
+  double shape_;
+  double scale_;
+};
+
+// Deterministic arrivals: constant gap 1/rate.
+class FixedArrivals : public ArrivalProcess {
+ public:
+  explicit FixedArrivals(double rate);
+  double NextGap(Rng& rng) override;
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_ARRIVAL_H_

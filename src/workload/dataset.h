@@ -1,0 +1,105 @@
+// Dataset length distributions.
+//
+// Only the joint (input length, output length) distribution of a dataset enters the serving
+// system, so each paper dataset is represented by a sampler fit to the histograms in Figure 7:
+//
+//   ShareGPT   (chatbot):        moderate prompts with a heavy tail, long-ish outputs;
+//   HumanEval  (code completion): short prompts, short outputs;
+//   LongBench  (summarization):  very long prompts, short outputs.
+//
+// All three use truncated lognormal marginals (lengths are positive and heavy-tailed, like the
+// real data). EmpiricalDataset implements the paper's replanning path: fit-from-history by
+// resampling observed pairs. FixedDataset provides the uniform-length workloads of the
+// analysis sections (Figures 1-5).
+#ifndef DISTSERVE_WORKLOAD_DATASET_H_
+#define DISTSERVE_WORKLOAD_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/request.h"
+
+namespace distserve::workload {
+
+struct LengthSample {
+  int input_len = 0;
+  int output_len = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual LengthSample Sample(Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+
+  // Monte-Carlo mean lengths (for capacity estimates and logging).
+  LengthSample MeanLengths(Rng& rng, int trials = 4096) const;
+};
+
+// Truncated lognormal marginals for input and output lengths, independently sampled.
+class LognormalDataset : public Dataset {
+ public:
+  struct Params {
+    std::string name;
+    double input_mu = 0.0;
+    double input_sigma = 1.0;
+    int input_min = 1;
+    int input_max = 1 << 20;
+    double output_mu = 0.0;
+    double output_sigma = 1.0;
+    int output_min = 1;
+    int output_max = 1 << 20;
+  };
+
+  explicit LognormalDataset(Params params);
+  LengthSample Sample(Rng& rng) const override;
+  std::string name() const override { return params_.name; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+// Every request has exactly (input_len, output_len); used by Figures 1-5.
+class FixedDataset : public Dataset {
+ public:
+  FixedDataset(int input_len, int output_len);
+  LengthSample Sample(Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  int input_len_;
+  int output_len_;
+};
+
+// Resamples uniformly from an observed set of (input, output) pairs — the paper's
+// "fit a distribution from the history request traces and resample" step (§4.1).
+class EmpiricalDataset : public Dataset {
+ public:
+  EmpiricalDataset(std::string name, std::vector<LengthSample> observations);
+
+  // Builds the empirical distribution from a recorded trace.
+  static EmpiricalDataset FromTrace(std::string name, const Trace& trace);
+
+  LengthSample Sample(Rng& rng) const override;
+  std::string name() const override { return name_; }
+  size_t observation_count() const { return observations_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<LengthSample> observations_;
+};
+
+// The three paper datasets (parameters fit to Figure 7).
+std::unique_ptr<Dataset> MakeShareGptLike();
+std::unique_ptr<Dataset> MakeHumanEvalLike();
+std::unique_ptr<Dataset> MakeLongBenchLike();
+
+// Lookup by name ("sharegpt" | "humaneval" | "longbench"); CHECK-fails on unknown names.
+std::unique_ptr<Dataset> MakeDatasetByName(const std::string& name);
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_DATASET_H_

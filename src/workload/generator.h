@@ -1,0 +1,47 @@
+// Workload generation: turns (arrival process, dataset, seed) into a concrete request trace.
+//
+// Traces are generated ahead of a simulation run so the same trace can be replayed against
+// different systems (DistServe vs the vLLM baseline) — the comparisons in Figures 8, 9 and 11
+// hold the trace fixed across systems. Arrival sampling and length sampling use independent
+// RNG streams forked from the seed, so varying the rate does not change which lengths a given
+// request index receives.
+#ifndef DISTSERVE_WORKLOAD_GENERATOR_H_
+#define DISTSERVE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/arrival.h"
+#include "workload/dataset.h"
+#include "workload/request.h"
+
+namespace distserve::workload {
+
+struct TraceSpec {
+  double rate = 1.0;          // mean requests/second
+  double burstiness_cv = 1.0; // 1.0 = Poisson
+  int num_requests = 1000;
+  uint64_t seed = 42;
+};
+
+// Generates `spec.num_requests` requests with arrival times starting at 0.
+Trace GenerateTrace(const TraceSpec& spec, const Dataset& dataset);
+
+// Generates a trace with an abrupt workload shift after `shift_after` requests: the remainder
+// is drawn from `second` at `second_rate`. Used by the replanning tests and example.
+Trace GenerateShiftingTrace(const TraceSpec& spec, const Dataset& first, const Dataset& second,
+                            int shift_after, double second_rate);
+
+// Summary statistics of a trace.
+struct TraceStats {
+  double duration = 0.0;        // last arrival time
+  double mean_input_len = 0.0;
+  double mean_output_len = 0.0;
+  int max_input_len = 0;
+  int max_output_len = 0;
+  double observed_rate = 0.0;   // num_requests / duration
+};
+TraceStats ComputeTraceStats(const Trace& trace);
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,81 @@
+#include "workload/profiler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distserve::workload {
+
+WorkloadProfiler::WorkloadProfiler(Options options) : options_(options) {
+  DS_CHECK_GT(options_.window_size, 1);
+  DS_CHECK_GT(options_.drift_threshold, 0.0);
+}
+
+void WorkloadProfiler::Observe(const Request& request) {
+  recent_.push_back(request);
+  if (static_cast<int>(recent_.size()) > options_.window_size) {
+    // Oldest recent entry graduates into the reference window.
+    reference_.push_back(recent_.front());
+    recent_.pop_front();
+    if (static_cast<int>(reference_.size()) > options_.window_size) {
+      reference_.pop_front();
+    }
+  }
+}
+
+WorkloadProfiler::WindowStats WorkloadProfiler::Summarize(const std::deque<Request>& window) {
+  WindowStats stats;
+  stats.count = static_cast<int>(window.size());
+  if (window.empty()) {
+    return stats;
+  }
+  double in_sum = 0.0;
+  double out_sum = 0.0;
+  for (const Request& r : window) {
+    in_sum += r.input_len;
+    out_sum += r.output_len;
+  }
+  stats.mean_input_len = in_sum / stats.count;
+  stats.mean_output_len = out_sum / stats.count;
+  const double span = window.back().arrival_time - window.front().arrival_time;
+  stats.rate = span > 0.0 ? static_cast<double>(stats.count - 1) / span : 0.0;
+  return stats;
+}
+
+WorkloadProfiler::WindowStats WorkloadProfiler::RecentStats() const {
+  return Summarize(recent_);
+}
+
+WorkloadProfiler::WindowStats WorkloadProfiler::ReferenceStats() const {
+  return Summarize(reference_);
+}
+
+bool WorkloadProfiler::DriftDetected() const {
+  if (static_cast<int>(reference_.size()) < options_.window_size ||
+      static_cast<int>(recent_.size()) < options_.window_size) {
+    return false;
+  }
+  const WindowStats ref = ReferenceStats();
+  const WindowStats rec = RecentStats();
+  auto drifted = [this](double reference, double current) {
+    if (reference <= 0.0) {
+      return current > 0.0;
+    }
+    return std::fabs(current - reference) / reference > options_.drift_threshold;
+  };
+  return drifted(ref.mean_input_len, rec.mean_input_len) ||
+         drifted(ref.mean_output_len, rec.mean_output_len) || drifted(ref.rate, rec.rate);
+}
+
+EmpiricalDataset WorkloadProfiler::FitRecent() const {
+  DS_CHECK(!recent_.empty()) << "no observations to fit";
+  Trace trace(recent_.begin(), recent_.end());
+  return EmpiricalDataset::FromTrace("fitted-recent", trace);
+}
+
+void WorkloadProfiler::Rebase() {
+  reference_.assign(recent_.begin(), recent_.end());
+  recent_.clear();
+}
+
+}  // namespace distserve::workload

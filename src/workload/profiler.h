@@ -1,0 +1,60 @@
+// Sliding-window workload profiler backing DistServe's replanning (§4.3).
+//
+// The runtime feeds every observed request into the profiler. It keeps two adjacent windows of
+// the most recent requests; when the recent window's mean input length, mean output length, or
+// arrival rate departs from the reference window by more than a configurable relative
+// threshold, DriftDetected() reports true and the replanner re-runs placement on a dataset
+// fitted from the recent window (see EmpiricalDataset::FromTrace).
+#ifndef DISTSERVE_WORKLOAD_PROFILER_H_
+#define DISTSERVE_WORKLOAD_PROFILER_H_
+
+#include <deque>
+
+#include "workload/dataset.h"
+#include "workload/request.h"
+
+namespace distserve::workload {
+
+class WorkloadProfiler {
+ public:
+  struct Options {
+    int window_size = 256;        // requests per window
+    double drift_threshold = 0.5; // relative change that counts as drift
+  };
+
+  explicit WorkloadProfiler(Options options);
+
+  // Records a request observed at `observed_time` (its arrival at the controller).
+  void Observe(const Request& request);
+
+  // True once both windows are full and some tracked statistic drifted beyond the threshold.
+  bool DriftDetected() const;
+
+  // Statistics of the most recent window (valid once it has any entries).
+  struct WindowStats {
+    double mean_input_len = 0.0;
+    double mean_output_len = 0.0;
+    double rate = 0.0;
+    int count = 0;
+  };
+  WindowStats RecentStats() const;
+  WindowStats ReferenceStats() const;
+
+  // Empirical dataset fitted from the recent window; CHECK-fails when the window is empty.
+  EmpiricalDataset FitRecent() const;
+
+  // Promotes the recent window to reference and starts a fresh recent window. Called after a
+  // replan so the next drift is measured against the new plan's assumptions.
+  void Rebase();
+
+ private:
+  static WindowStats Summarize(const std::deque<Request>& window);
+
+  Options options_;
+  std::deque<Request> reference_;
+  std::deque<Request> recent_;
+};
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_PROFILER_H_

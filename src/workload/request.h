@@ -1,0 +1,32 @@
+// The immutable description of one inference request.
+//
+// Runtime state (queue positions, KV handles, timestamps) lives in the engine and metrics
+// layers; this struct is only what a client submits: when it arrives, how long its prompt is,
+// and how many tokens it will generate. Output length is part of the trace because the
+// simulator, like the paper's, replays sampled (input, output) pairs from dataset
+// distributions rather than running a real sampler.
+#ifndef DISTSERVE_WORKLOAD_REQUEST_H_
+#define DISTSERVE_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace distserve::workload {
+
+using RequestId = int64_t;
+
+struct Request {
+  RequestId id = 0;
+  double arrival_time = 0.0;  // seconds since trace start
+  int input_len = 0;          // prompt tokens (prefill)
+  int output_len = 0;         // generated tokens (decode steps), >= 1: prefill emits token #1
+
+  // Total sequence length at completion.
+  int total_len() const { return input_len + output_len; }
+};
+
+using Trace = std::vector<Request>;
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_REQUEST_H_

@@ -1,0 +1,37 @@
+// Trace and result serialization.
+//
+// DistServe's planner "fits a distribution from the history request traces" (§4.1); a real
+// deployment captures those traces from production and replays them offline. This module
+// round-trips traces through a simple CSV format (`id,arrival_time,input_len,output_len`,
+// header line required) and dumps per-request metric records for external analysis
+// (spreadsheets, plotting scripts).
+#ifndef DISTSERVE_WORKLOAD_TRACE_IO_H_
+#define DISTSERVE_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "metrics/collector.h"
+#include "workload/request.h"
+
+namespace distserve::workload {
+
+// Writes `trace` as CSV. The stream is flushed but not closed.
+void WriteTraceCsv(std::ostream& out, const Trace& trace);
+
+// Parses a CSV trace. Returns std::nullopt on malformed input (wrong header, non-numeric
+// fields, negative lengths, or arrival times that go backwards).
+std::optional<Trace> ReadTraceCsv(std::istream& in);
+
+// Convenience file wrappers; return false / nullopt on I/O failure.
+bool SaveTrace(const std::string& path, const Trace& trace);
+std::optional<Trace> LoadTrace(const std::string& path);
+
+// Dumps per-request records (one row per request: identifiers, lifecycle timestamps, derived
+// TTFT/TPOT) for offline analysis.
+void WriteRecordsCsv(std::ostream& out, const metrics::Collector& collector);
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_TRACE_IO_H_

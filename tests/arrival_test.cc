@@ -1,0 +1,84 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace distserve::workload {
+namespace {
+
+double MeanGap(ArrivalProcess& process, Rng& rng, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += process.NextGap(rng);
+  }
+  return sum / n;
+}
+
+double GapCv(ArrivalProcess& process, Rng& rng, int n) {
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = process.NextGap(rng);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  return std::sqrt(var) / mean;
+}
+
+TEST(ArrivalTest, PoissonMeanGapIsInverseRate) {
+  Rng rng(1);
+  PoissonArrivals arrivals(4.0);
+  EXPECT_DOUBLE_EQ(arrivals.rate(), 4.0);
+  EXPECT_NEAR(MeanGap(arrivals, rng, 200000), 0.25, 0.005);
+}
+
+TEST(ArrivalTest, PoissonCvIsOne) {
+  Rng rng(2);
+  PoissonArrivals arrivals(2.0);
+  EXPECT_NEAR(GapCv(arrivals, rng, 200000), 1.0, 0.02);
+}
+
+TEST(ArrivalTest, GammaMatchesTargetCv) {
+  for (double cv : {0.5, 1.0, 2.0, 4.0}) {
+    Rng rng(static_cast<uint64_t>(cv * 100));
+    GammaArrivals arrivals(3.0, cv);
+    EXPECT_NEAR(MeanGap(arrivals, rng, 300000), 1.0 / 3.0, 0.01) << "cv=" << cv;
+    Rng rng2(static_cast<uint64_t>(cv * 100) + 1);
+    EXPECT_NEAR(GapCv(arrivals, rng2, 300000), cv, 0.1 * cv + 0.02) << "cv=" << cv;
+  }
+}
+
+TEST(ArrivalTest, GammaCvOneMatchesPoissonDistribution) {
+  // CV = 1 gamma renewal is exactly exponential.
+  Rng rng(5);
+  GammaArrivals arrivals(1.0, 1.0);
+  int below_ln2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (arrivals.NextGap(rng) < std::log(2.0)) {
+      ++below_ln2;
+    }
+  }
+  // P(X < ln 2) for Exp(1) is exactly 1/2.
+  EXPECT_NEAR(static_cast<double>(below_ln2) / n, 0.5, 0.01);
+}
+
+TEST(ArrivalTest, FixedIsDeterministic) {
+  Rng rng(6);
+  FixedArrivals arrivals(8.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals.NextGap(rng), 0.125);
+  }
+}
+
+TEST(ArrivalDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(PoissonArrivals{0.0}, "");
+  EXPECT_DEATH((GammaArrivals{1.0, 0.0}), "");
+  EXPECT_DEATH(FixedArrivals{-1.0}, "");
+}
+
+}  // namespace
+}  // namespace distserve::workload

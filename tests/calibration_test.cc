@@ -1,0 +1,95 @@
+#include "model/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/gpu_spec.h"
+
+namespace distserve::model {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  cluster::GpuSpec gpu_ = cluster::GpuSpec::A100_80GB();
+  ModelSpec spec_ = ModelSpec::Opt13B();
+  ParallelismConfig par_{1, 1};
+};
+
+TEST_F(CalibrationTest, SweepHasBothPhases) {
+  const LatencyModel truth(spec_, par_, gpu_);
+  Rng rng(1);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.0);
+  EXPECT_GE(sweep.prefill.size(), 9u);
+  EXPECT_GE(sweep.decode.size(), 12u);
+  for (const ProfileSample& s : sweep.prefill) {
+    EXPECT_GT(s.latency, 0.0);
+    EXPECT_GT(s.batch.prefill_tokens, 0);
+    EXPECT_EQ(s.batch.decode_requests, 0);
+  }
+  for (const ProfileSample& s : sweep.decode) {
+    EXPECT_GT(s.latency, 0.0);
+    EXPECT_EQ(s.batch.prefill_tokens, 0);
+    EXPECT_GT(s.batch.decode_requests, 0);
+  }
+}
+
+TEST_F(CalibrationTest, NoiselessFitPredictsWell) {
+  const LatencyCoefficients truth_coeffs = LatencyCoefficients::FromGpu(gpu_);
+  const LatencyModel truth(spec_, par_, truth_coeffs);
+  Rng rng(2);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.0);
+  const auto fitted = FitCoefficients(spec_, par_, sweep, truth_coeffs);
+  ASSERT_TRUE(fitted.has_value());
+  // The fit is evaluated against the (roofline) ground truth on the same sweep; mean relative
+  // error must be small (the paper's simulator reports <2% SLO error downstream of this).
+  EXPECT_LT(ProfileError(spec_, par_, sweep, *fitted), 0.08);
+  // Decode coefficients are exactly identifiable from memory-bound samples.
+  EXPECT_NEAR(fitted->c5 / truth_coeffs.c5, 1.0, 0.05);
+}
+
+TEST_F(CalibrationTest, NoisyFitStillReasonable) {
+  const LatencyCoefficients truth_coeffs = LatencyCoefficients::FromGpu(gpu_);
+  const LatencyModel truth(spec_, par_, truth_coeffs);
+  Rng rng(3);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.05);
+  const auto fitted = FitCoefficients(spec_, par_, sweep, truth_coeffs);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_LT(ProfileError(spec_, par_, sweep, *fitted), 0.15);
+}
+
+TEST_F(CalibrationTest, FittedModelOrdersWorkloadsLikeTruth) {
+  const LatencyCoefficients truth_coeffs = LatencyCoefficients::FromGpu(gpu_);
+  const LatencyModel truth(spec_, par_, truth_coeffs);
+  Rng rng(4);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.0);
+  const auto fitted = FitCoefficients(spec_, par_, sweep, truth_coeffs);
+  ASSERT_TRUE(fitted.has_value());
+  const LatencyModel fitted_lm(spec_, par_, *fitted);
+  // Orderings that drive scheduling decisions must be preserved.
+  EXPECT_GT(fitted_lm.PrefillFullTime(std::vector<int>{1024}),
+            fitted_lm.PrefillFullTime(std::vector<int>{256}));
+  EXPECT_GT(fitted_lm.DecodeStepFullTime(128, 128 * 512),
+            fitted_lm.DecodeStepFullTime(8, 8 * 512));
+}
+
+TEST_F(CalibrationTest, TooFewSamplesReturnsNullopt) {
+  ProfileSweep tiny;
+  tiny.prefill.push_back({BatchWorkload::PrefillSingle(128), 0.01});
+  tiny.decode.push_back({BatchWorkload::Decode(4, 512), 0.02});
+  EXPECT_FALSE(
+      FitCoefficients(spec_, par_, tiny, LatencyCoefficients::FromGpu(gpu_)).has_value());
+}
+
+TEST_F(CalibrationTest, TensorParallelSweepFits) {
+  const ParallelismConfig par{4, 1};
+  const LatencyCoefficients truth_coeffs = LatencyCoefficients::FromGpu(gpu_);
+  const LatencyModel truth(spec_, par, truth_coeffs);
+  Rng rng(5);
+  const ProfileSweep sweep = GenerateProfile(truth, rng, 0.0);
+  const auto fitted = FitCoefficients(spec_, par, sweep, truth_coeffs);
+  ASSERT_TRUE(fitted.has_value());
+  // TP adds collective time the linear features do not carry, so tolerance is looser.
+  EXPECT_LT(ProfileError(spec_, par, sweep, *fitted), 0.2);
+}
+
+}  // namespace
+}  // namespace distserve::model

@@ -1,0 +1,114 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::metrics {
+namespace {
+
+RequestRecord MakeRecord(double arrival, double prefill_start, double first_token,
+                         double transfer_end, double decode_start, double completion,
+                         int output_len) {
+  RequestRecord r;
+  r.arrival = arrival;
+  r.input_len = 100;
+  r.output_len = output_len;
+  r.prefill_start = prefill_start;
+  r.first_token = first_token;
+  r.transfer_start = first_token;
+  r.transfer_end = transfer_end;
+  r.decode_start = decode_start;
+  r.completion = completion;
+  return r;
+}
+
+TEST(RequestRecordTest, DerivedMetrics) {
+  const RequestRecord r = MakeRecord(1.0, 1.2, 1.5, 1.6, 1.7, 2.7, 11);
+  EXPECT_DOUBLE_EQ(r.Ttft(), 0.5);
+  EXPECT_NEAR(r.Tpot(), (2.7 - 1.5) / 10.0, 1e-12);
+  EXPECT_NEAR(r.PrefillQueueTime(), 0.2, 1e-12);
+  EXPECT_NEAR(r.PrefillExecTime(), 0.3, 1e-12);
+  EXPECT_NEAR(r.TransferTime(), 0.1, 1e-12);
+  EXPECT_NEAR(r.DecodeQueueTime(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(r.DecodeExecTime(), 1.0);
+  EXPECT_NEAR(r.TotalLatency(), 1.7, 1e-12);
+}
+
+TEST(RequestRecordTest, SingleTokenOutputHasZeroTpot) {
+  const RequestRecord r = MakeRecord(0.0, 0.1, 0.2, 0.2, 0.2, 0.2, 1);
+  EXPECT_DOUBLE_EQ(r.Tpot(), 0.0);
+}
+
+TEST(SloSpecTest, ScaledMultipliesBoth) {
+  const SloSpec slo{0.2, 0.1};
+  const SloSpec tight = slo.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(tight.ttft, 0.1);
+  EXPECT_DOUBLE_EQ(tight.tpot, 0.05);
+}
+
+TEST(CollectorTest, AttainmentCountsEachSlo) {
+  Collector collector;
+  // TTFT 0.5, TPOT 0.12 -> fails both when SLO = {0.4, 0.1}.
+  collector.Record(MakeRecord(0, 0.1, 0.5, 0.5, 0.5, 1.7, 11));
+  // TTFT 0.2, TPOT 0.12 -> meets TTFT only.
+  collector.Record(MakeRecord(0, 0.1, 0.2, 0.2, 0.2, 1.4, 11));
+  // TTFT 0.2, TPOT 0.05 -> meets both.
+  collector.Record(MakeRecord(0, 0.1, 0.2, 0.2, 0.2, 0.7, 11));
+  // TTFT 0.5, TPOT 0.05 -> meets TPOT only.
+  collector.Record(MakeRecord(0, 0.1, 0.5, 0.5, 0.5, 1.0, 11));
+  const Attainment a = collector.ComputeAttainment(SloSpec{0.4, 0.1});
+  EXPECT_DOUBLE_EQ(a.both, 0.25);
+  EXPECT_DOUBLE_EQ(a.ttft_only, 0.5);
+  EXPECT_DOUBLE_EQ(a.tpot_only, 0.5);
+}
+
+TEST(CollectorTest, EmptyAttainmentIsZero) {
+  Collector collector;
+  const Attainment a = collector.ComputeAttainment(SloSpec{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.both, 0.0);
+}
+
+TEST(CollectorTest, PercentilesAndMeans) {
+  Collector collector;
+  for (int i = 1; i <= 10; ++i) {
+    collector.Record(MakeRecord(0, 0, 0.1 * i, 0.1 * i, 0.1 * i, 0.1 * i + 1.0, 11));
+  }
+  EXPECT_NEAR(collector.TtftPercentile(50), 0.55, 1e-9);
+  EXPECT_NEAR(collector.MeanTtft(), 0.55, 1e-9);
+  EXPECT_NEAR(collector.MeanTpot(), 0.1, 1e-9);
+}
+
+TEST(CollectorTest, BreakdownSumsStages) {
+  Collector collector;
+  collector.Record(MakeRecord(1.0, 1.2, 1.5, 1.6, 1.7, 2.7, 11));
+  collector.Record(MakeRecord(2.0, 2.2, 2.5, 2.6, 2.7, 3.7, 11));
+  const LatencyBreakdown b = collector.ComputeBreakdown();
+  EXPECT_NEAR(b.prefill_queue, 0.4, 1e-9);
+  EXPECT_NEAR(b.prefill_exec, 0.6, 1e-9);
+  EXPECT_NEAR(b.transfer, 0.2, 1e-9);
+  EXPECT_NEAR(b.decode_queue, 0.2, 1e-9);
+  EXPECT_NEAR(b.decode_exec, 2.0, 1e-9);
+  EXPECT_NEAR(b.total(), 3.4, 1e-9);
+  const std::string str = b.ToString();
+  EXPECT_NE(str.find("decode_exec"), std::string::npos);
+}
+
+TEST(CollectorTest, TransferTimesSorted) {
+  Collector collector;
+  collector.Record(MakeRecord(0, 0, 0.1, 0.4, 0.4, 1.0, 2));
+  collector.Record(MakeRecord(0, 0, 0.1, 0.2, 0.2, 1.0, 2));
+  const std::vector<double> times = collector.SortedTransferTimes();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_LE(times[0], times[1]);
+  EXPECT_NEAR(times[0], 0.1, 1e-9);
+  EXPECT_NEAR(times[1], 0.3, 1e-9);
+}
+
+TEST(CollectorTest, CompletedThroughput) {
+  Collector collector;
+  collector.Record(MakeRecord(0.0, 0, 0.1, 0.1, 0.1, 1.0, 2));
+  collector.Record(MakeRecord(1.0, 1, 1.1, 1.1, 1.1, 5.0, 2));
+  EXPECT_DOUBLE_EQ(collector.CompletedThroughput(), 2.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace distserve::metrics

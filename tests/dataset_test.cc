@@ -1,0 +1,109 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::workload {
+namespace {
+
+TEST(DatasetTest, FixedDatasetConstant) {
+  FixedDataset dataset(512, 64);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const LengthSample s = dataset.Sample(rng);
+    EXPECT_EQ(s.input_len, 512);
+    EXPECT_EQ(s.output_len, 64);
+  }
+  EXPECT_EQ(dataset.name(), "fixed-512x64");
+}
+
+TEST(DatasetTest, ShareGptBoundsAndScale) {
+  const auto dataset = MakeShareGptLike();
+  Rng rng(2);
+  double in_sum = 0.0;
+  double out_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const LengthSample s = dataset->Sample(rng);
+    EXPECT_GE(s.input_len, 4);
+    EXPECT_LE(s.input_len, 2048);
+    EXPECT_GE(s.output_len, 2);
+    EXPECT_LE(s.output_len, 1024);
+    in_sum += s.input_len;
+    out_sum += s.output_len;
+  }
+  // Figure 7a scale: a few hundred tokens each way.
+  EXPECT_GT(in_sum / n, 150.0);
+  EXPECT_LT(in_sum / n, 500.0);
+  EXPECT_GT(out_sum / n, 100.0);
+  EXPECT_LT(out_sum / n, 400.0);
+}
+
+TEST(DatasetTest, LongBenchHasMuchLongerInputs) {
+  const auto sharegpt = MakeShareGptLike();
+  const auto longbench = MakeLongBenchLike();
+  Rng rng(3);
+  const LengthSample sg = sharegpt->MeanLengths(rng, 8192);
+  const LengthSample lb = longbench->MeanLengths(rng, 8192);
+  // Figure 7c: summarization prompts are ~10x chatbot prompts; outputs stay short.
+  EXPECT_GT(lb.input_len, 5 * sg.input_len);
+  EXPECT_LT(lb.output_len, 2 * sg.output_len);
+}
+
+TEST(DatasetTest, HumanEvalShortBothWays) {
+  const auto humaneval = MakeHumanEvalLike();
+  Rng rng(4);
+  const LengthSample he = humaneval->MeanLengths(rng, 8192);
+  EXPECT_LT(he.input_len, 300);
+  EXPECT_LT(he.output_len, 150);
+}
+
+TEST(DatasetTest, SamplingIsSeedDeterministic) {
+  const auto a = MakeShareGptLike();
+  Rng rng1(99);
+  Rng rng2(99);
+  for (int i = 0; i < 100; ++i) {
+    const LengthSample s1 = a->Sample(rng1);
+    const LengthSample s2 = a->Sample(rng2);
+    EXPECT_EQ(s1.input_len, s2.input_len);
+    EXPECT_EQ(s1.output_len, s2.output_len);
+  }
+}
+
+TEST(DatasetTest, EmpiricalResamplesObservedPairsOnly) {
+  std::vector<LengthSample> obs = {{10, 20}, {30, 40}, {50, 60}};
+  EmpiricalDataset dataset("test", obs);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const LengthSample s = dataset.Sample(rng);
+    const bool known = (s.input_len == 10 && s.output_len == 20) ||
+                       (s.input_len == 30 && s.output_len == 40) ||
+                       (s.input_len == 50 && s.output_len == 60);
+    EXPECT_TRUE(known);
+  }
+}
+
+TEST(DatasetTest, EmpiricalFromTracePreservesMarginals) {
+  Trace trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.push_back(Request{i, 0.0, 100 + i, 10 + i});
+  }
+  const EmpiricalDataset dataset = EmpiricalDataset::FromTrace("fit", trace);
+  EXPECT_EQ(dataset.observation_count(), 100u);
+  Rng rng(6);
+  const LengthSample mean = dataset.MeanLengths(rng, 20000);
+  EXPECT_NEAR(mean.input_len, 149, 5);
+  EXPECT_NEAR(mean.output_len, 59, 5);
+}
+
+TEST(DatasetTest, MakeDatasetByName) {
+  EXPECT_EQ(MakeDatasetByName("sharegpt")->name(), "sharegpt-like");
+  EXPECT_EQ(MakeDatasetByName("humaneval")->name(), "humaneval-like");
+  EXPECT_EQ(MakeDatasetByName("longbench")->name(), "longbench-like");
+}
+
+TEST(DatasetDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeDatasetByName("imagenet"), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace distserve::workload

@@ -1,0 +1,110 @@
+#include "simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace distserve::simcore {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.NextTime(), std::numeric_limits<SimTime>::infinity());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(3.0, [&] { fired.push_back(3); });
+  queue.Schedule(1.0, [&] { fired.push_back(1); });
+  queue.Schedule(2.0, [&] { fired.push_back(2); });
+  while (!queue.empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.Pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, PopReturnsTime) {
+  EventQueue queue;
+  queue.Schedule(7.5, [] {});
+  const auto fired = queue.Pop();
+  EXPECT_DOUBLE_EQ(fired.time, 7.5);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool ran = false;
+  EventHandle handle = queue.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelBuriedEventSkipped) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(1.0, [&] { fired.push_back(1); });
+  EventHandle mid = queue.Schedule(2.0, [&] { fired.push_back(2); });
+  queue.Schedule(3.0, [&] { fired.push_back(3); });
+  mid.Cancel();
+  while (!queue.empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue queue;
+  EventHandle head = queue.Schedule(1.0, [] {});
+  queue.Schedule(2.0, [] {});
+  head.Cancel();
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.0);
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterFire) {
+  EventQueue queue;
+  EventHandle handle = queue.Schedule(1.0, [] {});
+  queue.Pop().fn();
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // no-op, must not crash
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();
+}
+
+TEST(EventQueueTest, ScheduleDuringDrain) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(1.0, [&] {
+    fired.push_back(1);
+    queue.Schedule(1.5, [&] { fired.push_back(2); });
+  });
+  while (!queue.empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace distserve::simcore

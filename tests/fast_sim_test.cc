@@ -1,0 +1,195 @@
+#include "placement/fast_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/gpu_spec.h"
+#include "workload/generator.h"
+
+namespace distserve::placement {
+namespace {
+
+model::LatencyModel Lm13B(int tp = 1, int pp = 1) {
+  return model::LatencyModel(model::ModelSpec::Opt13B(), {tp, pp},
+                             cluster::GpuSpec::A100_80GB());
+}
+
+workload::Trace FixedTrace(double rate, int n, int in, int out, uint64_t seed = 1) {
+  workload::FixedDataset dataset(in, out);
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = n;
+  spec.seed = seed;
+  return workload::GenerateTrace(spec, dataset);
+}
+
+TEST(FastAttainmentTest, CountsMarginals) {
+  std::vector<FastRecord> records = {
+      {0.1, 0.05},  // both
+      {0.5, 0.05},  // tpot only
+      {0.1, 0.50},  // ttft only
+      {0.5, 0.50},  // neither
+  };
+  const metrics::Attainment a = FastAttainment(records, {0.2, 0.1});
+  EXPECT_DOUBLE_EQ(a.both, 0.25);
+  EXPECT_DOUBLE_EQ(a.ttft_only, 0.5);
+  EXPECT_DOUBLE_EQ(a.tpot_only, 0.5);
+  EXPECT_DOUBLE_EQ(FastAttainment({}, {1, 1}).both, 0.0);
+}
+
+TEST(FastPrefillTest, LowRateTtftIsExecutionTime) {
+  const model::LatencyModel lm = Lm13B();
+  const workload::Trace trace = FixedTrace(0.1, 50, 512, 8);
+  const std::vector<double> finish = SimulatePrefillFinishTimes(lm, trace, 512, 64);
+  const double exec = lm.PrefillFullTime(std::vector<int>{512});
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(finish[i] - trace[i].arrival_time, exec, 1e-9) << i;
+  }
+}
+
+TEST(FastPrefillTest, OverloadGrowsQueueing) {
+  const model::LatencyModel lm = Lm13B();
+  const double exec = lm.PrefillFullTime(std::vector<int>{512});
+  const double overload_rate = 1.5 / exec;  // utilization 1.5
+  const workload::Trace trace = FixedTrace(overload_rate, 200, 512, 8);
+  const std::vector<double> finish = SimulatePrefillFinishTimes(lm, trace, 512, 64);
+  // Later requests wait far longer than execution time.
+  EXPECT_GT(finish.back() - trace.back().arrival_time, 10.0 * exec);
+}
+
+TEST(FastPrefillTest, ShortPromptsBatchTogether) {
+  const model::LatencyModel lm = Lm13B();
+  // 100 requests of 64 tokens arriving simultaneously: batching packs ~8 per 512-token batch.
+  workload::Trace trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.push_back(workload::Request{i, 0.0, 64, 8});
+  }
+  const std::vector<double> batched = SimulatePrefillFinishTimes(lm, trace, 512, 64);
+  const std::vector<double> solo = SimulatePrefillFinishTimes(lm, trace, 64, 1);
+  EXPECT_LT(batched.back(), solo.back());
+}
+
+TEST(FastDecodeTest, UnloadedTpotMatchesStepTime) {
+  const model::LatencyModel lm = Lm13B();
+  workload::Trace trace = {workload::Request{0, 0.0, 128, 11}};
+  const std::vector<double> ready = {0.0};
+  const std::vector<double> tpots = SimulateDecodeTpots(lm, 1 << 20, trace, ready, 256);
+  // 10 decode steps at ctx ~ 129..138: close to a single-step estimate.
+  const double step = lm.DecodeStepFullTime(1, 134);
+  EXPECT_NEAR(tpots[0], step, 0.1 * step);
+}
+
+TEST(FastDecodeTest, MemoryPressureInflatesTpotViaQueueing) {
+  const model::LatencyModel lm = Lm13B();
+  workload::Trace trace;
+  std::vector<double> ready;
+  for (int i = 0; i < 20; ++i) {
+    trace.push_back(workload::Request{i, 0.0, 100, 30});
+    ready.push_back(0.0);
+  }
+  const std::vector<double> roomy = SimulateDecodeTpots(lm, 1 << 20, trace, ready, 256);
+  const std::vector<double> tight = SimulateDecodeTpots(lm, 200, trace, ready, 256);
+  // With room for ~1 request at a time, later requests queue: max TPOT explodes.
+  double roomy_max = 0.0;
+  double tight_max = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    roomy_max = std::max(roomy_max, roomy[static_cast<size_t>(i)]);
+    tight_max = std::max(tight_max, tight[static_cast<size_t>(i)]);
+  }
+  EXPECT_GT(tight_max, 5.0 * roomy_max);
+}
+
+TEST(FastDecodeTest, SingleTokenOutputsReportZero) {
+  const model::LatencyModel lm = Lm13B();
+  workload::Trace trace = {workload::Request{0, 0.0, 128, 1}};
+  const std::vector<double> tpots = SimulateDecodeTpots(lm, 1 << 20, trace, {0.0}, 256);
+  EXPECT_DOUBLE_EQ(tpots[0], 0.0);
+}
+
+TEST(FastDisaggregatedTest, RecordsBothMetrics) {
+  const model::LatencyModel lm = Lm13B();
+  DisaggregatedFastConfig config;
+  config.decode_kv_capacity_tokens = 1 << 20;
+  const workload::Trace trace = FixedTrace(2.0, 100, 256, 16);
+  const auto records = SimulateDisaggregated(lm, lm, trace, config);
+  ASSERT_EQ(records.size(), trace.size());
+  for (const FastRecord& r : records) {
+    EXPECT_GT(r.ttft, 0.0);
+    EXPECT_GT(r.tpot, 0.0);
+  }
+}
+
+TEST(FastDisaggregatedTest, MorePrefillInstancesCutTtft) {
+  const model::LatencyModel lm = Lm13B();
+  DisaggregatedFastConfig one;
+  one.decode_kv_capacity_tokens = 1 << 20;
+  DisaggregatedFastConfig four = one;
+  four.num_prefill = 4;
+  const double exec = lm.PrefillFullTime(std::vector<int>{512});
+  const workload::Trace trace = FixedTrace(0.9 / exec, 300, 512, 8);
+  const auto r1 = SimulateDisaggregated(lm, lm, trace, one);
+  const auto r4 = SimulateDisaggregated(lm, lm, trace, four);
+  auto p90 = [](const std::vector<FastRecord>& records) {
+    std::vector<double> ttfts;
+    for (const FastRecord& r : records) {
+      ttfts.push_back(r.ttft);
+    }
+    std::sort(ttfts.begin(), ttfts.end());
+    return ttfts[static_cast<size_t>(0.9 * ttfts.size())];
+  };
+  EXPECT_LT(p90(r4), p90(r1));
+}
+
+TEST(FastColocatedTest, InterferenceInflatesTpotVsDisaggregated) {
+  // The central claim of the paper at fast-sim level: at the same moderate load, colocated
+  // serving shows far worse TPOT than disaggregated serving.
+  const model::LatencyModel lm = Lm13B();
+  const workload::Trace trace = FixedTrace(4.0, 400, 512, 64, 3);
+  ColocatedFastConfig coloc;
+  coloc.kv_capacity_tokens = 1 << 20;
+  DisaggregatedFastConfig disagg;
+  disagg.decode_kv_capacity_tokens = 1 << 20;
+  const auto rc = SimulateColocated(lm, trace, coloc);
+  const auto rd = SimulateDisaggregated(lm, lm, trace, disagg);
+  double coloc_tpot = 0.0;
+  double disagg_tpot = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    coloc_tpot += rc[i].tpot;
+    disagg_tpot += rd[i].tpot;
+  }
+  EXPECT_GT(coloc_tpot, 2.0 * disagg_tpot);
+}
+
+TEST(FastColocatedTest, AllRequestsServed) {
+  const model::LatencyModel lm = Lm13B();
+  ColocatedFastConfig config;
+  config.kv_capacity_tokens = 50000;
+  config.num_instances = 2;
+  const workload::Trace trace = FixedTrace(6.0, 500, 200, 40, 11);
+  const auto records = SimulateColocated(lm, trace, config);
+  ASSERT_EQ(records.size(), 500u);
+  for (const FastRecord& r : records) {
+    EXPECT_GT(r.ttft, 0.0);
+    EXPECT_GT(r.tpot, 0.0);
+  }
+}
+
+TEST(FastColocatedTest, MoreInstancesImproveTtft) {
+  const model::LatencyModel lm = Lm13B();
+  ColocatedFastConfig one;
+  one.kv_capacity_tokens = 1 << 20;
+  ColocatedFastConfig two = one;
+  two.num_instances = 2;
+  const workload::Trace trace = FixedTrace(8.0, 400, 512, 32, 13);
+  const auto r1 = SimulateColocated(lm, trace, one);
+  const auto r2 = SimulateColocated(lm, trace, two);
+  double t1 = 0.0;
+  double t2 = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    t1 += r1[i].ttft;
+    t2 += r2[i].ttft;
+  }
+  EXPECT_LT(t2, t1);
+}
+
+}  // namespace
+}  // namespace distserve::placement

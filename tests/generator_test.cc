@@ -1,0 +1,124 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::workload {
+namespace {
+
+TEST(GeneratorTest, TraceShapeAndDeterminism) {
+  FixedDataset dataset(100, 10);
+  TraceSpec spec;
+  spec.rate = 2.0;
+  spec.num_requests = 500;
+  spec.seed = 42;
+  const Trace a = GenerateTrace(spec, dataset);
+  const Trace b = GenerateTrace(spec, dataset);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<RequestId>(i));
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].input_len, 100);
+    EXPECT_EQ(a[i].output_len, 10);
+  }
+  EXPECT_DOUBLE_EQ(a[0].arrival_time, 0.0);
+}
+
+TEST(GeneratorTest, ArrivalsMonotoneAndRateMatches) {
+  const auto dataset = MakeShareGptLike();
+  TraceSpec spec;
+  spec.rate = 5.0;
+  spec.num_requests = 20000;
+  spec.seed = 7;
+  const Trace trace = GenerateTrace(spec, *dataset);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+  }
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_NEAR(stats.observed_rate, 5.0, 0.25);
+}
+
+TEST(GeneratorTest, LengthsIndependentOfRate) {
+  // Same seed, different rates: request i gets identical lengths (separate RNG streams).
+  const auto dataset = MakeShareGptLike();
+  TraceSpec slow;
+  slow.rate = 1.0;
+  slow.num_requests = 200;
+  slow.seed = 11;
+  TraceSpec fast = slow;
+  fast.rate = 50.0;
+  const Trace a = GenerateTrace(slow, *dataset);
+  const Trace b = GenerateTrace(fast, *dataset);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].input_len, b[i].input_len);
+    EXPECT_EQ(a[i].output_len, b[i].output_len);
+  }
+}
+
+TEST(GeneratorTest, BurstinessIncreasesGapVariance) {
+  FixedDataset dataset(64, 8);
+  TraceSpec smooth;
+  smooth.rate = 10.0;
+  smooth.num_requests = 20000;
+  smooth.seed = 13;
+  smooth.burstiness_cv = 1.0;
+  TraceSpec bursty = smooth;
+  bursty.burstiness_cv = 4.0;
+  auto gap_var = [](const Trace& trace) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (size_t i = 1; i < trace.size(); ++i) {
+      const double g = trace[i].arrival_time - trace[i - 1].arrival_time;
+      sum += g;
+      sq += g * g;
+    }
+    const double n = static_cast<double>(trace.size() - 1);
+    const double mean = sum / n;
+    return sq / n - mean * mean;
+  };
+  EXPECT_GT(gap_var(GenerateTrace(bursty, dataset)),
+            5.0 * gap_var(GenerateTrace(smooth, dataset)));
+}
+
+TEST(GeneratorTest, ShiftingTraceChangesRegime) {
+  FixedDataset first(100, 10);
+  FixedDataset second(1000, 50);
+  TraceSpec spec;
+  spec.rate = 4.0;
+  spec.num_requests = 400;
+  spec.seed = 17;
+  const Trace trace = GenerateShiftingTrace(spec, first, second, 200, 16.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(trace[static_cast<size_t>(i)].input_len, 100);
+  }
+  for (int i = 200; i < 400; ++i) {
+    EXPECT_EQ(trace[static_cast<size_t>(i)].input_len, 1000);
+  }
+  // Second half arrives ~4x faster.
+  const double first_span = trace[199].arrival_time - trace[0].arrival_time;
+  const double second_span = trace[399].arrival_time - trace[200].arrival_time;
+  EXPECT_LT(second_span, first_span / 2.0);
+}
+
+TEST(GeneratorTest, TraceStatsComputesExtremes) {
+  Trace trace = {
+      Request{0, 0.0, 10, 5},
+      Request{1, 1.0, 30, 7},
+      Request{2, 4.0, 20, 3},
+  };
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_DOUBLE_EQ(stats.duration, 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean_input_len, 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_output_len, 5.0);
+  EXPECT_EQ(stats.max_input_len, 30);
+  EXPECT_EQ(stats.max_output_len, 7);
+  EXPECT_DOUBLE_EQ(stats.observed_rate, 0.75);
+}
+
+TEST(GeneratorTest, EmptyTraceStats) {
+  const TraceStats stats = ComputeTraceStats({});
+  EXPECT_DOUBLE_EQ(stats.duration, 0.0);
+  EXPECT_DOUBLE_EQ(stats.observed_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace distserve::workload

@@ -1,0 +1,78 @@
+#include "placement/goodput.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+
+namespace distserve::placement {
+namespace {
+
+GoodputSearchOptions FastOptions() {
+  GoodputSearchOptions options;
+  options.num_requests = 100;
+  options.min_trace_duration = 0.0;
+  options.max_requests = 100;
+  options.bisection_iters = 20;
+  return options;
+}
+
+TEST(GoodputTest, RecoversAnalyticThreshold) {
+  // Synthetic attainment: passes iff observed trace rate <= 5 rps.
+  workload::FixedDataset dataset(100, 10);
+  auto attainment = [](const workload::Trace& trace) {
+    const workload::TraceStats stats = workload::ComputeTraceStats(trace);
+    return stats.observed_rate <= 5.0 ? 1.0 : 0.0;
+  };
+  const double rate = FindMaxRate(attainment, dataset, FastOptions());
+  EXPECT_NEAR(rate, 5.0, 0.5);
+}
+
+TEST(GoodputTest, HopelessConfigReturnsZero) {
+  workload::FixedDataset dataset(100, 10);
+  auto never = [](const workload::Trace&) { return 0.0; };
+  EXPECT_DOUBLE_EQ(FindMaxRate(never, dataset, FastOptions()), 0.0);
+}
+
+TEST(GoodputTest, AlwaysPassingCapsOut) {
+  workload::FixedDataset dataset(100, 10);
+  auto always = [](const workload::Trace&) { return 1.0; };
+  EXPECT_GT(FindMaxRate(always, dataset, FastOptions()), 1e4);
+}
+
+TEST(GoodputTest, AttainmentTargetMatters) {
+  // Attainment decays smoothly with rate: a = max(0, 1 - rate/10).
+  workload::FixedDataset dataset(100, 10);
+  auto decay = [](const workload::Trace& trace) {
+    const double rate = workload::ComputeTraceStats(trace).observed_rate;
+    return std::max(0.0, 1.0 - rate / 10.0);
+  };
+  GoodputSearchOptions strict = FastOptions();
+  strict.attainment_target = 0.9;
+  GoodputSearchOptions loose = FastOptions();
+  loose.attainment_target = 0.5;
+  const double strict_rate = FindMaxRate(decay, dataset, strict);
+  const double loose_rate = FindMaxRate(decay, dataset, loose);
+  EXPECT_LT(strict_rate, loose_rate);
+  EXPECT_NEAR(strict_rate, 1.0, 0.5);
+  EXPECT_NEAR(loose_rate, 5.0, 1.0);
+}
+
+TEST(GoodputTest, TraceSizeScalesWithRate) {
+  workload::FixedDataset dataset(100, 10);
+  GoodputSearchOptions options;
+  options.num_requests = 50;
+  options.min_trace_duration = 10.0;
+  options.max_requests = 500;
+  int max_seen = 0;
+  auto spy = [&](const workload::Trace& trace) {
+    max_seen = std::max(max_seen, static_cast<int>(trace.size()));
+    return workload::ComputeTraceStats(trace).observed_rate <= 20.0 ? 1.0 : 0.0;
+  };
+  FindMaxRate(spy, dataset, options);
+  // Probes above 5 rps must have generated more than the 50-request floor.
+  EXPECT_GT(max_seen, 100);
+  EXPECT_LE(max_seen, 500);
+}
+
+}  // namespace
+}  // namespace distserve::placement

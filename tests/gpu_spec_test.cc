@@ -1,0 +1,34 @@
+#include "cluster/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::cluster {
+namespace {
+
+TEST(GpuSpecTest, A100SpecsMatchDatasheet) {
+  const GpuSpec gpu = GpuSpec::A100_80GB();
+  EXPECT_EQ(gpu.name, "A100-SXM4-80GB");
+  EXPECT_DOUBLE_EQ(gpu.peak_fp16_flops, 312e12);
+  EXPECT_DOUBLE_EQ(gpu.hbm_bandwidth, 2039e9);
+  EXPECT_EQ(gpu.memory_bytes, 80LL * 1024 * 1024 * 1024);
+  EXPECT_GT(gpu.nvlink_bandwidth, 100e9);
+}
+
+TEST(GpuSpecTest, EffectiveRatesAreDerated) {
+  const GpuSpec gpu = GpuSpec::A100_80GB();
+  EXPECT_LT(gpu.effective_flops(), gpu.peak_fp16_flops);
+  EXPECT_GE(gpu.effective_flops(), 0.3 * gpu.peak_fp16_flops);
+  EXPECT_LT(gpu.effective_bandwidth(), gpu.hbm_bandwidth);
+  EXPECT_GE(gpu.effective_bandwidth(), 0.5 * gpu.hbm_bandwidth);
+}
+
+TEST(GpuSpecTest, FortyGigVariantHalvesMemoryOnly) {
+  const GpuSpec a80 = GpuSpec::A100_80GB();
+  const GpuSpec a40 = GpuSpec::A100_40GB();
+  EXPECT_EQ(a40.memory_bytes * 2, a80.memory_bytes);
+  EXPECT_DOUBLE_EQ(a40.peak_fp16_flops, a80.peak_fp16_flops);
+  EXPECT_DOUBLE_EQ(a40.hbm_bandwidth, a80.hbm_bandwidth);
+}
+
+}  // namespace
+}  // namespace distserve::cluster

@@ -1,0 +1,123 @@
+#include "engine/kv_block_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distserve::engine {
+namespace {
+
+TEST(KvBlockManagerTest, CapacityRoundsDownToBlocks) {
+  KvBlockManager kv(100, 16);
+  EXPECT_EQ(kv.total_blocks(), 6);  // 100 / 16
+  EXPECT_EQ(kv.free_blocks(), 6);
+  EXPECT_EQ(kv.used_blocks(), 0);
+}
+
+TEST(KvBlockManagerTest, BlocksForTokensCeil) {
+  KvBlockManager kv(1024, 16);
+  EXPECT_EQ(kv.BlocksForTokens(0), 0);
+  EXPECT_EQ(kv.BlocksForTokens(1), 1);
+  EXPECT_EQ(kv.BlocksForTokens(16), 1);
+  EXPECT_EQ(kv.BlocksForTokens(17), 2);
+  EXPECT_EQ(kv.BlocksForTokens(160), 10);
+}
+
+TEST(KvBlockManagerTest, ReserveAndRelease) {
+  KvBlockManager kv(1024, 16);  // 64 blocks
+  EXPECT_TRUE(kv.Reserve(1, 100));  // 7 blocks
+  EXPECT_EQ(kv.used_blocks(), 7);
+  EXPECT_TRUE(kv.Holds(1));
+  EXPECT_EQ(kv.SequenceTokens(1), 100);
+  kv.Release(1);
+  EXPECT_EQ(kv.used_blocks(), 0);
+  EXPECT_FALSE(kv.Holds(1));
+}
+
+TEST(KvBlockManagerTest, ReserveFailsWithoutSideEffects) {
+  KvBlockManager kv(64, 16);  // 4 blocks
+  EXPECT_TRUE(kv.Reserve(1, 48));  // 3 blocks
+  EXPECT_FALSE(kv.CanReserve(32));
+  EXPECT_FALSE(kv.Reserve(2, 32));  // needs 2, only 1 free
+  EXPECT_EQ(kv.used_blocks(), 3);
+  EXPECT_FALSE(kv.Holds(2));
+  EXPECT_TRUE(kv.Reserve(3, 16));  // exactly the last block
+  EXPECT_EQ(kv.free_blocks(), 0);
+}
+
+TEST(KvBlockManagerTest, GrowWithinBlockIsFree) {
+  KvBlockManager kv(1024, 16);
+  EXPECT_TRUE(kv.Reserve(1, 10));
+  EXPECT_EQ(kv.used_blocks(), 1);
+  EXPECT_TRUE(kv.Grow(1, 6));  // 16 tokens, still one block
+  EXPECT_EQ(kv.used_blocks(), 1);
+  EXPECT_TRUE(kv.Grow(1, 1));  // 17 tokens crosses the boundary
+  EXPECT_EQ(kv.used_blocks(), 2);
+  EXPECT_EQ(kv.SequenceTokens(1), 17);
+}
+
+TEST(KvBlockManagerTest, GrowFailsWhenExhausted) {
+  KvBlockManager kv(32, 16);  // 2 blocks
+  EXPECT_TRUE(kv.Reserve(1, 16));
+  EXPECT_TRUE(kv.Reserve(2, 16));
+  EXPECT_FALSE(kv.Grow(1, 1));
+  EXPECT_EQ(kv.SequenceTokens(1), 16);  // unchanged on failure
+  kv.Release(2);
+  EXPECT_TRUE(kv.Grow(1, 1));
+}
+
+TEST(KvBlockManagerTest, ZeroTokenReservation) {
+  KvBlockManager kv(64, 16);
+  EXPECT_TRUE(kv.Reserve(1, 0));
+  EXPECT_EQ(kv.used_blocks(), 0);
+  EXPECT_TRUE(kv.Holds(1));
+  kv.Release(1);
+}
+
+TEST(KvBlockManagerDeathTest, DoubleReserveAborts) {
+  KvBlockManager kv(64, 16);
+  EXPECT_TRUE(kv.Reserve(1, 16));
+  EXPECT_DEATH(kv.Reserve(1, 16), "already reserved");
+}
+
+TEST(KvBlockManagerDeathTest, ReleaseUnknownAborts) {
+  KvBlockManager kv(64, 16);
+  EXPECT_DEATH(kv.Release(99), "unknown sequence");
+}
+
+// Property test: a random sequence of reserve/grow/release never corrupts the accounting.
+TEST(KvBlockManagerPropertyTest, RandomOpsPreserveInvariants) {
+  distserve::Rng rng(777);
+  KvBlockManager kv(10000, 16);
+  std::vector<SeqId> live;
+  SeqId next_id = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const double op = rng.NextDouble();
+    if (op < 0.4) {
+      const int64_t tokens = rng.UniformInt(1, 400);
+      if (kv.Reserve(next_id, tokens)) {
+        live.push_back(next_id);
+      }
+      ++next_id;
+    } else if (op < 0.7 && !live.empty()) {
+      const SeqId seq = live[static_cast<size_t>(rng.UniformInt(0, live.size() - 1))];
+      kv.Grow(seq, rng.UniformInt(1, 32));
+    } else if (!live.empty()) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+      kv.Release(live[pick]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    // Invariants: non-negative free space, sequence count consistency, used <= total.
+    ASSERT_GE(kv.free_blocks(), 0);
+    ASSERT_LE(kv.used_blocks(), kv.total_blocks());
+    ASSERT_EQ(kv.sequence_count(), live.size());
+  }
+  for (SeqId seq : live) {
+    kv.Release(seq);
+  }
+  EXPECT_EQ(kv.used_blocks(), 0);
+  EXPECT_EQ(kv.sequence_count(), 0u);
+}
+
+}  // namespace
+}  // namespace distserve::engine

@@ -1,0 +1,79 @@
+#include "common/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distserve {
+namespace {
+
+TEST(LinearFitTest, ExactRecoveryNoiseless) {
+  // target = 2*x0 + 3*x1 - 1*x2
+  std::vector<LinearSample> samples;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const double x0 = rng.Uniform(0, 10);
+    const double x1 = rng.Uniform(0, 10);
+    const double x2 = rng.Uniform(0, 10);
+    samples.push_back({{x0, x1, x2}, 2 * x0 + 3 * x1 - x2});
+  }
+  const auto fit = LeastSquaresFit(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR((*fit)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*fit)[1], 3.0, 1e-9);
+  EXPECT_NEAR((*fit)[2], -1.0, 1e-9);
+  EXPECT_NEAR(RSquared(samples, *fit), 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyFitApproximatesTruth) {
+  std::vector<LinearSample> samples;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.Uniform(1, 10);
+    const double x1 = rng.Uniform(1, 10);
+    samples.push_back({{x0, x1}, 5 * x0 + 0.5 * x1 + rng.Normal(0.0, 0.1)});
+  }
+  const auto fit = LeastSquaresFit(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR((*fit)[0], 5.0, 0.02);
+  EXPECT_NEAR((*fit)[1], 0.5, 0.02);
+  EXPECT_GT(RSquared(samples, *fit), 0.99);
+}
+
+TEST(LinearFitTest, SingularReturnsNullopt) {
+  // Second feature identically zero -> singular normal equations.
+  std::vector<LinearSample> samples;
+  for (int i = 1; i <= 5; ++i) {
+    samples.push_back({{static_cast<double>(i), 0.0}, static_cast<double>(2 * i)});
+  }
+  EXPECT_FALSE(LeastSquaresFit(samples).has_value());
+}
+
+TEST(LinearFitTest, EmptyAndUnderdetermined) {
+  EXPECT_FALSE(LeastSquaresFit({}).has_value());
+  std::vector<LinearSample> one = {{{1.0, 2.0}, 3.0}};
+  EXPECT_FALSE(LeastSquaresFit(one).has_value());  // fewer samples than features
+}
+
+TEST(LinearFitTest, CollinearFeaturesSingular) {
+  std::vector<LinearSample> samples;
+  for (int i = 1; i <= 6; ++i) {
+    const double x = static_cast<double>(i);
+    samples.push_back({{x, 2.0 * x}, 3.0 * x});
+  }
+  EXPECT_FALSE(LeastSquaresFit(samples).has_value());
+}
+
+TEST(LinearFitTest, RSquaredOfConstantTarget) {
+  std::vector<LinearSample> samples;
+  for (int i = 1; i <= 5; ++i) {
+    samples.push_back({{1.0}, 4.0});
+  }
+  const auto fit = LeastSquaresFit(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR((*fit)[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RSquared(samples, *fit), 1.0);
+}
+
+}  // namespace
+}  // namespace distserve

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  DS_LOG(Debug) << count();
+  DS_LOG(Info) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(LoggingCheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DS_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingCheckDeathTest, CheckOpFailureShowsValues) {
+  EXPECT_DEATH({ DS_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  DS_CHECK(true) << "never shown";
+  DS_CHECK_EQ(2, 2);
+  DS_CHECK_LT(1, 2);
+  DS_CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace distserve

@@ -1,0 +1,90 @@
+#include "queueing/md1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace distserve::queueing {
+namespace {
+
+TEST(Md1Test, ZeroRateGivesPureServiceTime) {
+  EXPECT_DOUBLE_EQ(Md1AvgTtft(0.0, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(Md1AvgQueueingDelay(0.0, 0.1), 0.0);
+}
+
+TEST(Md1Test, KnownValue) {
+  // R = 5, D = 0.1 -> rho = 0.5; wait = 5*0.01/(2*0.5) = 0.05.
+  EXPECT_NEAR(Md1AvgQueueingDelay(5.0, 0.1), 0.05, 1e-12);
+  EXPECT_NEAR(Md1AvgTtft(5.0, 0.1), 0.15, 1e-12);
+}
+
+TEST(Md1Test, UnstableQueueIsInfinite) {
+  EXPECT_TRUE(std::isinf(Md1AvgTtft(10.0, 0.1)));
+  EXPECT_TRUE(std::isinf(Md1AvgTtft(11.0, 0.1)));
+}
+
+TEST(Md1Test, WaitGrowsWithRate) {
+  double prev = 0.0;
+  for (double rate : {1.0, 3.0, 5.0, 7.0, 9.0}) {
+    const double wait = Md1AvgQueueingDelay(rate, 0.1);
+    EXPECT_GT(wait, prev);
+    prev = wait;
+  }
+}
+
+TEST(Md1Test, MaxStableRates) {
+  EXPECT_DOUBLE_EQ(Md1MaxStableRate(0.1), 10.0);
+  EXPECT_DOUBLE_EQ(InterOp2MaxStableRate(0.1), 20.0);
+  EXPECT_DOUBLE_EQ(IntraOp2MaxStableRate(0.1, 1.6), 16.0);
+}
+
+TEST(InterOpTest, Eq2MatchesClosedForm) {
+  // Eq. 2: D + R D^2 / (4 (2 - R D)) with R = 10, D = 0.1 -> 0.1 + 0.1/(4*1) = 0.125.
+  EXPECT_NEAR(InterOp2AvgTtft(10.0, 0.1), 0.125, 1e-12);
+  EXPECT_TRUE(std::isinf(InterOp2AvgTtft(20.0, 0.1)));
+}
+
+TEST(IntraOpTest, Eq3MatchesClosedForm) {
+  // Eq. 3 with K = 2 (perfect speedup): D/2 + R D^2 / (4 (2 - R D)).
+  const double k2 = IntraOp2AvgTtft(10.0, 0.1, 2.0);
+  EXPECT_NEAR(k2, 0.05 + 10.0 * 0.01 / (4.0 * (2.0 - 1.0)), 1e-12);
+  EXPECT_TRUE(std::isinf(IntraOp2AvgTtft(16.0, 0.1, 1.6)));
+}
+
+TEST(CrossoverTest, IntraWinsLowRateInterWinsHighRate) {
+  // §3.1: intra-op is better at low rates (execution-time term), inter-op at high rates
+  // (queueing term) when K < 2.
+  const double service = 0.1;
+  const double k = 1.5;
+  EXPECT_LT(IntraOp2AvgTtft(0.5, service, k), InterOp2AvgTtft(0.5, service));
+  EXPECT_GT(IntraOp2AvgTtft(14.0, service, k), InterOp2AvgTtft(14.0, service));
+}
+
+TEST(CrossoverTest, CrossoverRateSeparatesRegimes) {
+  const double service = 0.1;
+  const double k = 1.5;
+  const double crossover = InterIntraCrossoverRate(service, k);
+  ASSERT_GT(crossover, 0.0);
+  EXPECT_LT(IntraOp2AvgTtft(crossover * 0.9, service, k),
+            InterOp2AvgTtft(crossover * 0.9, service));
+  EXPECT_GT(IntraOp2AvgTtft(crossover * 1.1, service, k),
+            InterOp2AvgTtft(crossover * 1.1, service));
+}
+
+TEST(CrossoverTest, HigherKPushesCrossoverRight) {
+  // Figure 4b: a better intra-op speedup keeps intra-op competitive to higher rates.
+  const double service = 0.1;
+  const double low_k = InterIntraCrossoverRate(service, 1.3);
+  const double high_k = InterIntraCrossoverRate(service, 1.9);
+  ASSERT_GT(low_k, 0.0);
+  ASSERT_GT(high_k, 0.0);
+  EXPECT_GT(high_k, low_k);
+}
+
+TEST(CrossoverTest, PerfectKIntraDominatesEverywhere) {
+  // With K = 2 exactly, Eq. 3 < Eq. 2 across the whole stable range: no crossover.
+  EXPECT_DOUBLE_EQ(InterIntraCrossoverRate(0.1, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace distserve::queueing

@@ -1,0 +1,52 @@
+#include "model/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::model {
+namespace {
+
+TEST(ModelSpecTest, OptFamilyParameterCounts) {
+  // Parameter counts should land close to the nominal sizes (embeddings included).
+  EXPECT_NEAR(ModelSpec::Opt13B().param_count() / 1e9, 13.0, 0.7);
+  EXPECT_NEAR(ModelSpec::Opt66B().param_count() / 1e9, 66.0, 2.0);
+  EXPECT_NEAR(ModelSpec::Opt175B().param_count() / 1e9, 175.0, 5.0);
+  EXPECT_NEAR(ModelSpec::Opt1_3B().param_count() / 1e9, 1.3, 0.15);
+  EXPECT_NEAR(ModelSpec::Opt2_7B().param_count() / 1e9, 2.7, 0.3);
+  EXPECT_NEAR(ModelSpec::Opt6_7B().param_count() / 1e9, 6.7, 0.4);
+  EXPECT_NEAR(ModelSpec::Opt30B().param_count() / 1e9, 30.0, 1.5);
+}
+
+TEST(ModelSpecTest, WeightBytesMatchTable1) {
+  // Table 1: OPT-13B = 26 GB, OPT-66B = 132 GB, OPT-175B = 350 GB at FP16.
+  EXPECT_NEAR(ModelSpec::Opt13B().weight_bytes() / 1e9, 26.0, 1.5);
+  EXPECT_NEAR(ModelSpec::Opt66B().weight_bytes() / 1e9, 132.0, 4.0);
+  EXPECT_NEAR(ModelSpec::Opt175B().weight_bytes() / 1e9, 350.0, 10.0);
+}
+
+TEST(ModelSpecTest, KvBytesMatchPaperExample) {
+  // §3.3: the KV cache of a single 512-token request on OPT-66B is ~1.13 GB.
+  const ModelSpec spec = ModelSpec::Opt66B();
+  const double kv_512 = static_cast<double>(spec.kv_bytes_per_token()) * 512.0;
+  EXPECT_NEAR(kv_512 / (1024.0 * 1024.0 * 1024.0), 1.13, 0.02);
+}
+
+TEST(ModelSpecTest, HeadSizeDividesHidden) {
+  for (const ModelSpec& spec :
+       {ModelSpec::Opt1_3B(), ModelSpec::Opt2_7B(), ModelSpec::Opt6_7B(), ModelSpec::Opt13B(),
+        ModelSpec::Opt30B(), ModelSpec::Opt66B(), ModelSpec::Opt175B()}) {
+    EXPECT_EQ(spec.head_size() * spec.num_heads, spec.hidden_size) << spec.name;
+    EXPECT_EQ(spec.ffn_size, 4 * spec.hidden_size) << spec.name;
+    EXPECT_GT(spec.num_layers, 0) << spec.name;
+  }
+}
+
+TEST(ModelSpecTest, KvScalesWithDepthAndWidth) {
+  const ModelSpec small = ModelSpec::Opt13B();
+  const ModelSpec large = ModelSpec::Opt66B();
+  EXPECT_GT(large.kv_bytes_per_token(), small.kv_bytes_per_token());
+  EXPECT_EQ(small.kv_bytes_per_token(),
+            2LL * small.num_layers * small.hidden_size * small.dtype_bytes);
+}
+
+}  // namespace
+}  // namespace distserve::model

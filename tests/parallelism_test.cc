@@ -1,0 +1,67 @@
+#include "model/parallelism.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::model {
+namespace {
+
+TEST(ParallelismTest, NumGpusAndToString) {
+  const ParallelismConfig par{4, 3};
+  EXPECT_EQ(par.num_gpus(), 12);
+  EXPECT_EQ(par.ToString(), "tp=4,pp=3");
+  EXPECT_EQ((ParallelismConfig{1, 1}).num_gpus(), 1);
+}
+
+TEST(ShardedViewTest, LayersPerStageCeil) {
+  const ModelSpec spec = ModelSpec::Opt13B();  // 40 layers
+  EXPECT_EQ(ShardedModelView(spec, {1, 1}).layers_per_stage(), 40);
+  EXPECT_EQ(ShardedModelView(spec, {1, 2}).layers_per_stage(), 20);
+  EXPECT_EQ(ShardedModelView(spec, {1, 3}).layers_per_stage(), 14);  // ceil(40/3)
+  EXPECT_EQ(ShardedModelView(spec, {1, 40}).layers_per_stage(), 1);
+}
+
+TEST(ShardedViewTest, WeightAndKvShardsDivideEvenly) {
+  const ModelSpec spec = ModelSpec::Opt66B();
+  const ShardedModelView whole(spec, {1, 1});
+  const ShardedModelView sharded(spec, {2, 4});
+  EXPECT_EQ(sharded.weight_bytes_per_gpu(), whole.weight_bytes_per_gpu() / 8);
+  EXPECT_EQ(sharded.kv_bytes_per_token_per_gpu(), whole.kv_bytes_per_token_per_gpu() / 8);
+}
+
+TEST(ShardedViewTest, MemoryFitMatchesPaperConfigs) {
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  // OPT-13B (26 GB) fits a single A100-80GB.
+  EXPECT_TRUE(ShardedModelView(ModelSpec::Opt13B(), {1, 1}).FitsInMemory(gpu));
+  // OPT-66B (132 GB) does not fit one GPU but fits 4-way sharding.
+  EXPECT_FALSE(ShardedModelView(ModelSpec::Opt66B(), {1, 1}).FitsInMemory(gpu));
+  EXPECT_TRUE(ShardedModelView(ModelSpec::Opt66B(), {4, 1}).FitsInMemory(gpu));
+  // OPT-175B (350 GB) needs ~8+ GPUs.
+  EXPECT_FALSE(ShardedModelView(ModelSpec::Opt175B(), {4, 1}).FitsInMemory(gpu));
+  EXPECT_TRUE(ShardedModelView(ModelSpec::Opt175B(), {4, 3}).FitsInMemory(gpu));
+}
+
+TEST(ShardedViewTest, KvCapacityPositiveOnlyWhenWeightsFit) {
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  EXPECT_EQ(ShardedModelView(ModelSpec::Opt66B(), {1, 1}).KvCapacityTokens(gpu), 0);
+  const int64_t capacity = ShardedModelView(ModelSpec::Opt13B(), {1, 1}).KvCapacityTokens(gpu);
+  EXPECT_GT(capacity, 0);
+  // 13B on 80 GB: ~(73.6 - 26) GB / 0.82 MB per token ~ 58k tokens.
+  EXPECT_NEAR(static_cast<double>(capacity), 58000.0, 8000.0);
+}
+
+TEST(ShardedViewTest, KvCapacityScalesWithGpus) {
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  const int64_t one = ShardedModelView(ModelSpec::Opt13B(), {1, 1}).KvCapacityTokens(gpu);
+  const int64_t two = ShardedModelView(ModelSpec::Opt13B(), {2, 1}).KvCapacityTokens(gpu);
+  // Two GPUs hold the same weights once but twice the raw memory: capacity more than doubles.
+  EXPECT_GT(two, 2 * one);
+}
+
+TEST(ShardedViewTest, ReserveFractionReducesCapacity) {
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  const ShardedModelView view(ModelSpec::Opt13B(), {1, 1});
+  EXPECT_GT(view.KvCapacityTokens(gpu, 0.05), view.KvCapacityTokens(gpu, 0.3));
+}
+
+}  // namespace
+}  // namespace distserve::model

@@ -1,0 +1,117 @@
+// Property tests validating the DES engine against closed-form queueing theory (§3.1).
+//
+// A disaggregated prefill instance fed uniform-length prompts by a Poisson process, with
+// batching disabled, is an M/D/1 queue: its empirical average TTFT must converge to Eq. 1.
+// The same setup validates the Eq. 2 / Eq. 3 parallelism variants directionally.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "cluster/gpu_spec.h"
+#include "engine/prefill_instance.h"
+#include "queueing/md1.h"
+#include "workload/generator.h"
+
+namespace distserve {
+namespace {
+
+// Runs a prefill-only DES with batching disabled (max batch 1) and returns mean TTFT.
+double EngineMeanTtft(const model::LatencyModel& lm, double rate, int num_requests,
+                      uint64_t seed) {
+  simcore::Simulator sim;
+  engine::PrefillInstance::Options options;
+  options.batch_policy.max_batch_size = 1;
+  options.batch_policy.target_tokens = 1;  // every prompt "over-length": runs alone
+  engine::PrefillInstance instance(&sim, lm, /*kv_capacity_tokens=*/1 << 26, options, 0);
+
+  double ttft_sum = 0.0;
+  int completed = 0;
+  instance.set_on_complete([&](engine::RequestState* r) {
+    ttft_sum += r->record.first_token - r->record.arrival;
+    ++completed;
+    // KV is not pulled in this prefill-only rig; release immediately.
+    instance.ReleaseKv(r);
+  });
+
+  workload::FixedDataset dataset(512, 2);
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = num_requests;
+  spec.seed = seed;
+  const workload::Trace trace = workload::GenerateTrace(spec, dataset);
+  std::vector<std::unique_ptr<engine::RequestState>> states;
+  states.reserve(trace.size());
+  for (const workload::Request& req : trace) {
+    states.push_back(std::make_unique<engine::RequestState>(req));
+    engine::RequestState* state = states.back().get();
+    sim.ScheduleAt(req.arrival_time, [&instance, state] { instance.Enqueue(state); });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, num_requests);
+  return ttft_sum / completed;
+}
+
+class Md1ConvergenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Md1ConvergenceTest, EngineMatchesEq1AcrossUtilizations) {
+  const double utilization = GetParam();
+  const model::LatencyModel lm(model::ModelSpec::Opt13B(), {1, 1},
+                               cluster::GpuSpec::A100_80GB());
+  const double service = lm.PrefillFullTime(std::vector<int>{512});
+  const double rate = utilization / service;
+  const double analytic = queueing::Md1AvgTtft(rate, service);
+  // Average over several seeds to tame M/D/1 variance at high utilization.
+  double engine_sum = 0.0;
+  const int kSeeds = 5;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    engine_sum += EngineMeanTtft(lm, rate, 4000, seed);
+  }
+  const double engine_mean = engine_sum / kSeeds;
+  const double tolerance = (utilization >= 0.8 ? 0.25 : 0.10) * analytic;
+  EXPECT_NEAR(engine_mean, analytic, tolerance)
+      << "utilization=" << utilization << " service=" << service;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, Md1ConvergenceTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85));
+
+TEST(QueueingPropertyTest, InterOpBeatsIntraOpAtHighRate) {
+  // §3.1 conclusion at engine level: with 2 GPUs, intra-op wins at low rate, inter-op at
+  // rates beyond intra-op's stability limit.
+  const model::ModelSpec spec = model::ModelSpec::Opt13B();
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  const model::LatencyModel intra(spec, {2, 1}, gpu);
+  const model::LatencyModel inter(spec, {1, 2}, gpu);
+  const model::LatencyModel single(spec, {1, 1}, gpu);
+  const double service = single.PrefillFullTime(std::vector<int>{512});
+
+  const double low_rate = 0.2 / service;
+  EXPECT_LT(EngineMeanTtft(intra, low_rate, 2000, 3), EngineMeanTtft(inter, low_rate, 2000, 3));
+
+  const double k = intra.IntraOpSpeedup(512);
+  ASSERT_LT(k, 2.0);
+  const double high_rate = (k + 0.08 * (2.0 - k) * 2.0) / service;  // just past intra's limit
+  EXPECT_GT(EngineMeanTtft(intra, high_rate, 2000, 3),
+            EngineMeanTtft(inter, high_rate, 2000, 3));
+}
+
+TEST(QueueingPropertyTest, InterOpEngineTracksEq2) {
+  const model::ModelSpec spec = model::ModelSpec::Opt13B();
+  const cluster::GpuSpec gpu = cluster::GpuSpec::A100_80GB();
+  const model::LatencyModel inter(spec, {1, 2}, gpu);
+  const model::LatencyModel single(spec, {1, 1}, gpu);
+  const double service = single.PrefillFullTime(std::vector<int>{512});
+  const double rate = 1.2 / service;  // beyond one GPU, within two
+  const double analytic = queueing::InterOp2AvgTtft(rate, service);
+  double engine_sum = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    engine_sum += EngineMeanTtft(inter, rate, 4000, seed);
+  }
+  // The engine's pipeline adds stage-ceil effects; expect agreement within 25%.
+  EXPECT_NEAR(engine_sum / 5, analytic, 0.25 * analytic);
+}
+
+}  // namespace
+}  // namespace distserve

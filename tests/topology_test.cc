@@ -1,0 +1,89 @@
+#include "cluster/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace distserve::cluster {
+namespace {
+
+TEST(ClusterSpecTest, PaperTestbedShape) {
+  const ClusterSpec spec = ClusterSpec::PaperTestbed();
+  EXPECT_EQ(spec.num_nodes, 4);
+  EXPECT_EQ(spec.gpus_per_node, 8);
+  EXPECT_EQ(spec.total_gpus(), 32);
+  // 25 Gbps cross-node.
+  EXPECT_NEAR(spec.cross_node_bandwidth, 25e9 / 8.0, 1.0);
+}
+
+TEST(ClusterSpecTest, TransferBandwidthSelectsFabric) {
+  const ClusterSpec spec = ClusterSpec::PaperTestbed();
+  const GpuId a{0, 0};
+  const GpuId b{0, 5};
+  const GpuId c{2, 0};
+  EXPECT_DOUBLE_EQ(spec.TransferBandwidth(a, b), spec.gpu.nvlink_bandwidth);
+  EXPECT_DOUBLE_EQ(spec.TransferBandwidth(a, c), spec.cross_node_bandwidth);
+  EXPECT_LT(spec.TransferLatency(a, b), spec.TransferLatency(a, c));
+}
+
+TEST(ClusterSpecTest, InfinibandRaisesCrossNodeOnly) {
+  const ClusterSpec slow = ClusterSpec::PaperTestbed();
+  const ClusterSpec fast = ClusterSpec::InfinibandCluster();
+  EXPECT_GT(fast.cross_node_bandwidth, 10 * slow.cross_node_bandwidth);
+  EXPECT_DOUBLE_EQ(fast.gpu.nvlink_bandwidth, slow.gpu.nvlink_bandwidth);
+}
+
+TEST(GpuAllocatorTest, AllocatesPackedAndTracksCounts) {
+  GpuAllocator alloc(ClusterSpec::PaperTestbed());
+  EXPECT_EQ(alloc.free_gpus(), 32);
+  const auto got = alloc.Allocate(4, 4);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 4u);
+  // Packed: all on node 0.
+  for (const GpuId& id : *got) {
+    EXPECT_EQ(id.node, 0);
+  }
+  EXPECT_EQ(alloc.free_gpus(), 28);
+  EXPECT_EQ(alloc.free_on_node(0), 4);
+}
+
+TEST(GpuAllocatorTest, SpreadsAcrossNodesWhenPerNodeLimited) {
+  GpuAllocator alloc(ClusterSpec::PaperTestbed());
+  const auto got = alloc.Allocate(8, 2);
+  ASSERT_TRUE(got.has_value());
+  int per_node[4] = {0, 0, 0, 0};
+  for (const GpuId& id : *got) {
+    ++per_node[id.node];
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(per_node[n], 2);
+  }
+}
+
+TEST(GpuAllocatorTest, ExhaustionReturnsNullopt) {
+  ClusterSpec small = ClusterSpec::PaperTestbed();
+  small.num_nodes = 1;
+  GpuAllocator alloc(small);
+  EXPECT_TRUE(alloc.Allocate(8, 8).has_value());
+  EXPECT_FALSE(alloc.Allocate(1, 1).has_value());
+}
+
+TEST(GpuAllocatorTest, FreeReturnsCapacity) {
+  GpuAllocator alloc(ClusterSpec::PaperTestbed());
+  const auto got = alloc.Allocate(16, 8);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(alloc.free_gpus(), 16);
+  alloc.Free(*got);
+  EXPECT_EQ(alloc.free_gpus(), 32);
+  // Reallocation succeeds after freeing.
+  EXPECT_TRUE(alloc.Allocate(32, 8).has_value());
+}
+
+TEST(GpuAllocatorDeathTest, DoubleFreeAborts) {
+  GpuAllocator alloc(ClusterSpec::PaperTestbed());
+  const auto got = alloc.Allocate(1, 1);
+  ASSERT_TRUE(got.has_value());
+  alloc.Free(*got);
+  EXPECT_DEATH(alloc.Free(*got), "double free");
+}
+
+}  // namespace
+}  // namespace distserve::cluster

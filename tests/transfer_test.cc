@@ -1,0 +1,73 @@
+#include "serving/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace distserve::serving {
+namespace {
+
+TEST(LinkTest, SingleTransferTime) {
+  simcore::Simulator sim;
+  Link link(&sim, /*bandwidth=*/1e9, /*latency=*/0.001, "test");
+  double done_at = -1.0;
+  link.Transfer(500'000'000, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 0.5 + 0.001, 1e-12);
+  EXPECT_EQ(link.bytes_transferred(), 500'000'000);
+  EXPECT_EQ(link.transfers(), 1);
+}
+
+TEST(LinkTest, ConcurrentTransfersSerialize) {
+  simcore::Simulator sim;
+  Link link(&sim, 1e9, 0.0, "test");
+  std::vector<double> done;
+  link.Transfer(1'000'000'000, [&] { done.push_back(sim.now()); });  // 1 s
+  link.Transfer(1'000'000'000, [&] { done.push_back(sim.now()); });  // queues behind
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(link.busy_seconds(), 2.0, 1e-9);
+}
+
+TEST(LinkTest, IdleGapResetsPipe) {
+  simcore::Simulator sim;
+  Link link(&sim, 1e9, 0.0, "test");
+  std::vector<double> done;
+  link.Transfer(1'000'000'000, [&] { done.push_back(sim.now()); });
+  sim.ScheduleAt(5.0, [&] {
+    link.Transfer(1'000'000'000, [&] { done.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[1], 6.0, 1e-9);  // starts at 5.0, not queued behind the first
+}
+
+TEST(LinkTest, ZeroByteTransferTakesLatencyOnly) {
+  simcore::Simulator sim;
+  Link link(&sim, 1e9, 0.002, "test");
+  double done_at = -1.0;
+  link.Transfer(0, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 0.002, 1e-12);
+}
+
+TEST(LinkTest, NvlinkVsNicMagnitudes) {
+  // A 512-token OPT-66B KV cache (~1.13 GiB): ~4 ms on NVLink, ~39 s on a 25 Gbps NIC --
+  // the §3.3 argument for why low-affinity placement must stay intra-node.
+  simcore::Simulator sim;
+  Link nvlink(&sim, 300e9, 2e-6, "nvlink");
+  Link nic(&sim, 25e9 / 8, 10e-6, "nic");
+  const int64_t bytes = 1'213'000'000;
+  double nvlink_done = 0.0;
+  double nic_done = 0.0;
+  nvlink.Transfer(bytes, [&] { nvlink_done = sim.now(); });
+  nic.Transfer(bytes, [&] { nic_done = sim.now(); });
+  sim.Run();
+  EXPECT_LT(nvlink_done, 0.01);
+  EXPECT_GT(nic_done, 0.3);
+}
+
+}  // namespace
+}  // namespace distserve::serving
