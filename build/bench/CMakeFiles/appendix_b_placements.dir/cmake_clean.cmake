@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b_placements.dir/appendix_b_placements.cc.o"
+  "CMakeFiles/appendix_b_placements.dir/appendix_b_placements.cc.o.d"
+  "appendix_b_placements"
+  "appendix_b_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_algo_runtime.dir/fig12_algo_runtime.cc.o"
+  "CMakeFiles/fig12_algo_runtime.dir/fig12_algo_runtime.cc.o.d"
+  "fig12_algo_runtime"
+  "fig12_algo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_algo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

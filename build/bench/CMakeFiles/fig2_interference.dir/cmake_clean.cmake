@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interference.dir/fig2_interference.cc.o"
+  "CMakeFiles/fig2_interference.dir/fig2_interference.cc.o.d"
+  "fig2_interference"
+  "fig2_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

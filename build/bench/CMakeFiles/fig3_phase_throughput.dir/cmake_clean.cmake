@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_phase_throughput.dir/fig3_phase_throughput.cc.o"
+  "CMakeFiles/fig3_phase_throughput.dir/fig3_phase_throughput.cc.o.d"
+  "fig3_phase_throughput"
+  "fig3_phase_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_phase_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

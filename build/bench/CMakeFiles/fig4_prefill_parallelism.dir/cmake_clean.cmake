@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_prefill_parallelism.dir/fig4_prefill_parallelism.cc.o"
+  "CMakeFiles/fig4_prefill_parallelism.dir/fig4_prefill_parallelism.cc.o.d"
+  "fig4_prefill_parallelism"
+  "fig4_prefill_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_prefill_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

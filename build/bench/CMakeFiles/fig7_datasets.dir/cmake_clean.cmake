@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_datasets.dir/fig7_datasets.cc.o"
+  "CMakeFiles/fig7_datasets.dir/fig7_datasets.cc.o.d"
+  "fig7_datasets"
+  "fig7_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

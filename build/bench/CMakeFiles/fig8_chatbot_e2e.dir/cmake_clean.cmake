@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_chatbot_e2e.dir/fig8_chatbot_e2e.cc.o"
+  "CMakeFiles/fig8_chatbot_e2e.dir/fig8_chatbot_e2e.cc.o.d"
+  "fig8_chatbot_e2e"
+  "fig8_chatbot_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_chatbot_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_code_summarization.dir/fig9_code_summarization.cc.o"
+  "CMakeFiles/fig9_code_summarization.dir/fig9_code_summarization.cc.o.d"
+  "fig9_code_summarization"
+  "fig9_code_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_code_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

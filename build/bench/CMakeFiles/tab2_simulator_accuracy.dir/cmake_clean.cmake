@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_simulator_accuracy.dir/tab2_simulator_accuracy.cc.o"
+  "CMakeFiles/tab2_simulator_accuracy.dir/tab2_simulator_accuracy.cc.o.d"
+  "tab2_simulator_accuracy"
+  "tab2_simulator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_simulator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

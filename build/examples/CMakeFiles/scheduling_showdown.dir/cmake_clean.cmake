@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_showdown.dir/scheduling_showdown.cpp.o"
+  "CMakeFiles/scheduling_showdown.dir/scheduling_showdown.cpp.o.d"
+  "scheduling_showdown"
+  "scheduling_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_planner.dir/summarization_planner.cpp.o"
+  "CMakeFiles/summarization_planner.dir/summarization_planner.cpp.o.d"
+  "summarization_planner"
+  "summarization_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

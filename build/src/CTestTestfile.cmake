@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("cluster")
+subdirs("simcore")
+subdirs("workload")
+subdirs("queueing")
+subdirs("metrics")
+subdirs("engine")
+subdirs("serving")
+subdirs("placement")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_baselines.dir/vllm_system.cc.o"
+  "CMakeFiles/ds_baselines.dir/vllm_system.cc.o.d"
+  "libds_baselines.a"
+  "libds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

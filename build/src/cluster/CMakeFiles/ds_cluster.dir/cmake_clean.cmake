@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_cluster.dir/gpu_spec.cc.o"
+  "CMakeFiles/ds_cluster.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/ds_cluster.dir/topology.cc.o"
+  "CMakeFiles/ds_cluster.dir/topology.cc.o.d"
+  "libds_cluster.a"
+  "libds_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

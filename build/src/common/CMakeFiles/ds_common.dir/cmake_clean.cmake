@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_common.dir/linear_fit.cc.o"
+  "CMakeFiles/ds_common.dir/linear_fit.cc.o.d"
+  "CMakeFiles/ds_common.dir/logging.cc.o"
+  "CMakeFiles/ds_common.dir/logging.cc.o.d"
+  "CMakeFiles/ds_common.dir/rng.cc.o"
+  "CMakeFiles/ds_common.dir/rng.cc.o.d"
+  "CMakeFiles/ds_common.dir/stats.cc.o"
+  "CMakeFiles/ds_common.dir/stats.cc.o.d"
+  "libds_common.a"
+  "libds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/distserve.cc.o"
+  "CMakeFiles/ds_core.dir/distserve.cc.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/batch_former.cc" "src/engine/CMakeFiles/ds_engine.dir/batch_former.cc.o" "gcc" "src/engine/CMakeFiles/ds_engine.dir/batch_former.cc.o.d"
+  "/root/repo/src/engine/colocated_instance.cc" "src/engine/CMakeFiles/ds_engine.dir/colocated_instance.cc.o" "gcc" "src/engine/CMakeFiles/ds_engine.dir/colocated_instance.cc.o.d"
+  "/root/repo/src/engine/decode_instance.cc" "src/engine/CMakeFiles/ds_engine.dir/decode_instance.cc.o" "gcc" "src/engine/CMakeFiles/ds_engine.dir/decode_instance.cc.o.d"
+  "/root/repo/src/engine/kv_block_manager.cc" "src/engine/CMakeFiles/ds_engine.dir/kv_block_manager.cc.o" "gcc" "src/engine/CMakeFiles/ds_engine.dir/kv_block_manager.cc.o.d"
+  "/root/repo/src/engine/prefill_instance.cc" "src/engine/CMakeFiles/ds_engine.dir/prefill_instance.cc.o" "gcc" "src/engine/CMakeFiles/ds_engine.dir/prefill_instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ds_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ds_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

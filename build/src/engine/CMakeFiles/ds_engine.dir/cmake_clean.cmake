@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_engine.dir/batch_former.cc.o"
+  "CMakeFiles/ds_engine.dir/batch_former.cc.o.d"
+  "CMakeFiles/ds_engine.dir/colocated_instance.cc.o"
+  "CMakeFiles/ds_engine.dir/colocated_instance.cc.o.d"
+  "CMakeFiles/ds_engine.dir/decode_instance.cc.o"
+  "CMakeFiles/ds_engine.dir/decode_instance.cc.o.d"
+  "CMakeFiles/ds_engine.dir/kv_block_manager.cc.o"
+  "CMakeFiles/ds_engine.dir/kv_block_manager.cc.o.d"
+  "CMakeFiles/ds_engine.dir/prefill_instance.cc.o"
+  "CMakeFiles/ds_engine.dir/prefill_instance.cc.o.d"
+  "libds_engine.a"
+  "libds_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

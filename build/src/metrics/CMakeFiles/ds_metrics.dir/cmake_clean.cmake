@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_metrics.dir/collector.cc.o"
+  "CMakeFiles/ds_metrics.dir/collector.cc.o.d"
+  "libds_metrics.a"
+  "libds_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

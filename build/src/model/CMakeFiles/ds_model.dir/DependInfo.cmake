@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/calibration.cc" "src/model/CMakeFiles/ds_model.dir/calibration.cc.o" "gcc" "src/model/CMakeFiles/ds_model.dir/calibration.cc.o.d"
+  "/root/repo/src/model/latency_model.cc" "src/model/CMakeFiles/ds_model.dir/latency_model.cc.o" "gcc" "src/model/CMakeFiles/ds_model.dir/latency_model.cc.o.d"
+  "/root/repo/src/model/model_spec.cc" "src/model/CMakeFiles/ds_model.dir/model_spec.cc.o" "gcc" "src/model/CMakeFiles/ds_model.dir/model_spec.cc.o.d"
+  "/root/repo/src/model/parallelism.cc" "src/model/CMakeFiles/ds_model.dir/parallelism.cc.o" "gcc" "src/model/CMakeFiles/ds_model.dir/parallelism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ds_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

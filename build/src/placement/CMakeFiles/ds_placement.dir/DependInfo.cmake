@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/algorithms.cc" "src/placement/CMakeFiles/ds_placement.dir/algorithms.cc.o" "gcc" "src/placement/CMakeFiles/ds_placement.dir/algorithms.cc.o.d"
+  "/root/repo/src/placement/fast_sim.cc" "src/placement/CMakeFiles/ds_placement.dir/fast_sim.cc.o" "gcc" "src/placement/CMakeFiles/ds_placement.dir/fast_sim.cc.o.d"
+  "/root/repo/src/placement/goodput.cc" "src/placement/CMakeFiles/ds_placement.dir/goodput.cc.o" "gcc" "src/placement/CMakeFiles/ds_placement.dir/goodput.cc.o.d"
+  "/root/repo/src/placement/placement.cc" "src/placement/CMakeFiles/ds_placement.dir/placement.cc.o" "gcc" "src/placement/CMakeFiles/ds_placement.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ds_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_placement.dir/algorithms.cc.o"
+  "CMakeFiles/ds_placement.dir/algorithms.cc.o.d"
+  "CMakeFiles/ds_placement.dir/fast_sim.cc.o"
+  "CMakeFiles/ds_placement.dir/fast_sim.cc.o.d"
+  "CMakeFiles/ds_placement.dir/goodput.cc.o"
+  "CMakeFiles/ds_placement.dir/goodput.cc.o.d"
+  "CMakeFiles/ds_placement.dir/placement.cc.o"
+  "CMakeFiles/ds_placement.dir/placement.cc.o.d"
+  "libds_placement.a"
+  "libds_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

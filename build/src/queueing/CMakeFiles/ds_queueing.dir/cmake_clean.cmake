@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_queueing.dir/md1.cc.o"
+  "CMakeFiles/ds_queueing.dir/md1.cc.o.d"
+  "libds_queueing.a"
+  "libds_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_serving.dir/replanner.cc.o"
+  "CMakeFiles/ds_serving.dir/replanner.cc.o.d"
+  "CMakeFiles/ds_serving.dir/serving_system.cc.o"
+  "CMakeFiles/ds_serving.dir/serving_system.cc.o.d"
+  "CMakeFiles/ds_serving.dir/transfer.cc.o"
+  "CMakeFiles/ds_serving.dir/transfer.cc.o.d"
+  "libds_serving.a"
+  "libds_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/ds_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/ds_simcore.dir/simulator.cc.o"
+  "CMakeFiles/ds_simcore.dir/simulator.cc.o.d"
+  "libds_simcore.a"
+  "libds_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

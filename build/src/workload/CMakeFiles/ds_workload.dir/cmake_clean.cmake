@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_workload.dir/arrival.cc.o"
+  "CMakeFiles/ds_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/ds_workload.dir/dataset.cc.o"
+  "CMakeFiles/ds_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/ds_workload.dir/generator.cc.o"
+  "CMakeFiles/ds_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ds_workload.dir/profiler.cc.o"
+  "CMakeFiles/ds_workload.dir/profiler.cc.o.d"
+  "CMakeFiles/ds_workload.dir/trace_io.cc.o"
+  "CMakeFiles/ds_workload.dir/trace_io.cc.o.d"
+  "libds_workload.a"
+  "libds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_former_test.dir/batch_former_test.cc.o"
+  "CMakeFiles/batch_former_test.dir/batch_former_test.cc.o.d"
+  "batch_former_test"
+  "batch_former_test.pdb"
+  "batch_former_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_former_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_instance_test.dir/colocated_instance_test.cc.o"
+  "CMakeFiles/colocated_instance_test.dir/colocated_instance_test.cc.o.d"
+  "colocated_instance_test"
+  "colocated_instance_test.pdb"
+  "colocated_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

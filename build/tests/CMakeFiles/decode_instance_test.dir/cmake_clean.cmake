@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_instance_test.dir/decode_instance_test.cc.o"
+  "CMakeFiles/decode_instance_test.dir/decode_instance_test.cc.o.d"
+  "decode_instance_test"
+  "decode_instance_test.pdb"
+  "decode_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

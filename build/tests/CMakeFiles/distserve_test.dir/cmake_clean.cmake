@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distserve_test.dir/distserve_test.cc.o"
+  "CMakeFiles/distserve_test.dir/distserve_test.cc.o.d"
+  "distserve_test"
+  "distserve_test.pdb"
+  "distserve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distserve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_sim_test.dir/fast_sim_test.cc.o"
+  "CMakeFiles/fast_sim_test.dir/fast_sim_test.cc.o.d"
+  "fast_sim_test"
+  "fast_sim_test.pdb"
+  "fast_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_block_manager_test.dir/kv_block_manager_test.cc.o"
+  "CMakeFiles/kv_block_manager_test.dir/kv_block_manager_test.cc.o.d"
+  "kv_block_manager_test"
+  "kv_block_manager_test.pdb"
+  "kv_block_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_block_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

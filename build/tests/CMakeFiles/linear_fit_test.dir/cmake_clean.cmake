@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_fit_test.dir/linear_fit_test.cc.o"
+  "CMakeFiles/linear_fit_test.dir/linear_fit_test.cc.o.d"
+  "linear_fit_test"
+  "linear_fit_test.pdb"
+  "linear_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md1_test.dir/md1_test.cc.o"
+  "CMakeFiles/md1_test.dir/md1_test.cc.o.d"
+  "md1_test"
+  "md1_test.pdb"
+  "md1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

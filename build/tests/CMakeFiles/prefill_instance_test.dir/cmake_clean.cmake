@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefill_instance_test.dir/prefill_instance_test.cc.o"
+  "CMakeFiles/prefill_instance_test.dir/prefill_instance_test.cc.o.d"
+  "prefill_instance_test"
+  "prefill_instance_test.pdb"
+  "prefill_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefill_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

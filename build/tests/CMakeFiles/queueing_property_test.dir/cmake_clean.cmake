@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_property_test.dir/queueing_property_test.cc.o"
+  "CMakeFiles/queueing_property_test.dir/queueing_property_test.cc.o.d"
+  "queueing_property_test"
+  "queueing_property_test.pdb"
+  "queueing_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

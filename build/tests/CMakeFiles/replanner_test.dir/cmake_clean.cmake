@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replanner_test.dir/replanner_test.cc.o"
+  "CMakeFiles/replanner_test.dir/replanner_test.cc.o.d"
+  "replanner_test"
+  "replanner_test.pdb"
+  "replanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_system_test.dir/serving_system_test.cc.o"
+  "CMakeFiles/serving_system_test.dir/serving_system_test.cc.o.d"
+  "serving_system_test"
+  "serving_system_test.pdb"
+  "serving_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/ds_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ds_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ds_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ds_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ds_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ds_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ds_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

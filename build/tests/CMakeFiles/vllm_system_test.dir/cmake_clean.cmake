@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vllm_system_test.dir/vllm_system_test.cc.o"
+  "CMakeFiles/vllm_system_test.dir/vllm_system_test.cc.o.d"
+  "vllm_system_test"
+  "vllm_system_test.pdb"
+  "vllm_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vllm_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
