@@ -67,6 +67,82 @@ BENCHMARK(BM_LowAffinity13B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HighAffinity66B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LowAffinity66B)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 
+// --- Search-engine ablations (this reproduction's extension; same plans, different cost) ---
+
+// The pre-engine search: every probe trace regenerated, every feasible config simulated.
+// The gap between this and BM_*Affinity13B above is the single-thread engine speedup
+// (trace sharing + upper-bound pruning).
+void BM_HighAffinity13BEngineOff(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                           static_cast<int>(state.range(0)));
+  inputs.share_probe_traces = false;
+  inputs.prune_search_space = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_LowAffinity13BEngineOff(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                           static_cast<int>(state.range(0)));
+  inputs.share_probe_traces = false;
+  inputs.prune_search_space = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+// Thread scaling at the largest GPU budget (arg = thread count). Plans are bit-identical to
+// the serial run at every point; only the wall clock moves (on multi-core hosts).
+void BM_HighAffinity13BThreads(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(), /*max_nodes=*/4);
+  inputs.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+
+void BM_LowAffinity13BThreads(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(), /*max_nodes=*/4);
+  inputs.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+
+// Replanning with a persistent goodput cache and unchanged inputs: after the first (cold)
+// iteration every simulation is a cache hit, so this measures the §4.3 re-search floor.
+void BM_HighAffinity13BCachedReplan(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(), /*max_nodes=*/4);
+  placement::GoodputCache cache;
+  workload::TraceCache traces;
+  inputs.goodput_cache = &cache;
+  inputs.search.trace_cache = &traces;
+  benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));  // cold fill
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=32,warm");
+}
+
+BENCHMARK(BM_HighAffinity13BEngineOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowAffinity13BEngineOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighAffinity13BThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_LowAffinity13BThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_HighAffinity13BCachedReplan)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace distserve
 

@@ -40,6 +40,30 @@ void BM_CancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_CancelHeavy);
 
+// The compaction stress case: a rolling window of speculative deadlines where almost every
+// scheduled event is cancelled before it can fire (the pattern that motivated heap
+// compaction — with lazy deletion alone the heap holds the whole history).
+void BM_CancelChurn(benchmark::State& state) {
+  constexpr int kWindow = 256;
+  constexpr int kRounds = 4096;
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::vector<simcore::EventHandle> window;
+    window.reserve(kWindow);
+    for (int i = 0; i < kRounds; ++i) {
+      if (window.size() == kWindow) {
+        // Cancel the oldest deadline, as a request that completed in time would.
+        window.front().Cancel();
+        window.erase(window.begin());
+      }
+      window.push_back(sim.ScheduleAt(static_cast<double>(i) + 1000.0, [] {}));
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_CancelChurn);
+
 void BM_DecodeInstanceSteps(benchmark::State& state) {
   const model::LatencyModel lm(model::ModelSpec::Opt13B(), {1, 1},
                                cluster::GpuSpec::A100_80GB());

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace distserve {
+
+ThreadPool::ThreadPool(int num_workers) {
+  DS_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  DS_CHECK(fn != nullptr);
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DS_CHECK(!shutdown_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      fn = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    fn();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  DS_CHECK_GE(n, 0);
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  struct Shared {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto drain = [shared, n, &fn] {
+    while (true) {
+      const int64_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  // Helpers run the same drain loop; the caller participates, then blocks until every
+  // iteration has finished (helpers may still be mid-`fn` when `next` saturates).
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1));
+  for (int i = 0; i < helpers; ++i) {
+    Submit(drain);
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->done.load(std::memory_order_acquire) == n; });
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace distserve

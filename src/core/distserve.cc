@@ -49,11 +49,24 @@ const placement::PlannerResult& DistServe::PlannerDetails() {
   inputs.attainment_target = options_.attainment_target;
   inputs.traffic_rate = options_.traffic_rate;
   inputs.search = options_.search;
+  inputs.search.trace_cache = &trace_cache_;
+  inputs.goodput_cache = &goodput_cache_;
+  inputs.num_threads = options_.planner_threads;
   used_high_affinity_ = ResolveHighAffinity();
   planner_result_ = used_high_affinity_ ? placement::HighNodeAffinityPlacement(inputs)
                                         : placement::LowNodeAffinityPlacement(inputs);
   DS_LOG(Info) << "DistServe plan: " << planner_result_->plan.ToString();
   return *planner_result_;
+}
+
+const placement::PlacementPlan& DistServe::Replan(const workload::Dataset* dataset,
+                                                  double traffic_rate) {
+  DS_CHECK(dataset != nullptr);
+  options_.dataset = dataset;
+  options_.traffic_rate = traffic_rate;
+  options_.plan_override.reset();  // a replan is an explicit request to search again
+  planner_result_.reset();
+  return Plan();
 }
 
 metrics::Collector DistServe::Serve(const workload::Trace& trace) {

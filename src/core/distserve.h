@@ -47,6 +47,10 @@ struct DistServeOptions {
   // Planner simulation fidelity.
   placement::GoodputSearchOptions search;
 
+  // Threads the placement search may use for candidate simulations (1 = serial; results are
+  // bit-identical for any value — see DESIGN.md §10).
+  int planner_threads = 1;
+
   // Manual plan override: skips the planner entirely when set.
   std::optional<placement::PlacementPlan> plan_override;
 };
@@ -60,6 +64,14 @@ class DistServe {
 
   // Full planner result including evaluated candidates; runs Plan() if needed.
   const placement::PlannerResult& PlannerDetails();
+
+  // Re-plans for a drifted workload (§4.3): swaps the dataset / expected rate and recomputes
+  // the placement. The facade's probe-trace and goodput caches persist across replans, so
+  // configs whose inputs did not change are answered without re-simulation
+  // (PlannerDetails().cache_hits) and changed ones warm-start their rate search. `dataset` is
+  // non-owning and must outlive the facade; pass the current dataset to re-plan for a rate
+  // change alone.
+  const placement::PlacementPlan& Replan(const workload::Dataset* dataset, double traffic_rate);
 
   // Serves a trace on a fresh engine-level runtime built from the plan.
   metrics::Collector Serve(const workload::Trace& trace);
@@ -78,6 +90,9 @@ class DistServe {
   DistServeOptions options_;
   std::optional<placement::PlannerResult> planner_result_;
   bool used_high_affinity_ = false;
+  // Search caches shared by every planner invocation this facade makes (initial + replans).
+  workload::TraceCache trace_cache_;
+  placement::GoodputCache goodput_cache_;
 };
 
 }  // namespace distserve

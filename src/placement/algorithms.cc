@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "model/latency_model.h"
 #include "placement/fast_sim.h"
+#include "workload/trace_cache.h"
 
 namespace distserve::placement {
 
@@ -39,6 +48,10 @@ int ReplicaCount(double traffic_rate, double goodput) {
 // toward the smaller instance: replication scales capacity just as well, smaller instances
 // quantize better against the actual traffic rate, and they bound the fault blast radius
 // (§4.3 discusses decode-instance faults crippling many prefill instances).
+//
+// Monotone in candidate.per_gpu / candidate.goodput for fixed GPU counts — the property the
+// upper-bound prune relies on: if a candidate built from an *over*-estimate of the goodput
+// does not improve on the incumbent, the actually-simulated candidate cannot either.
 bool Improves(const CandidateResult& candidate, int candidate_gpus,
               const CandidateResult& incumbent, int incumbent_gpus) {
   if (incumbent.per_gpu <= 0.0) {
@@ -68,10 +81,10 @@ model::ParallelismConfig SmallestFeasible(const PlannerInputs& inputs, int max_n
   return model::ParallelismConfig{gpus_per_node, max_nodes};
 }
 
-}  // namespace
-
-double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
-  DS_CHECK(inputs.dataset != nullptr);
+// Raw (un-derated) max rate for one phase config. Pure: depends only on (inputs, par, search),
+// so instances may run concurrently on pool workers.
+double SimulatePrefillRate(const PlannerInputs& inputs, const model::ParallelismConfig& par,
+                           const GoodputSearchOptions& search) {
   const model::LatencyModel lm = MakeLm(inputs, par);
   const int64_t target_tokens = std::max<int64_t>(512, lm.ComputeSaturationTokens());
   auto attainment = [&](const workload::Trace& trace) {
@@ -85,13 +98,11 @@ double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::Parallel
     }
     return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
   };
-  GoodputSearchOptions search = inputs.search;
-  search.attainment_target = inputs.attainment_target;
-  return inputs.prefill_goodput_derate * FindMaxRate(attainment, *inputs.dataset, search);
+  return FindMaxRate(attainment, *inputs.dataset, search);
 }
 
-double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
-  DS_CHECK(inputs.dataset != nullptr);
+double SimulateDecodeRate(const PlannerInputs& inputs, const model::ParallelismConfig& par,
+                          const GoodputSearchOptions& search) {
   const model::LatencyModel lm = MakeLm(inputs, par);
   const int64_t kv_capacity = lm.view().KvCapacityTokens(inputs.cluster.gpu);
   if (kv_capacity <= 0) {
@@ -112,9 +123,246 @@ double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::Paralleli
     }
     return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
   };
+  return FindMaxRate(attainment, *inputs.dataset, search);
+}
+
+// Result of one speculative phase-simulation task.
+struct PhaseSim {
+  double goodput = 0.0;  // derated
+  bool cache_hit = false;
+};
+
+void AppendDouble(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a;", v);  // hexfloat: exact, locale-independent
+  out += buf;
+}
+
+void AppendInt(std::string& out, int64_t v) {
+  out += std::to_string(v);
+  out += ';';
+}
+
+// Slack multiplier on the analytic saturation-throughput roofline. The roofline already
+// assumes a best case (perfect batching, zero queueing, no SLO constraint, Jensen-favourable
+// mean-length batches); the slack additionally absorbs trace sampling variation around the
+// Monte-Carlo mean lengths.
+constexpr double kRooflineSlack = 1.5;
+
+// Stream-fork constant for the mean-length estimation RNG (SplitMix64 golden gamma), so the
+// estimate never perturbs trace generation streams.
+constexpr uint64_t kMeanLengthStream = 0x9e3779b97f4a7c15ull;
+
+// Analytic roofline on a phase config's sustainable request rate (un-derated, un-slacked):
+// saturation throughput at mean request lengths, ignoring SLOs and queueing.
+//
+// This plays two roles. Simulated rates are clamped to kRooflineSlack times this value —
+// FindMaxRate's finite trial can report "effectively unbounded" rates for large decode
+// configs (the whole capped trace drains fast enough that per-token queueing amortizes under
+// the TPOT SLO), but no real deployment sustains arrivals beyond the roofline, so the clamp
+// removes a pure small-trial artifact. And because results are clamped to slack * roofline,
+// the prune bound derate * slack * roofline is a true upper bound on any simulated goodput
+// BY CONSTRUCTION, which is what makes the pruned fold bit-identical to the full one.
+double RateUpperBound(const PlannerInputs& inputs, const model::ParallelismConfig& par,
+                      bool is_prefill, const workload::LengthSample& mean) {
+  const model::LatencyModel lm = MakeLm(inputs, par);
+  if (is_prefill) {
+    // Best cadence over power-of-two batches of mean-length prompts (the simulator's batch
+    // cap is 64). StageTime is the pipelined completion cadence; mean-length batches
+    // under-estimate the quadratic attention term of random batches (Jensen), so this
+    // over-estimates throughput.
+    std::vector<int> lens;
+    double best = 0.0;
+    for (int batch = 1; batch <= 64; batch *= 2) {
+      lens.assign(static_cast<size_t>(batch), mean.input_len);
+      const double cadence = lm.StageTime(model::BatchWorkload::Prefill(lens));
+      if (cadence > 0.0) {
+        best = std::max(best, static_cast<double>(batch) / cadence);
+      }
+    }
+    return best;
+  }
+  const int64_t kv_capacity = lm.view().KvCapacityTokens(inputs.cluster.gpu);
+  if (kv_capacity <= 0) {
+    return 0.0;
+  }
+  const int64_t tokens_per_req =
+      std::max<int64_t>(1, static_cast<int64_t>(mean.input_len) + mean.output_len);
+  const int64_t batch = std::max<int64_t>(
+      1, std::min<int64_t>(inputs.decode_max_batch, kv_capacity / tokens_per_req));
+  // Context under-estimated at the prompt length only (decoded tokens grow it), and
+  // StageTime(full batch) <= FullTime(per-lane batch) by subadditivity of LayerTime — both
+  // push the estimate above anything the simulator can sustain in steady state.
+  const double step = lm.StageTime(
+      model::BatchWorkload::Decode(batch, batch * std::max<int64_t>(1, mean.input_len)));
+  if (step <= 0.0) {
+    return 0.0;
+  }
+  const double token_rate = static_cast<double>(batch) / step;
+  return token_rate / std::max(1, mean.output_len);
+}
+
+// Shared machinery for one planner invocation: the (possibly owned) thread pool, the
+// (possibly owned) probe-trace cache, the goodput-cache key prefixes, and the analytic
+// upper-bound roofline used for pruning.
+class SearchContext {
+ public:
+  explicit SearchContext(const PlannerInputs& inputs) : inputs_(inputs), search_(inputs.search) {
+    DS_CHECK(inputs.dataset != nullptr);
+    search_.attainment_target = inputs.attainment_target;
+    if (inputs.pool != nullptr) {
+      pool_ = inputs.pool;
+    } else if (inputs.num_threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(inputs.num_threads - 1);
+      pool_ = owned_pool_.get();
+    }
+    // Probe traces are shared across every candidate's rate search; if the caller did not
+    // provide a cache, a per-invocation one still collapses the dozens of identical
+    // (rate, seed) generations the lattice produces.
+    if (!inputs.share_probe_traces) {
+      search_.trace_cache = nullptr;
+    } else if (search_.trace_cache == nullptr) {
+      owned_trace_cache_ = std::make_unique<workload::TraceCache>();
+      search_.trace_cache = owned_trace_cache_.get();
+    }
+    Rng rng(search_.seed ^ kMeanLengthStream);
+    mean_ = inputs.dataset->MeanLengths(rng);
+    if (inputs.goodput_cache != nullptr) {
+      BuildKeyPrefixes();
+    }
+  }
+
+  ThreadPool* pool() const { return pool_; }
+
+  // Simulates (or recalls) one phase config's derated goodput. Thread-safe and deterministic:
+  // every task in a planner run has a distinct cache key, so hit/miss outcomes depend only on
+  // the cache's state at entry, not on evaluation order.
+  PhaseSim SimulatePhase(const model::ParallelismConfig& par, bool is_prefill) const {
+    const double derate =
+        is_prefill ? inputs_.prefill_goodput_derate : inputs_.decode_goodput_derate;
+    GoodputCache* cache = inputs_.goodput_cache;
+    std::string value_key;
+    std::string hint_key;
+    GoodputSearchOptions search = search_;
+    if (cache != nullptr) {
+      value_key = value_prefix_ + ConfigSuffix(par, is_prefill);
+      if (const std::optional<double> hit = cache->Lookup(value_key)) {
+        return PhaseSim{*hit, true};
+      }
+      hint_key = hint_prefix_ + ConfigSuffix(par, is_prefill);
+      if (const std::optional<double> hint = cache->RateHint(hint_key)) {
+        if (*hint > 0.0) {
+          search.rate_hint = *hint;
+        }
+      }
+    }
+    const double raw = is_prefill ? SimulatePrefillRate(inputs_, par, search)
+                                  : SimulateDecodeRate(inputs_, par, search);
+    // Clamp to the analytic roofline (see RateUpperBound): discards finite-trial cap-out
+    // artifacts and guarantees every result stays below GoodputUpperBound.
+    const double rate =
+        std::min(raw, kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_));
+    const double goodput = derate * rate;
+    if (cache != nullptr) {
+      cache->Insert(value_key, goodput);
+      cache->UpdateRateHint(hint_key, rate);
+    }
+    return PhaseSim{goodput, false};
+  }
+
+  // Upper bound on the phase's derated goodput: the same roofline SimulatePhase clamps
+  // results to, so no simulated candidate can exceed it. Used to prune configs that provably
+  // cannot beat the incumbent (see Improves).
+  double GoodputUpperBound(const model::ParallelismConfig& par, bool is_prefill) const {
+    const double derate =
+        is_prefill ? inputs_.prefill_goodput_derate : inputs_.decode_goodput_derate;
+    return derate * kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_);
+  }
+
+ private:
+  static std::string ConfigSuffix(const model::ParallelismConfig& par, bool is_prefill) {
+    std::string out;
+    AppendInt(out, par.tp);
+    AppendInt(out, par.pp);
+    out += is_prefill ? 'p' : 'd';
+    return out;
+  }
+
+  void BuildKeyPrefixes() {
+    // Everything besides (par, phase) that determines a simulated goodput. Doubles are
+    // rendered as hexfloats so the fingerprint is exact.
+    std::string s;
+    s += inputs_.model.name;
+    s += '|';
+    AppendInt(s, inputs_.model.num_layers);
+    AppendInt(s, inputs_.model.hidden_size);
+    AppendInt(s, inputs_.model.num_heads);
+    AppendInt(s, inputs_.model.ffn_size);
+    AppendInt(s, inputs_.model.vocab_size);
+    AppendInt(s, inputs_.model.dtype_bytes);
+    s += inputs_.cluster.gpu.name;
+    s += '|';
+    AppendDouble(s, inputs_.cluster.gpu.peak_fp16_flops);
+    AppendDouble(s, inputs_.cluster.gpu.hbm_bandwidth);
+    AppendInt(s, inputs_.cluster.gpu.memory_bytes);
+    AppendDouble(s, inputs_.cluster.gpu.compute_efficiency);
+    AppendDouble(s, inputs_.cluster.gpu.memory_efficiency);
+    AppendDouble(s, inputs_.cluster.gpu.nvlink_bandwidth);
+    AppendDouble(s, inputs_.cluster.gpu.allreduce_latency);
+    AppendDouble(s, inputs_.slo.ttft);
+    AppendDouble(s, inputs_.slo.tpot);
+    AppendDouble(s, search_.attainment_target);
+    // The hint prefix stops here: it identifies the configuration and its SLO regime but not
+    // the workload, so a re-search after traffic drift still finds a warm start.
+    hint_prefix_ = s + "hint|";
+    AppendDouble(s, inputs_.prefill_goodput_derate);
+    AppendDouble(s, inputs_.decode_goodput_derate);
+    AppendInt(s, inputs_.decode_max_batch);
+    AppendDouble(s, search_.rate_floor);
+    AppendDouble(s, search_.rate_probe);
+    AppendInt(s, search_.bisection_iters);
+    AppendInt(s, search_.num_requests);
+    AppendDouble(s, search_.min_trace_duration);
+    AppendInt(s, search_.max_requests);
+    AppendDouble(s, search_.burstiness_cv);
+    AppendInt(s, static_cast<int64_t>(search_.seed));
+    s += inputs_.dataset->identity();
+    s += '|';
+    value_prefix_ = std::move(s);
+  }
+
+  const PlannerInputs& inputs_;
+  GoodputSearchOptions search_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::unique_ptr<workload::TraceCache> owned_trace_cache_;
+  workload::LengthSample mean_;
+  std::string value_prefix_;
+  std::string hint_prefix_;
+};
+
+}  // namespace
+
+double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  DS_CHECK(inputs.dataset != nullptr);
   GoodputSearchOptions search = inputs.search;
   search.attainment_target = inputs.attainment_target;
-  return inputs.decode_goodput_derate * FindMaxRate(attainment, *inputs.dataset, search);
+  Rng rng(search.seed ^ kMeanLengthStream);
+  const workload::LengthSample mean = inputs.dataset->MeanLengths(rng);
+  const double rate = std::min(SimulatePrefillRate(inputs, par, search),
+                               kRooflineSlack * RateUpperBound(inputs, par, true, mean));
+  return inputs.prefill_goodput_derate * rate;
+}
+
+double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par) {
+  DS_CHECK(inputs.dataset != nullptr);
+  GoodputSearchOptions search = inputs.search;
+  search.attainment_target = inputs.attainment_target;
+  Rng rng(search.seed ^ kMeanLengthStream);
+  const workload::LengthSample mean = inputs.dataset->MeanLengths(rng);
+  const double rate = std::min(SimulateDecodeRate(inputs, par, search),
+                               kRooflineSlack * RateUpperBound(inputs, par, false, mean));
+  return inputs.decode_goodput_derate * rate;
 }
 
 PlannerResult HighNodeAffinityPlacement(const PlannerInputs& inputs) {
@@ -122,33 +370,65 @@ PlannerResult HighNodeAffinityPlacement(const PlannerInputs& inputs) {
   const int num_nodes =
       inputs.max_nodes_per_instance > 0 ? inputs.max_nodes_per_instance : inputs.cluster.num_nodes;
   const int gpus_per_node = inputs.cluster.gpus_per_node;
+  SearchContext ctx(inputs);
 
-  CandidateResult best_prefill;
-  CandidateResult best_decode;
+  // Enumerate feasible configs first (cheap), then hand the expensive simulations to the
+  // speculative task set: tasks 2i / 2i+1 are config i's prefill / decode simulation.
+  std::vector<model::ParallelismConfig> configs;
   for (int intra = 1; intra <= gpus_per_node; ++intra) {
     const int max_inter = (num_nodes * gpus_per_node) / intra;
     for (int inter = 1; inter <= max_inter; ++inter) {
       const model::ParallelismConfig par{intra, inter};
-      if (!ConfigFeasible(inputs, par)) {
-        continue;
-      }
-      ++result.configs_evaluated;
-      const double prefill_goodput = SimulatePrefillGoodput(inputs, par);
-      const double decode_goodput = SimulateDecodeGoodput(inputs, par);
-      const double gpus = par.num_gpus();
-      CandidateResult prefill_candidate{par, prefill_goodput, prefill_goodput / gpus, 0, 0};
-      CandidateResult decode_candidate{par, decode_goodput, decode_goodput / gpus, 0, 0};
-      result.prefill_candidates.push_back(prefill_candidate);
-      result.decode_candidates.push_back(decode_candidate);
-      if (Improves(prefill_candidate, par.num_gpus(), best_prefill,
-                   best_prefill.par.num_gpus())) {
-        best_prefill = prefill_candidate;
-      }
-      if (Improves(decode_candidate, par.num_gpus(), best_decode,
-                   best_decode.par.num_gpus())) {
-        best_decode = decode_candidate;
+      if (ConfigFeasible(inputs, par)) {
+        configs.push_back(par);
       }
     }
+  }
+  std::vector<std::function<PhaseSim()>> tasks;
+  tasks.reserve(2 * configs.size());
+  for (const model::ParallelismConfig& par : configs) {
+    tasks.push_back([&ctx, par] { return ctx.SimulatePhase(par, /*is_prefill=*/true); });
+    tasks.push_back([&ctx, par] { return ctx.SimulatePhase(par, /*is_prefill=*/false); });
+  }
+  result.configs_evaluated = static_cast<int>(tasks.size());
+  SpeculativeTaskSet<PhaseSim> sims(ctx.pool(), std::move(tasks));
+
+  // Winner fold: runs on this thread in enumeration order, so prune decisions (which consult
+  // the live incumbent) and the selected plan are bit-identical for any thread count.
+  CandidateResult best_prefill;
+  CandidateResult best_decode;
+  int best_prefill_gpus = 0;
+  int best_decode_gpus = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const model::ParallelismConfig par = configs[i];
+    const int gpus = par.num_gpus();
+    const auto consider = [&](bool is_prefill, size_t task, CandidateResult& best,
+                              int& best_gpus, std::vector<CandidateResult>& kept) {
+      if (inputs.prune_search_space) {
+        const double bound = ctx.GoodputUpperBound(par, is_prefill);
+        const CandidateResult at_bound{par, bound, bound / gpus, 0, 0};
+        if (!Improves(at_bound, gpus, best, best_gpus)) {
+          sims.Cancel(task);
+          ++result.simulations_skipped;
+          return;
+        }
+      }
+      const PhaseSim sim = sims.Force(task);
+      ++result.simulations_run;
+      if (sim.cache_hit) {
+        ++result.cache_hits;
+      }
+      const CandidateResult candidate{par, sim.goodput, sim.goodput / gpus, 0, 0};
+      kept.push_back(candidate);
+      if (Improves(candidate, gpus, best, best_gpus)) {
+        best = candidate;
+        best_gpus = gpus;
+      }
+    };
+    consider(/*is_prefill=*/true, 2 * i, best_prefill, best_prefill_gpus,
+             result.prefill_candidates);
+    consider(/*is_prefill=*/false, 2 * i + 1, best_decode, best_decode_gpus,
+             result.decode_candidates);
   }
 
   const int fallback_nodes = num_nodes;
@@ -175,45 +455,101 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
   const int num_nodes =
       inputs.max_nodes_per_instance > 0 ? inputs.max_nodes_per_instance : inputs.cluster.num_nodes;
   const int gpus_per_node = inputs.cluster.gpus_per_node;
+  SearchContext ctx(inputs);
 
-  CandidateResult best_pair;
-  for (int inter = 1; inter <= num_nodes && inter <= inputs.model.num_layers; ++inter) {
-    // Memoize per-phase goodputs: they depend only on (tp, inter), not on the pairing.
-    std::vector<double> prefill_goodput(static_cast<size_t>(gpus_per_node) + 1, -1.0);
-    std::vector<double> decode_goodput(static_cast<size_t>(gpus_per_node) + 1, -1.0);
-    auto phase_goodput = [&](std::vector<double>& cache, int tp, bool is_prefill) {
-      if (cache[static_cast<size_t>(tp)] < 0.0) {
+  // Phase goodputs depend only on (tp, inter), not on the pairing, so all feasible phase
+  // configs become one flat task set and the pair fold forces exactly the ones it needs.
+  struct PhaseConfig {
+    bool feasible = false;
+    int task = -1;
+    double upper_bound = 0.0;
+  };
+  const int max_inter = std::min(num_nodes, inputs.model.num_layers);
+  const size_t tp_slots = static_cast<size_t>(gpus_per_node);
+  std::vector<PhaseConfig> table(static_cast<size_t>(std::max(0, max_inter)) * 2 * tp_slots);
+  const auto slot = [&](int inter, bool is_prefill, int tp) -> PhaseConfig& {
+    const size_t row = (static_cast<size_t>(inter - 1) * 2 + (is_prefill ? 0 : 1)) * tp_slots;
+    return table[row + static_cast<size_t>(tp - 1)];
+  };
+
+  std::vector<std::function<PhaseSim()>> tasks;
+  for (int inter = 1; inter <= max_inter; ++inter) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const bool is_prefill = phase == 0;
+      for (int tp = 1; tp < gpus_per_node; ++tp) {
         const model::ParallelismConfig par{tp, inter};
         if (!ConfigFeasible(inputs, par)) {
-          cache[static_cast<size_t>(tp)] = 0.0;
-        } else {
-          ++result.configs_evaluated;
-          cache[static_cast<size_t>(tp)] = is_prefill ? SimulatePrefillGoodput(inputs, par)
-                                                      : SimulateDecodeGoodput(inputs, par);
+          continue;
         }
+        PhaseConfig& pc = slot(inter, is_prefill, tp);
+        pc.feasible = true;
+        pc.upper_bound = ctx.GoodputUpperBound(par, is_prefill);
+        pc.task = static_cast<int>(tasks.size());
+        tasks.push_back([&ctx, par, is_prefill] { return ctx.SimulatePhase(par, is_prefill); });
       }
-      return cache[static_cast<size_t>(tp)];
-    };
+    }
+  }
+  result.configs_evaluated = static_cast<int>(tasks.size());
+  SpeculativeTaskSet<PhaseSim> sims(ctx.pool(), std::move(tasks));
+  std::vector<char> forced(sims.size(), 0);
+  const auto force = [&](const PhaseConfig& pc) -> double {
+    const PhaseSim& sim = sims.Force(static_cast<size_t>(pc.task));
+    if (!forced[static_cast<size_t>(pc.task)]) {
+      forced[static_cast<size_t>(pc.task)] = 1;
+      ++result.simulations_run;
+      if (sim.cache_hit) {
+        ++result.cache_hits;
+      }
+    }
+    return sim.goodput;
+  };
 
+  CandidateResult best_pair;
+  // Tracked explicitly: deriving it from best_pair (pp * (tp_p + tp_d)) reads 0 off the
+  // default-constructed incumbent and mis-biases the smaller-instance tie-break.
+  int best_pair_gpus = 0;
+  for (int inter = 1; inter <= max_inter; ++inter) {
     // An "instance segment" pair occupies tp_p + tp_d GPUs on each of `inter` nodes. Nodes may
     // host multiple independent pairs when tp_p + tp_d divides into M, so optimizing per-GPU
     // goodput of one pair is sufficient.
     for (int tp_p = 1; tp_p < gpus_per_node; ++tp_p) {
       for (int tp_d = 1; tp_p + tp_d <= gpus_per_node; ++tp_d) {
-        const double pg = phase_goodput(prefill_goodput, tp_p, /*is_prefill=*/true);
-        const double dg = phase_goodput(decode_goodput, tp_d, /*is_prefill=*/false);
+        const PhaseConfig& pf = slot(inter, /*is_prefill=*/true, tp_p);
+        const PhaseConfig& df = slot(inter, /*is_prefill=*/false, tp_d);
+        if (!pf.feasible || !df.feasible) {
+          continue;
+        }
+        const int pair_gpus = inter * (tp_p + tp_d);
+        if (inputs.prune_search_space) {
+          const double pair_bound = std::min(pf.upper_bound, df.upper_bound);
+          const CandidateResult at_bound{model::ParallelismConfig{0, inter}, pair_bound,
+                                         pair_bound / pair_gpus, tp_p, tp_d};
+          if (!Improves(at_bound, pair_gpus, best_pair, best_pair_gpus)) {
+            continue;  // the phase sims may still be forced by another pair
+          }
+        }
+        const double pg = force(pf);
+        const double dg = force(df);
         if (pg <= 0.0 || dg <= 0.0) {
           continue;
         }
         const double pair = std::min(pg, dg);
-        const double per_gpu = pair / static_cast<double>(inter * (tp_p + tp_d));
-        CandidateResult candidate{model::ParallelismConfig{0, inter}, pair, per_gpu, tp_p, tp_d};
+        const double per_gpu = pair / static_cast<double>(pair_gpus);
+        const CandidateResult candidate{model::ParallelismConfig{0, inter}, pair, per_gpu,
+                                        tp_p, tp_d};
         result.pair_candidates.push_back(candidate);
-        if (Improves(candidate, inter * (tp_p + tp_d), best_pair,
-                     best_pair.par.pp * (best_pair.pair_prefill_tp + best_pair.pair_decode_tp))) {
+        if (Improves(candidate, pair_gpus, best_pair, best_pair_gpus)) {
           best_pair = candidate;
+          best_pair_gpus = pair_gpus;
         }
       }
+    }
+  }
+  // Feasible phase configs that no surviving pair needed were never simulated.
+  for (size_t t = 0; t < forced.size(); ++t) {
+    if (!forced[t]) {
+      sims.Cancel(t);
+      ++result.simulations_skipped;
     }
   }
 

@@ -11,6 +11,14 @@
 // NVLink. Enumerate the inter-op degree, then all intra-node splits of the node's M GPUs
 // between the prefill segment and the decode segment; evaluate each paired configuration as a
 // unit and replicate the best pair.
+//
+// Search engine (this reproduction's extension; see DESIGN.md §10): candidate goodput
+// simulations are pure, so both algorithms evaluate them on a thread pool while the winner
+// fold runs on the calling thread in enumeration order — N-thread results are bit-identical
+// to the serial search. Probe traces are shared through a workload::TraceCache, per-config
+// goodputs are memoized across invocations in a placement::GoodputCache (replanning
+// re-searches only simulate configs whose inputs changed), and an analytic roofline upper
+// bound prunes configs that provably cannot beat the incumbent.
 #ifndef DISTSERVE_PLACEMENT_ALGORITHMS_H_
 #define DISTSERVE_PLACEMENT_ALGORITHMS_H_
 
@@ -18,9 +26,11 @@
 #include <vector>
 
 #include "cluster/topology.h"
+#include "common/thread_pool.h"
 #include "metrics/collector.h"
 #include "model/model_spec.h"
 #include "placement/goodput.h"
+#include "placement/goodput_cache.h"
 #include "placement/placement.h"
 #include "workload/dataset.h"
 
@@ -50,6 +60,31 @@ struct PlannerInputs {
   double decode_goodput_derate = 0.80;
 
   GoodputSearchOptions search;
+
+  // --- Search-engine knobs (results are identical for any setting of these) ---
+
+  // Threads evaluating candidate simulations; 1 = serial. When `pool` is set its workers are
+  // used (plus the calling thread) and num_threads is ignored; otherwise a temporary pool
+  // with num_threads - 1 workers is created per invocation.
+  int num_threads = 1;
+  ThreadPool* pool = nullptr;  // non-owning
+
+  // Persistent per-config goodput memo shared across invocations (non-owning; may be null).
+  // With unchanged inputs a re-search answers every simulation from this cache.
+  GoodputCache* goodput_cache = nullptr;
+
+  // Skip simulating configs whose analytic roofline upper bound cannot beat the incumbent.
+  // Simulated rates are clamped to the same roofline (finite-trial "unbounded rate" cap-outs
+  // are an artifact no real deployment sustains), so the bound holds by construction and
+  // pruning never changes the chosen plan; disable to force-simulate every candidate (e.g.
+  // for candidate reports).
+  bool prune_search_space = true;
+
+  // Share probe traces across the invocation's rate searches through a workload::TraceCache
+  // (the caller's inputs.search.trace_cache when set, else a per-invocation one). Cached
+  // traces are bit-identical to fresh generation; off regenerates every probe trace — the
+  // pre-engine behavior, kept for cost ablations (Figure 12).
+  bool share_probe_traces = true;
 };
 
 // One evaluated candidate (kept for reporting / Figure 12 cost accounting).
@@ -63,14 +98,24 @@ struct CandidateResult {
 
 struct PlannerResult {
   PlacementPlan plan;
+  // Candidates that were actually simulated (pruned configs do not appear).
   std::vector<CandidateResult> prefill_candidates;
   std::vector<CandidateResult> decode_candidates;
   std::vector<CandidateResult> pair_candidates;  // Algorithm 2
+
+  // Search-cost accounting. configs_evaluated counts feasible phase configurations the
+  // enumeration considered; each was either simulated (simulations_run, of which cache_hits
+  // were answered by the goodput cache without simulating) or skipped (simulations_skipped:
+  // pruned by the upper bound, or — Algorithm 2 — needed by no surviving pair).
   int configs_evaluated = 0;
+  int simulations_run = 0;
+  int simulations_skipped = 0;
+  int cache_hits = 0;
 };
 
 // Per-phase goodput of one parallelism config, measured with the fast simulator against the
-// phase-specific SLO. Exposed for tests and the ablation bench.
+// phase-specific SLO. Exposed for tests and the ablation bench. Honors
+// inputs.search.trace_cache / rate_hint; does not consult the goodput cache.
 double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par);
 double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::ParallelismConfig& par);
 

@@ -7,10 +7,17 @@
 
 namespace distserve::placement {
 
+namespace {
+// Probes above this rate are "effectively unbounded for this trial size" (legacy cap).
+constexpr double kRateCeiling = 1e5;
+}  // namespace
+
 double FindMaxRate(const std::function<double(const workload::Trace&)>& attainment_at,
-                   const workload::Dataset& dataset, const GoodputSearchOptions& options) {
+                   const workload::Dataset& dataset, const GoodputSearchOptions& options,
+                   GoodputSearchStats* stats) {
   DS_CHECK(attainment_at != nullptr);
   DS_CHECK_GT(options.rate_floor, 0.0);
+  DS_CHECK_GT(options.rate_probe, 0.0);
   auto attainment_at_rate = [&](double rate) {
     workload::TraceSpec spec;
     spec.rate = rate;
@@ -19,23 +26,83 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
     spec.num_requests = static_cast<int>(std::clamp<double>(
         wanted, options.num_requests, options.max_requests));
     spec.seed = options.seed;
+    if (stats != nullptr) {
+      ++stats->probes;
+    }
+    if (options.trace_cache != nullptr) {
+      const int64_t hits_before = options.trace_cache->stats().hits;
+      const std::shared_ptr<const workload::Trace> trace =
+          options.trace_cache->Get(spec, dataset);
+      if (stats != nullptr && options.trace_cache->stats().hits > hits_before) {
+        ++stats->trace_cache_hits;
+      }
+      return attainment_at(*trace);
+    }
     return attainment_at(workload::GenerateTrace(spec, dataset));
   };
+  // The exponential-probe lattice: rate_probe * 2^k. Keeping every probe on this lattice —
+  // warm-started or not — is what lets the trace cache share probe traces across configs and
+  // keeps hinted searches on the same pass/fail boundary as cold ones.
+  auto lattice = [&](int k) { return options.rate_probe * std::ldexp(1.0, k); };
 
-  if (attainment_at_rate(options.rate_floor) < options.attainment_target) {
-    return 0.0;
-  }
-  // Exponential probe for the first failing rate.
-  double lo = options.rate_floor;
-  double hi = options.rate_probe;
-  while (attainment_at_rate(hi) >= options.attainment_target) {
-    lo = hi;
-    hi *= 2.0;
-    if (hi > 1e5) {
-      return lo;  // effectively unbounded for this trial size
+  double lo;
+  int first_fail_k;  // hi = lattice(first_fail_k)
+  if (options.rate_hint > 0.0) {
+    int k0 = std::max(
+        0, static_cast<int>(std::lround(std::log2(options.rate_hint / options.rate_probe))));
+    while (k0 > 0 && lattice(k0) > kRateCeiling) {
+      --k0;
     }
+    if (attainment_at_rate(lattice(k0)) >= options.attainment_target) {
+      // Walk up to the first failing lattice point (identical to the cold walk from k0).
+      lo = lattice(k0);
+      int k = k0 + 1;
+      while (true) {
+        if (lattice(k) > kRateCeiling) {
+          return lo;  // effectively unbounded for this trial size
+        }
+        if (attainment_at_rate(lattice(k)) < options.attainment_target) {
+          break;
+        }
+        lo = lattice(k);
+        ++k;
+      }
+      first_fail_k = k;
+    } else {
+      // Walk down to the last passing lattice point.
+      int k = k0 - 1;
+      while (k >= 0 && attainment_at_rate(lattice(k)) < options.attainment_target) {
+        --k;
+      }
+      if (k < 0) {
+        if (attainment_at_rate(options.rate_floor) < options.attainment_target) {
+          return 0.0;
+        }
+        lo = options.rate_floor;
+        first_fail_k = 0;
+      } else {
+        lo = lattice(k);
+        first_fail_k = k + 1;
+      }
+    }
+  } else {
+    if (attainment_at_rate(options.rate_floor) < options.attainment_target) {
+      return 0.0;
+    }
+    // Exponential probe for the first failing rate.
+    lo = options.rate_floor;
+    int k = 0;
+    while (attainment_at_rate(lattice(k)) >= options.attainment_target) {
+      lo = lattice(k);
+      ++k;
+      if (lattice(k) > kRateCeiling) {
+        return lo;  // effectively unbounded for this trial size
+      }
+    }
+    first_fail_k = k;
   }
   // Bisection between the last passing and first failing rates.
+  double hi = lattice(first_fail_k);
   for (int i = 0; i < options.bisection_iters; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (attainment_at_rate(mid) >= options.attainment_target) {

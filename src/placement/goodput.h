@@ -3,21 +3,31 @@
 //
 // The paper "enumerates the placements via binary search and finds the maximum rate that meets
 // the SLO attainment target with simulation trials" (§4.1). FindMaxRate does exactly that: an
-// exponential probe to bracket the knee, then bisection; each probe regenerates a trace at the
-// candidate rate from the workload distribution (resampling, as the paper does).
+// exponential probe to bracket the knee, then bisection; each probe resamples a trace at the
+// candidate rate from the workload distribution (as the paper does). Probe traces are fetched
+// through an optional workload::TraceCache — probe rates live on a shared lattice
+// (rate_probe * 2^k), so the dozens of searches a planner runs against different parallelism
+// configs regenerate identical traces without one.
+//
+// `rate_hint` warm-starts the exponential probe near a previously measured rate for the same
+// configuration (replanning after traffic drift). The probe stays on the same lattice and
+// walks to the same pass/fail boundary, so for attainment functions that are non-increasing
+// in rate — which the SLO simulators are, up to sampling noise — the result is identical to
+// the cold search; the hint only changes how many probes it takes to get there.
 #ifndef DISTSERVE_PLACEMENT_GOODPUT_H_
 #define DISTSERVE_PLACEMENT_GOODPUT_H_
 
 #include <functional>
 
 #include "workload/generator.h"
+#include "workload/trace_cache.h"
 
 namespace distserve::placement {
 
 struct GoodputSearchOptions {
   double attainment_target = 0.9;
   double rate_floor = 0.02;   // below this the config is considered useless
-  double rate_probe = 1.0;    // initial probe rate
+  double rate_probe = 1.0;    // initial probe rate (anchor of the probe lattice)
   int bisection_iters = 10;
   // Trace sizing: at least `num_requests`, grown so the trace spans `min_trace_duration`
   // virtual seconds at the candidate rate (decode residence is tens of seconds, so short
@@ -28,12 +38,27 @@ struct GoodputSearchOptions {
   int max_requests = 20000;
   double burstiness_cv = 1.0;
   uint64_t seed = 1234;
+
+  // Shared probe-trace cache (non-owning; may be null). Cached traces are bit-identical to
+  // fresh generation, so enabling the cache never changes results.
+  workload::TraceCache* trace_cache = nullptr;
+
+  // When > 0, start the exponential probe at the lattice point nearest this rate instead of
+  // at rate_probe (typically the previous search's result for the same config).
+  double rate_hint = 0.0;
+};
+
+// Cost accounting for one search (Figure 12 / PlannerResult reporting).
+struct GoodputSearchStats {
+  int probes = 0;             // attainment evaluations (trace simulations requested)
+  int trace_cache_hits = 0;   // probes whose trace came from the cache
 };
 
 // `attainment_at(trace)` returns the joint SLO attainment for one trace. Returns the largest
 // rate (requests/second) whose attainment meets the target, or 0 when even rate_floor fails.
 double FindMaxRate(const std::function<double(const workload::Trace&)>& attainment_at,
-                   const workload::Dataset& dataset, const GoodputSearchOptions& options);
+                   const workload::Dataset& dataset, const GoodputSearchOptions& options,
+                   GoodputSearchStats* stats = nullptr);
 
 }  // namespace distserve::placement
 

@@ -1,0 +1,48 @@
+#include "placement/goodput_cache.h"
+
+namespace distserve::placement {
+
+std::optional<double> GoodputCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void GoodputCache::Insert(const std::string& key, double goodput) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[key] = goodput;
+  stats_.entries = static_cast<int64_t>(values_.size());
+}
+
+std::optional<double> GoodputCache::RateHint(const std::string& config_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hints_.find(config_key);
+  if (it == hints_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void GoodputCache::UpdateRateHint(const std::string& config_key, double goodput) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hints_[config_key] = goodput;
+}
+
+GoodputCache::Stats GoodputCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GoodputCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+  hints_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace distserve::placement

@@ -1,0 +1,56 @@
+// Persistent memoization for per-config goodput simulations (§4.4 online replanning).
+//
+// A planner invocation simulates goodput for every feasible (parallelism, phase) pair; a
+// replanning-triggered re-search repeats that work even though most configurations' inputs
+// (model, SLO, workload distribution, search fidelity) have not changed. GoodputCache stores
+// each simulated goodput under a fingerprint of everything that determines it, so unchanged
+// configs cost a hash lookup on the next search.
+//
+// It additionally remembers the most recent goodput per configuration *ignoring* the workload
+// fingerprint ("rate hints"): after a traffic drift the exact key misses, but last search's
+// rate for the same config is an excellent warm start for FindMaxRate's exponential probe.
+//
+// Entries are a few dozen bytes each and the config space is small (hundreds), so the cache
+// is unbounded; Clear() exists for explicit invalidation (e.g. after recalibration).
+#ifndef DISTSERVE_PLACEMENT_GOODPUT_CACHE_H_
+#define DISTSERVE_PLACEMENT_GOODPUT_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace distserve::placement {
+
+class GoodputCache {
+ public:
+  // Exact-fingerprint lookup; counts a hit or miss. Thread-safe.
+  std::optional<double> Lookup(const std::string& key);
+
+  void Insert(const std::string& key, double goodput);
+
+  // Warm-start memory keyed by configuration alone (model + parallelism + phase), holding the
+  // last goodput simulated for it under any workload.
+  std::optional<double> RateHint(const std::string& config_key) const;
+  void UpdateRateHint(const std::string& config_key, double goodput);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t entries = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, double> values_;
+  std::unordered_map<std::string, double> hints_;
+  Stats stats_;
+};
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_GOODPUT_CACHE_H_

@@ -8,8 +8,11 @@
 namespace distserve::simcore {
 
 void EventHandle::Cancel() {
-  if (alive_) {
+  if (alive_ && *alive_) {
     *alive_ = false;
+    if (dead_count_) {
+      ++*dead_count_;  // entry is still stored in the heap; tally it for compaction
+    }
   }
 }
 
@@ -20,14 +23,27 @@ EventHandle EventQueue::Schedule(SimTime when, std::function<void()> fn) {
   auto alive = std::make_shared<bool>(true);
   heap_.push_back(Entry{when, next_seq_++, alive, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(alive);
+  MaybeCompact();
+  return EventHandle(std::move(alive), dead_count_);
 }
 
 void EventQueue::DropDead() const {
   while (!heap_.empty() && !*heap_.front().alive) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    --*dead_count_;
   }
+}
+
+void EventQueue::MaybeCompact() {
+  if (*dead_count_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [](const Entry& e) { return !*e.alive; }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  *dead_count_ = 0;
 }
 
 bool EventQueue::empty() const {
@@ -44,6 +60,7 @@ SimTime EventQueue::NextTime() const {
 }
 
 EventQueue::Fired EventQueue::Pop() {
+  MaybeCompact();
   DropDead();
   DS_CHECK(!heap_.empty()) << "Pop on empty event queue";
   std::pop_heap(heap_.begin(), heap_.end(), Later{});

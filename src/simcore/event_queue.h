@@ -3,7 +3,11 @@
 // Events are (time, sequence, callback) triples kept in a binary min-heap. The monotonically
 // increasing sequence number breaks time ties in insertion order, which makes simulations
 // bit-reproducible regardless of heap internals. Events can be cancelled in O(1) via a shared
-// liveness flag (lazy deletion: dead entries are skipped when they reach the top).
+// liveness flag (lazy deletion: dead entries are skipped when they reach the top). A shared
+// dead-entry counter bounds the garbage lazy deletion can accumulate: when more than half of
+// the stored entries are cancelled, the heap is compacted in one O(n) sweep — without this,
+// cancel-heavy schedulers (speculative timeouts, per-request deadlines that almost never
+// fire) grow the heap with entries that sift through every push until they surface.
 #ifndef DISTSERVE_SIMCORE_EVENT_QUEUE_H_
 #define DISTSERVE_SIMCORE_EVENT_QUEUE_H_
 
@@ -30,9 +34,11 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  EventHandle(std::shared_ptr<bool> alive, std::shared_ptr<size_t> dead_count)
+      : alive_(std::move(alive)), dead_count_(std::move(dead_count)) {}
 
   std::shared_ptr<bool> alive_;
+  std::shared_ptr<size_t> dead_count_;  // owning queue's cancelled-entry tally
 };
 
 class EventQueue {
@@ -75,8 +81,14 @@ class EventQueue {
   // Removes cancelled entries from the heap top.
   void DropDead() const;
 
+  // Rebuilds the heap without dead entries once they outnumber live ones.
+  void MaybeCompact();
+
   mutable std::vector<Entry> heap_;
   uint64_t next_seq_ = 0;
+  // Shared with handles so Cancel() can tally without a back-pointer to the queue (handles
+  // may outlive it). Counts cancelled entries still stored in heap_.
+  std::shared_ptr<size_t> dead_count_ = std::make_shared<size_t>(0);
 };
 
 }  // namespace distserve::simcore

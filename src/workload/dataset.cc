@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 
 namespace distserve::workload {
+
+namespace {
+
+// FNV-1a; cheap, stable across platforms, good enough to distinguish observation sets.
+uint64_t Fnv1a(uint64_t hash, uint64_t value) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xff;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace
 
 LengthSample Dataset::MeanLengths(Rng& rng, int trials) const {
   DS_CHECK_GT(trials, 0);
@@ -45,6 +60,14 @@ LengthSample LognormalDataset::Sample(Rng& rng) const {
   return sample;
 }
 
+std::string LognormalDataset::identity() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "|ln:%a,%a,%d,%d,%a,%a,%d,%d", params_.input_mu,
+                params_.input_sigma, params_.input_min, params_.input_max, params_.output_mu,
+                params_.output_sigma, params_.output_min, params_.output_max);
+  return params_.name + buf;
+}
+
 FixedDataset::FixedDataset(int input_len, int output_len)
     : input_len_(input_len), output_len_(output_len) {
   DS_CHECK_GE(input_len, 1);
@@ -62,6 +85,17 @@ std::string FixedDataset::name() const {
 EmpiricalDataset::EmpiricalDataset(std::string name, std::vector<LengthSample> observations)
     : name_(std::move(name)), observations_(std::move(observations)) {
   DS_CHECK(!observations_.empty()) << "empirical dataset needs at least one observation";
+  uint64_t digest = 14695981039346656037ull;
+  for (const LengthSample& s : observations_) {
+    digest = Fnv1a(digest, (static_cast<uint64_t>(static_cast<uint32_t>(s.input_len)) << 32) |
+                               static_cast<uint32_t>(s.output_len));
+  }
+  observation_digest_ = digest;
+}
+
+std::string EmpiricalDataset::identity() const {
+  return name_ + "|emp:" + std::to_string(observations_.size()) + "," +
+         std::to_string(observation_digest_);
 }
 
 EmpiricalDataset EmpiricalDataset::FromTrace(std::string name, const Trace& trace) {

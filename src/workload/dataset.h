@@ -34,6 +34,11 @@ class Dataset {
   virtual LengthSample Sample(Rng& rng) const = 0;
   virtual std::string name() const = 0;
 
+  // A string that changes whenever the sampled distribution changes — the cache key used by
+  // workload::TraceCache and the planner's goodput cache. Defaults to name(); subclasses
+  // whose name underdetermines the distribution must append their parameters.
+  virtual std::string identity() const { return name(); }
+
   // Monte-Carlo mean lengths (for capacity estimates and logging).
   LengthSample MeanLengths(Rng& rng, int trials = 4096) const;
 };
@@ -56,6 +61,7 @@ class LognormalDataset : public Dataset {
   explicit LognormalDataset(Params params);
   LengthSample Sample(Rng& rng) const override;
   std::string name() const override { return params_.name; }
+  std::string identity() const override;
   const Params& params() const { return params_; }
 
  private:
@@ -85,11 +91,13 @@ class EmpiricalDataset : public Dataset {
 
   LengthSample Sample(Rng& rng) const override;
   std::string name() const override { return name_; }
+  std::string identity() const override;
   size_t observation_count() const { return observations_.size(); }
 
  private:
   std::string name_;
   std::vector<LengthSample> observations_;
+  uint64_t observation_digest_ = 0;  // FNV-1a over the pairs, computed once
 };
 
 // The three paper datasets (parameters fit to Figure 7).

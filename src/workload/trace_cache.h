@@ -1,0 +1,67 @@
+// Memoized trace generation for the placement search.
+//
+// FindMaxRate regenerates a trace for every (rate, seed) probe, and the planner runs that
+// search once per candidate configuration — so the exponential-probe lattice rates (and any
+// repeated bisection midpoints) are generated dozens of times with identical TraceSpecs.
+// TraceCache shares those traces: the key is the full generation input (rate, burstiness,
+// request count, seed, dataset identity), so a hit returns a trace bit-identical to what
+// GenerateTrace would produce. Entries are LRU-evicted by a request-count budget (traces at
+// high probe rates hold up to `max_requests` entries each).
+//
+// Thread safety: all methods are safe to call concurrently; concurrent misses on the same key
+// may both generate (identical) traces, and one wins the insert.
+#ifndef DISTSERVE_WORKLOAD_TRACE_CACHE_H_
+#define DISTSERVE_WORKLOAD_TRACE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "workload/generator.h"
+
+namespace distserve::workload {
+
+class TraceCache {
+ public:
+  // `max_cached_requests` bounds the summed trace lengths kept resident (~48 bytes/request).
+  // The default holds roughly one planner invocation's working set at bench fidelity.
+  explicit TraceCache(int64_t max_cached_requests = 4'000'000);
+
+  // Returns the trace GenerateTrace(spec, dataset) would produce, generating on miss. The
+  // returned trace is shared and immutable; it stays valid after eviction.
+  std::shared_ptr<const Trace> Get(const TraceSpec& spec, const Dataset& dataset);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t cached_requests = 0;  // current residency, in requests
+    int64_t entries = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Trace> trace;
+  };
+  using LruList = std::list<Entry>;
+
+  static std::string MakeKey(const TraceSpec& spec, const Dataset& dataset);
+  void EvictIfOverBudgetLocked();
+
+  const int64_t max_cached_requests_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_TRACE_CACHE_H_

@@ -93,6 +93,69 @@ TEST(EventQueueTest, DefaultHandleIsInert) {
   handle.Cancel();
 }
 
+TEST(EventQueueTest, CompactionReclaimsCancelledEntries) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(queue.Schedule(1000.0 + i, [] {}));
+  }
+  for (int i = 0; i < 99; ++i) {
+    handles[static_cast<size_t>(i)].Cancel();
+  }
+  // Lazy deletion alone leaves the corpses buried (they are not at the heap top)...
+  EXPECT_EQ(queue.size(), 100u);
+  // ...but the next schedule notices dead > live and compacts to the 2 live entries.
+  queue.Schedule(0.5, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  int fired = 0;
+  while (!queue.empty()) {
+    queue.Pop().fn();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CompactionPreservesOrderAndPendingHandles) {
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(queue.Schedule(static_cast<double>(i), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 2) {
+    handles[static_cast<size_t>(i)].Cancel();  // kill the evens
+  }
+  queue.Schedule(100.0, [&fired] { fired.push_back(100); });  // compaction may run mid-drain
+  for (int i = 1; i < 64; i += 2) {
+    EXPECT_TRUE(handles[static_cast<size_t>(i)].pending()) << i;
+  }
+  while (!queue.empty()) {
+    queue.Pop().fn();
+  }
+  ASSERT_EQ(fired.size(), 33u);
+  for (size_t k = 0; k + 1 < fired.size(); ++k) {
+    EXPECT_LT(fired[k], fired[k + 1]);
+  }
+}
+
+TEST(EventQueueTest, CancelAfterCompactionIsSafe) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(queue.Schedule(1.0 + i, [] {}));
+  }
+  for (int i = 0; i < 15; ++i) {
+    handles[static_cast<size_t>(i)].Cancel();
+  }
+  queue.Schedule(50.0, [] {});  // compacts; cancelled entries are physically gone
+  for (EventHandle& h : handles) {
+    h.Cancel();  // double-cancel + cancel-of-compacted must be no-ops (kills the survivor too)
+  }
+  EXPECT_FALSE(queue.empty());  // the event scheduled at t=50 is still live
+  EXPECT_DOUBLE_EQ(queue.Pop().time, 50.0);
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueueTest, ScheduleDuringDrain) {
   EventQueue queue;
   std::vector<int> fired;

@@ -57,6 +57,67 @@ TEST(GoodputTest, AttainmentTargetMatters) {
   EXPECT_NEAR(loose_rate, 5.0, 1.0);
 }
 
+TEST(GoodputTest, WarmStartMatchesColdSearch) {
+  // Attainment decays monotonically with rate, so a hinted search must land on exactly the
+  // cold search's answer no matter how wrong the hint is — it only changes the probe count.
+  workload::FixedDataset dataset(100, 10);
+  auto decay = [](const workload::Trace& trace) {
+    const double rate = workload::ComputeTraceStats(trace).observed_rate;
+    return std::max(0.0, 1.0 - rate / 10.0);
+  };
+  GoodputSearchStats cold_stats;
+  const double cold = FindMaxRate(decay, dataset, FastOptions(), &cold_stats);
+  for (const double hint : {0.05, 0.4, 1.0, cold, 3.0 * cold, 40.0, 900.0}) {
+    GoodputSearchOptions options = FastOptions();
+    options.rate_hint = hint;
+    GoodputSearchStats warm_stats;
+    const double warm = FindMaxRate(decay, dataset, options, &warm_stats);
+    EXPECT_DOUBLE_EQ(warm, cold) << "hint=" << hint;
+    EXPECT_GT(warm_stats.probes, 0);
+  }
+  // An accurate hint may not probe more than the cold search does.
+  GoodputSearchOptions accurate = FastOptions();
+  accurate.rate_hint = cold;
+  GoodputSearchStats accurate_stats;
+  FindMaxRate(decay, dataset, accurate, &accurate_stats);
+  EXPECT_LE(accurate_stats.probes, cold_stats.probes);
+}
+
+TEST(GoodputTest, WarmStartHopelessStillZero) {
+  workload::FixedDataset dataset(100, 10);
+  auto never = [](const workload::Trace&) { return 0.0; };
+  GoodputSearchOptions options = FastOptions();
+  options.rate_hint = 12.0;
+  EXPECT_DOUBLE_EQ(FindMaxRate(never, dataset, options), 0.0);
+}
+
+TEST(GoodputTest, WarmStartAlwaysPassingCapsOut) {
+  workload::FixedDataset dataset(100, 10);
+  auto always = [](const workload::Trace&) { return 1.0; };
+  GoodputSearchOptions options = FastOptions();
+  options.rate_hint = 2.0;
+  EXPECT_GT(FindMaxRate(always, dataset, options), 1e4);
+}
+
+TEST(GoodputTest, TraceCacheDoesNotChangeResultAndHits) {
+  workload::FixedDataset dataset(100, 10);
+  auto decay = [](const workload::Trace& trace) {
+    const double rate = workload::ComputeTraceStats(trace).observed_rate;
+    return std::max(0.0, 1.0 - rate / 10.0);
+  };
+  const double uncached = FindMaxRate(decay, dataset, FastOptions());
+  workload::TraceCache cache;
+  GoodputSearchOptions options = FastOptions();
+  options.trace_cache = &cache;
+  const double first = FindMaxRate(decay, dataset, options);
+  GoodputSearchStats second_stats;
+  const double second = FindMaxRate(decay, dataset, options, &second_stats);
+  EXPECT_DOUBLE_EQ(first, uncached);
+  EXPECT_DOUBLE_EQ(second, uncached);
+  // The second search re-visits the exact probe lattice: every trace comes from the cache.
+  EXPECT_EQ(second_stats.trace_cache_hits, second_stats.probes);
+}
+
 TEST(GoodputTest, TraceSizeScalesWithRate) {
   workload::FixedDataset dataset(100, 10);
   GoodputSearchOptions options;

@@ -1,0 +1,115 @@
+#include "workload/trace_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve::workload {
+namespace {
+
+TraceSpec Spec(double rate, int num_requests = 50, uint64_t seed = 7) {
+  TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = num_requests;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(TraceCacheTest, MissThenHitReturnsSameTrace) {
+  FixedDataset dataset(100, 10);
+  TraceCache cache;
+  const auto first = cache.Get(Spec(2.0), dataset);
+  const auto second = cache.Get(Spec(2.0), dataset);
+  EXPECT_EQ(first.get(), second.get());  // shared, not regenerated
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(TraceCacheTest, CachedTraceBitIdenticalToFreshGeneration) {
+  FixedDataset dataset(100, 10);
+  TraceCache cache;
+  const TraceSpec spec = Spec(3.5, 80, 42);
+  const auto cached = cache.Get(spec, dataset);
+  const Trace fresh = GenerateTrace(spec, dataset);
+  ASSERT_EQ(cached->size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ((*cached)[i].id, fresh[i].id);
+    EXPECT_EQ((*cached)[i].input_len, fresh[i].input_len);
+    EXPECT_EQ((*cached)[i].output_len, fresh[i].output_len);
+    EXPECT_DOUBLE_EQ((*cached)[i].arrival_time, fresh[i].arrival_time);
+  }
+}
+
+TEST(TraceCacheTest, DistinctSpecsAreDistinctEntries) {
+  FixedDataset dataset(100, 10);
+  TraceCache cache;
+  cache.Get(Spec(2.0), dataset);
+  cache.Get(Spec(4.0), dataset);                     // different rate
+  cache.Get(Spec(2.0, 50, 8), dataset);              // different seed
+  cache.Get(Spec(2.0, 60), dataset);                 // different size
+  EXPECT_EQ(cache.stats().misses, 4);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(TraceCacheTest, DatasetIdentityDistinguishesSameName) {
+  // Two distributions with the same display name must not share cached traces.
+  LognormalDataset::Params a;
+  a.name = "synthetic";
+  a.input_mu = 5.0;
+  LognormalDataset::Params b = a;
+  b.input_mu = 6.0;
+  const LognormalDataset da(a);
+  const LognormalDataset db(b);
+  ASSERT_EQ(da.name(), db.name());
+  ASSERT_NE(da.identity(), db.identity());
+  TraceCache cache;
+  const auto ta = cache.Get(Spec(2.0), da);
+  const auto tb = cache.Get(Spec(2.0), db);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_NE(ta.get(), tb.get());
+}
+
+TEST(TraceCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  FixedDataset dataset(100, 10);
+  TraceCache cache(/*max_cached_requests=*/100);
+  const auto first = cache.Get(Spec(2.0, 60, 1), dataset);
+  cache.Get(Spec(2.0, 60, 2), dataset);  // 120 requests resident: evicts seed 1
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_LE(cache.stats().cached_requests, 100);
+  // The evicted trace is regenerated on the next request (a miss, not a hit)...
+  cache.Get(Spec(2.0, 60, 1), dataset);
+  EXPECT_EQ(cache.stats().hits, 0);
+  // ...while the shared_ptr handed out earlier stays valid.
+  EXPECT_EQ(first->size(), 60u);
+}
+
+TEST(TraceCacheTest, OversizedTraceStillCached) {
+  // A single trace larger than the whole budget is kept (the budget keeps >= 1 entry);
+  // otherwise the planner's highest-rate probe would never hit.
+  FixedDataset dataset(100, 10);
+  TraceCache cache(/*max_cached_requests=*/10);
+  cache.Get(Spec(2.0, 50, 1), dataset);
+  EXPECT_EQ(cache.stats().entries, 1);
+  cache.Get(Spec(2.0, 50, 1), dataset);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(TraceCacheTest, ClearResetsEverything) {
+  FixedDataset dataset(100, 10);
+  TraceCache cache;
+  cache.Get(Spec(2.0), dataset);
+  cache.Get(Spec(2.0), dataset);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().cached_requests, 0);
+  cache.Get(Spec(2.0), dataset);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+}  // namespace
+}  // namespace distserve::workload
