@@ -33,11 +33,44 @@ ClusterSpec ClusterSpec::InfinibandCluster() {
   return spec;
 }
 
+ClusterSpec ClusterSpec::Degraded(int failed_gpus) const {
+  DS_CHECK_GE(failed_gpus, 0);
+  DS_CHECK_LT(failed_gpus, total_gpus()) << "no survivors: the cluster is fully dead";
+  ClusterSpec spec = *this;
+  const int remaining = total_gpus() - failed_gpus;
+  spec.num_nodes = remaining / gpus_per_node;
+  if (spec.num_nodes == 0) {
+    spec.num_nodes = 1;
+    spec.gpus_per_node = remaining;
+  }
+  return spec;
+}
+
 GpuAllocator::GpuAllocator(const ClusterSpec& spec)
     : spec_(spec),
       busy_(static_cast<size_t>(spec.num_nodes),
             std::vector<bool>(static_cast<size_t>(spec.gpus_per_node), false)),
+      failed_(static_cast<size_t>(spec.num_nodes),
+              std::vector<bool>(static_cast<size_t>(spec.gpus_per_node), false)),
       free_count_(spec.total_gpus()) {}
+
+void GpuAllocator::MarkFailed(const GpuId& gpu) {
+  DS_CHECK_GE(gpu.node, 0);
+  DS_CHECK_LT(gpu.node, spec_.num_nodes);
+  DS_CHECK_GE(gpu.index, 0);
+  DS_CHECK_LT(gpu.index, spec_.gpus_per_node);
+  const size_t n = static_cast<size_t>(gpu.node);
+  const size_t i = static_cast<size_t>(gpu.index);
+  if (failed_[n][i]) {
+    return;
+  }
+  failed_[n][i] = true;
+  ++failed_count_;
+  if (!busy_[n][i]) {
+    busy_[n][i] = true;
+    --free_count_;
+  }
+}
 
 int GpuAllocator::free_on_node(int node) const {
   DS_CHECK_GE(node, 0);
@@ -86,6 +119,9 @@ void GpuAllocator::Free(const std::vector<GpuId>& gpus) {
   for (const GpuId& id : gpus) {
     DS_CHECK(busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)])
         << "double free of GPU node=" << id.node << " index=" << id.index;
+    if (failed_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)]) {
+      continue;  // freeing a dead instance's allocation must not resurrect its failed GPU
+    }
     busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)] = false;
     ++free_count_;
   }

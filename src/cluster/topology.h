@@ -45,6 +45,13 @@ struct ClusterSpec {
   double TransferBandwidth(const GpuId& src, const GpuId& dst) const;
   double TransferLatency(const GpuId& src, const GpuId& dst) const;
 
+  // The surviving topology after `failed_gpus` GPUs die, for failure-driven replanning.
+  // Conservative: failures are assumed packed, and a partially-failed node is dropped
+  // outright (ClusterSpec cannot express heterogeneous nodes, and planning an instance across
+  // a half-dead node risks an unschedulable plan). When less than one full node survives, the
+  // remnant is kept as a single smaller node so the planner still has something to work with.
+  ClusterSpec Degraded(int failed_gpus) const;
+
   // The paper's testbed: 4 nodes x 8 A100-80GB, 25 Gbps cross-node.
   static ClusterSpec PaperTestbed();
 
@@ -67,13 +74,21 @@ class GpuAllocator {
   // Marks previously allocated GPUs free again.
   void Free(const std::vector<GpuId>& gpus);
 
+  // Takes a GPU out of service permanently (fault injection): a failed GPU reads as busy to
+  // Allocate and is never returned by it. Idempotent; marking an allocated GPU failed is
+  // allowed (the instance on it is dead — the caller re-plans around the loss).
+  void MarkFailed(const GpuId& gpu);
+
   int free_gpus() const { return free_count_; }
+  int failed_gpus() const { return failed_count_; }
   int free_on_node(int node) const;
 
  private:
   ClusterSpec spec_;
-  std::vector<std::vector<bool>> busy_;  // [node][gpu index]
+  std::vector<std::vector<bool>> busy_;    // [node][gpu index]
+  std::vector<std::vector<bool>> failed_;  // [node][gpu index]; failed implies busy
   int free_count_ = 0;
+  int failed_count_ = 0;
 };
 
 }  // namespace distserve::cluster

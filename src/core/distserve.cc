@@ -69,6 +69,18 @@ const placement::PlacementPlan& DistServe::Replan(const workload::Dataset* datas
   return Plan();
 }
 
+const placement::PlacementPlan& DistServe::ReplanDegraded(
+    const cluster::ClusterSpec& degraded_cluster, double traffic_rate) {
+  DS_CHECK(options_.dataset != nullptr)
+      << "ReplanDegraded needs a dataset (plan-override facades have nothing to search with)";
+  DS_CHECK_GE(degraded_cluster.total_gpus(), 1);
+  options_.cluster = degraded_cluster;
+  options_.traffic_rate = traffic_rate;
+  options_.plan_override.reset();
+  planner_result_.reset();
+  return Plan();
+}
+
 metrics::Collector DistServe::Serve(const workload::Trace& trace) {
   serving::ServingConfig config;
   config.model = options_.model;

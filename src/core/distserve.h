@@ -73,6 +73,14 @@ class DistServe {
   // change alone.
   const placement::PlacementPlan& Replan(const workload::Dataset* dataset, double traffic_rate);
 
+  // Re-plans after failures shrank the cluster (§4.3 extended): swaps the topology for the
+  // degraded one (see cluster::ClusterSpec::Degraded) and recomputes the placement with the
+  // current dataset. The goodput cache keys per-config results by parallelism and rate — not
+  // by cluster size — so every configuration already simulated on the healthy cluster is
+  // answered from cache; only the feasibility filter and search bounds change.
+  const placement::PlacementPlan& ReplanDegraded(const cluster::ClusterSpec& degraded_cluster,
+                                                 double traffic_rate);
+
   // Serves a trace on a fresh engine-level runtime built from the plan.
   metrics::Collector Serve(const workload::Trace& trace);
 

@@ -27,10 +27,60 @@ int DecodeInstance::per_lane_cap() const {
 
 void DecodeInstance::Submit(RequestState* request) {
   DS_CHECK(request != nullptr);
+  DS_CHECK(alive_) << "submit on failed decode instance " << id_;
   DS_CHECK_GE(request->request.output_len, 2)
       << "single-token requests must not be submitted to decode";
   request->decode_instance = id_;
+  request->phase = RequestPhase::kDecodePending;
   pending_.push_back(request);
+  TryAdmit();
+}
+
+void DecodeInstance::Fail() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  ++epoch_;  // invalidates scheduled lane steps and in-flight transfer completions
+  pending_.clear();
+  for (Lane& lane : lanes_) {
+    lane.active.clear();
+    lane.joining.clear();
+    lane.step_in_flight = false;
+  }
+  resident_count_ = 0;
+  kv_.Clear();
+}
+
+void DecodeInstance::Recover() {
+  if (alive_) {
+    return;
+  }
+  DS_CHECK(pending_.empty());
+  alive_ = true;
+}
+
+void DecodeInstance::Abort(RequestState* request) {
+  DS_CHECK(request != nullptr);
+  if (!alive_) {
+    return;  // Fail() already dropped everything
+  }
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (*it == request) {
+      pending_.erase(it);
+      return;  // not yet admitted: no reservation, no lane membership
+    }
+  }
+  if (!kv_.Holds(request->request.id)) {
+    return;  // not ours (already completed or never admitted)
+  }
+  kv_.Release(request->request.id);
+  --resident_count_;
+  for (Lane& lane : lanes_) {
+    std::erase(lane.joining, request);
+    std::erase(lane.active, request);
+  }
+  // Freed memory may admit a pending request right away.
   TryAdmit();
 }
 
@@ -51,8 +101,14 @@ void DecodeInstance::TryAdmit() {
     pending_.pop_front();
     ++resident_count_;
     request->record.transfer_start = sim_->now();
+    request->phase = RequestPhase::kTransferring;
     if (transfer_fn_) {
-      transfer_fn_(request, [this, request] { OnTransferDone(request); });
+      transfer_fn_(request, [this, request, epoch = epoch_] {
+        if (epoch != epoch_) {
+          return;  // the instance died while the pull was in flight
+        }
+        OnTransferDone(request);
+      });
     } else {
       OnTransferDone(request);
     }
@@ -61,6 +117,7 @@ void DecodeInstance::TryAdmit() {
 
 void DecodeInstance::OnTransferDone(RequestState* request) {
   request->record.transfer_end = sim_->now();
+  request->phase = RequestPhase::kDecoding;
   // Least-loaded lane assignment.
   size_t best = 0;
   size_t best_load = SIZE_MAX;
@@ -100,7 +157,12 @@ void DecodeInstance::LaneMaybeStep(size_t lane_idx) {
   lane.step_in_flight = true;
   busy_seconds_ += step_time;
   ++steps_executed_;
-  sim_->ScheduleAfter(step_time, [this, lane_idx] { LaneStepEnd(lane_idx); });
+  sim_->ScheduleAfter(step_time, [this, epoch = epoch_, lane_idx] {
+    if (epoch != epoch_) {
+      return;  // the instance died mid-step
+    }
+    LaneStepEnd(lane_idx);
+  });
 }
 
 void DecodeInstance::LaneStepEnd(size_t lane_idx) {
@@ -113,6 +175,7 @@ void DecodeInstance::LaneStepEnd(size_t lane_idx) {
     ++tokens_generated_;
     if (r->remaining_decode_steps() <= 0) {
       r->record.completion = sim_->now();
+      r->phase = RequestPhase::kDone;
       kv_.Release(r->request.id);
       --resident_count_;
       if (on_complete_) {

@@ -57,6 +57,20 @@ class DecodeInstance {
   // Requires output_len >= 2 (single-token requests never reach decode).
   void Submit(RequestState* request);
 
+  // Fault injection (serving::FaultPlan). Fail() kills the instance: pending, transferring,
+  // joining, and active requests are dropped, the KV pool is cleared, and scheduled events are
+  // invalidated via an epoch bump; the serving layer re-routes the stranded requests (those
+  // whose pull had completed lost their KV and must re-prefill). Recover() brings the instance
+  // back empty. Both idempotent.
+  void Fail();
+  void Recover();
+  bool alive() const { return alive_; }
+
+  // Withdraws one request this instance currently owns (its prefill died, or its ingress link
+  // exhausted retries and the serving layer re-routes it). Releases any KV reservation; the
+  // request's own attempt counter squashes in-flight transfer callbacks.
+  void Abort(RequestState* request);
+
   // Dispatch load signal (§4.3: dispatch to the least loaded decoding instance).
   int64_t load() const { return static_cast<int64_t>(pending_.size()) + resident_count_; }
 
@@ -91,6 +105,10 @@ class DecodeInstance {
 
   TransferFn transfer_fn_;
   std::function<void(RequestState*)> on_complete_;
+
+  // Fault state: events scheduled before a Fail() carry the old epoch and become no-ops.
+  bool alive_ = true;
+  uint64_t epoch_ = 0;
 
   std::deque<RequestState*> pending_;  // waiting for memory reservation
   std::vector<Lane> lanes_;

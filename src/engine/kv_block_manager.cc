@@ -55,6 +55,11 @@ void KvBlockManager::Release(SeqId seq) {
   sequences_.erase(it);
 }
 
+void KvBlockManager::Clear() {
+  sequences_.clear();
+  used_blocks_ = 0;
+}
+
 int64_t KvBlockManager::SequenceTokens(SeqId seq) const {
   auto it = sequences_.find(seq);
   return it == sequences_.end() ? 0 : it->second.tokens;

@@ -43,6 +43,9 @@ class KvBlockManager {
   // Releases every block held by `seq`. CHECK-fails if the sequence is unknown.
   void Release(SeqId seq);
 
+  // Drops every sequence at once (the owning GPU failed; its memory contents are gone).
+  void Clear();
+
   bool Holds(SeqId seq) const { return sequences_.contains(seq); }
   int64_t SequenceTokens(SeqId seq) const;
   size_t sequence_count() const { return sequences_.size(); }

@@ -20,21 +20,51 @@ PrefillInstance::PrefillInstance(simcore::Simulator* sim, model::LatencyModel la
 
 void PrefillInstance::Enqueue(RequestState* request) {
   DS_CHECK(request != nullptr);
+  DS_CHECK(alive_) << "enqueue on failed prefill instance " << id_;
   DS_CHECK(kv_.BlocksForTokens(request->request.input_len) <= kv_.total_blocks())
       << "prompt of " << request->request.input_len << " tokens cannot ever fit instance "
       << id_ << " KV pool";
   request->prefill_instance = id_;
+  request->phase = RequestPhase::kPrefillQueued;
   queue_.push_back(request);
   queued_tokens_ += request->request.input_len;
   MaybeScheduleLaunch();
 }
 
 void PrefillInstance::ReleaseKv(RequestState* request) {
+  if (!alive_) {
+    return;  // the pool died with the instance; nothing to release
+  }
   kv_.Release(request->request.id);
   if (stalled_on_memory_) {
     stalled_on_memory_ = false;
     MaybeScheduleLaunch();
   }
+}
+
+void PrefillInstance::Fail() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  ++epoch_;  // invalidates every scheduled launch / bubble-wait / completion event
+  queue_.clear();
+  queued_tokens_ = 0;
+  inflight_tokens_ = 0;
+  launch_scheduled_ = false;
+  stalled_on_memory_ = false;
+  stage0_free_at_ = 0.0;
+  prev_entry_ = 0.0;
+  prev_stage_time_ = 0.0;
+  kv_.Clear();
+}
+
+void PrefillInstance::Recover() {
+  if (alive_) {
+    return;
+  }
+  DS_CHECK(queue_.empty());
+  alive_ = true;
 }
 
 void PrefillInstance::MaybeScheduleLaunch() {
@@ -43,7 +73,12 @@ void PrefillInstance::MaybeScheduleLaunch() {
   }
   launch_scheduled_ = true;
   const double when = std::max(sim_->now(), stage0_free_at_);
-  sim_->ScheduleAt(when, [this] { OnLaunchEvent(); });
+  sim_->ScheduleAt(when, [this, epoch = epoch_] {
+    if (epoch != epoch_) {
+      return;  // scheduled before a failure
+    }
+    OnLaunchEvent();
+  });
 }
 
 void PrefillInstance::OnLaunchEvent() {
@@ -102,7 +137,11 @@ void PrefillInstance::OnLaunchEvent() {
     // Hold the launch lock through the bubble wait so a concurrent Enqueue cannot slip a
     // second batch into stage 0 before this one enters.
     launch_scheduled_ = true;
-    sim_->ScheduleAt(entry, [this, batch = std::move(batch), stage_time, full_time]() mutable {
+    sim_->ScheduleAt(entry, [this, epoch = epoch_, batch = std::move(batch), stage_time,
+                             full_time]() mutable {
+      if (epoch != epoch_) {
+        return;
+      }
       launch_scheduled_ = false;
       ExecuteBatch(std::move(batch), stage_time, full_time);
     });
@@ -117,6 +156,7 @@ void PrefillInstance::ExecuteBatch(std::vector<RequestState*> batch, double stag
   int64_t batch_tokens = 0;
   for (RequestState* r : batch) {
     r->record.prefill_start = entry;
+    r->phase = RequestPhase::kPrefilling;
     batch_tokens += r->request.input_len;
   }
   inflight_tokens_ += batch_tokens;
@@ -127,7 +167,10 @@ void PrefillInstance::ExecuteBatch(std::vector<RequestState*> batch, double stag
   ++batches_launched_;
 
   const double finish = entry + full_time;
-  sim_->ScheduleAt(finish, [this, batch = std::move(batch), batch_tokens] {
+  sim_->ScheduleAt(finish, [this, epoch = epoch_, batch = std::move(batch), batch_tokens] {
+    if (epoch != epoch_) {
+      return;  // the instance died while this batch was in flight
+    }
     inflight_tokens_ -= batch_tokens;
     for (RequestState* r : batch) {
       r->record.first_token = sim_->now();

@@ -48,8 +48,17 @@ class PrefillInstance {
   void Enqueue(RequestState* request);
 
   // Releases the request's KV (called when the decode side finished pulling, or directly for
-  // single-token outputs that never decode). Unblocks a stalled launcher.
+  // single-token outputs that never decode). Unblocks a stalled launcher. No-op after Fail()
+  // (the pool was dropped wholesale; stale pull completions must not double-release).
   void ReleaseKv(RequestState* request);
+
+  // Fault injection (serving::FaultPlan). Fail() kills the instance: the queue and in-flight
+  // batches are dropped, the KV pool is cleared, and every scheduled event is invalidated via
+  // an epoch bump — the serving layer re-routes the stranded requests. Recover() brings the
+  // instance back empty. Both are idempotent.
+  void Fail();
+  void Recover();
+  bool alive() const { return alive_; }
 
   // Dispatch load signals (§4.3: dispatch to the prefill instance with the shortest queue).
   size_t queue_length() const { return queue_.size(); }
@@ -82,6 +91,10 @@ class PrefillInstance {
   int64_t queued_tokens_ = 0;
   int64_t inflight_tokens_ = 0;
   std::function<void(RequestState*)> on_complete_;
+
+  // Fault state: events scheduled before a Fail() carry the old epoch and become no-ops.
+  bool alive_ = true;
+  uint64_t epoch_ = 0;
 
   bool launch_scheduled_ = false;
   bool stalled_on_memory_ = false;

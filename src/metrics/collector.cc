@@ -17,15 +17,35 @@ std::string LatencyBreakdown::ToString() const {
   return out.str();
 }
 
+std::string FaultStats::ToString() const {
+  std::ostringstream out;
+  out << "failures=" << instance_failures << "/" << link_failures
+      << " recoveries=" << instance_recoveries << "/" << link_recoveries
+      << " restarts=" << prefill_restarts << " kv_reprefills=" << kv_reprefills
+      << " redispatches=" << decode_redispatches << " transfer_retries=" << transfer_retries
+      << " lost=" << requests_lost << " downtime=" << downtime_seconds << "s";
+  return out.str();
+}
+
 void Collector::Record(const RequestRecord& record) {
   DS_DCHECK(record.first_token >= record.arrival);
   DS_DCHECK(record.completion >= record.first_token);
   records_.push_back(record);
 }
 
+void Collector::RecordLost(const RequestRecord& record) {
+  lost_.push_back(record);
+  ++fault_stats_.requests_lost;
+}
+
+double Collector::CompletionRate() const {
+  const size_t offered = records_.size() + lost_.size();
+  return offered == 0 ? 1.0 : static_cast<double>(records_.size()) / offered;
+}
+
 Attainment Collector::ComputeAttainment(const SloSpec& slo) const {
   Attainment result;
-  if (records_.empty()) {
+  if (records_.empty() && lost_.empty()) {
     return result;
   }
   int64_t both = 0;
@@ -38,11 +58,32 @@ Attainment Collector::ComputeAttainment(const SloSpec& slo) const {
     ttft_ok += t_ok ? 1 : 0;
     tpot_ok += p_ok ? 1 : 0;
   }
-  const double n = static_cast<double>(records_.size());
+  const double n = static_cast<double>(records_.size() + lost_.size());
   result.both = both / n;
   result.ttft_only = ttft_ok / n;
   result.tpot_only = tpot_ok / n;
   return result;
+}
+
+double Collector::GoodputUnderSlo(const SloSpec& slo) const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  int64_t both = 0;
+  double first_arrival = records_.front().arrival;
+  double last_completion = records_.front().completion;
+  for (const RequestRecord& r : records_) {
+    if (r.Ttft() <= slo.ttft && r.Tpot() <= slo.tpot) {
+      ++both;
+    }
+    first_arrival = std::min(first_arrival, r.arrival);
+    last_completion = std::max(last_completion, r.completion);
+  }
+  for (const RequestRecord& r : lost_) {
+    first_arrival = std::min(first_arrival, r.arrival);
+  }
+  const double span = last_completion - first_arrival;
+  return span > 0.0 ? static_cast<double>(both) / span : 0.0;
 }
 
 LatencyBreakdown Collector::ComputeBreakdown() const {

@@ -64,6 +64,26 @@ struct Attainment {
   double tpot_only = 0.0;  // fraction meeting the TPOT SLO (regardless of TTFT)
 };
 
+// Fault-injection outcome counters (the availability/degraded-goodput view of a run with a
+// serving::FaultPlan; all zero on fault-free runs).
+struct FaultStats {
+  int64_t instance_failures = 0;   // prefill/decode kFail events applied
+  int64_t instance_recoveries = 0;
+  int64_t link_failures = 0;
+  int64_t link_recoveries = 0;
+  int64_t prefill_restarts = 0;    // requests restarted from scratch (died mid-prefill)
+  int64_t kv_reprefills = 0;       // finished prefills re-run because their KV was lost
+  int64_t decode_redispatches = 0; // decode-side re-routes that kept the prefill KV copy
+  int64_t transfer_retries = 0;    // pull reissues after a timeout on a dead link
+  int64_t requests_lost = 0;       // failed fast: retry exhaustion with no healthy route
+  double downtime_seconds = 0.0;   // summed per-component dead time within the run
+
+  bool any() const {
+    return instance_failures > 0 || link_failures > 0 || requests_lost > 0;
+  }
+  std::string ToString() const;  // one line of counters
+};
+
 // Sums of time spent by all requests in each lifecycle stage (Figure 10a).
 struct LatencyBreakdown {
   double prefill_queue = 0.0;
@@ -83,11 +103,30 @@ class Collector {
   void Record(const RequestRecord& record);
   void Reserve(size_t n) { records_.reserve(n); }
 
+  // Records a request that never completed (failed fast under faults). Lost requests count
+  // against attainment and availability but appear in no latency statistic — their partial
+  // timestamps are meaningless.
+  void RecordLost(const RequestRecord& record);
+
   size_t count() const { return records_.size(); }
   const std::vector<RequestRecord>& records() const { return records_; }
+  size_t lost_count() const { return lost_.size(); }
 
+  // Fault counters, populated by the serving system during a faulted run.
+  FaultStats& fault_stats() { return fault_stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Completed / offered: 1.0 when nothing was lost.
+  double CompletionRate() const;
+
+  // Attainment denominators include lost requests (a dropped request meets no SLO).
   Attainment ComputeAttainment(const SloSpec& slo) const;
   LatencyBreakdown ComputeBreakdown() const;
+
+  // Degraded goodput: requests completing within both SLOs per second of span (first arrival
+  // to last completion). Equals attainment.both * CompletedThroughput-style rate, directly
+  // comparable across fault severities.
+  double GoodputUnderSlo(const SloSpec& slo) const;
 
   double TtftPercentile(double q) const;
   double TpotPercentile(double q) const;
@@ -102,6 +141,8 @@ class Collector {
 
  private:
   std::vector<RequestRecord> records_;
+  std::vector<RequestRecord> lost_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace distserve::metrics

@@ -1,0 +1,143 @@
+#include "serving/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace distserve::serving {
+
+namespace {
+
+const char* DomainName(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kPrefill:
+      return "prefill";
+    case FaultDomain::kDecode:
+      return "decode";
+    case FaultDomain::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+// Distinct Rng substreams per (domain, index) so adding components never perturbs the fault
+// pattern of existing ones.
+uint64_t StreamId(FaultDomain domain, int index) {
+  return (static_cast<uint64_t>(domain) << 32) ^ static_cast<uint64_t>(index) ^ 0x9e3779b97f4a7c15ULL;
+}
+
+void SampleComponent(const FaultModelOptions& options, FaultDomain domain, int index,
+                     std::vector<FaultEvent>* out) {
+  const double candidate_mtbf =
+      options.candidate_mtbf > 0.0 ? options.candidate_mtbf : options.mtbf;
+  DS_CHECK_LE(candidate_mtbf, options.mtbf)
+      << "candidate_mtbf must not exceed mtbf (thinning accepts with candidate_mtbf/mtbf)";
+  const double accept_prob = candidate_mtbf / options.mtbf;
+  Rng base(options.seed);
+  Rng rng = base.Fork(StreamId(domain, index));
+  double t = 0.0;
+  // Accepted outage intervals, in time order. A candidate that strikes an already-down
+  // component extends the outage rather than being discarded: discarding ("shadowing") would
+  // let a harsh plan's extra early failure absorb a candidate a mild plan emits, breaking the
+  // nesting that makes the fig13 MTBF sweep monotone. With extension, the downtime union at a
+  // smaller MTBF strictly contains the union at a larger one.
+  std::vector<std::pair<double, double>> outages;
+  while (true) {
+    // Every candidate consumes exactly three draws (gap, acceptance, repair) whether or not it
+    // is accepted, so the accepted set at a large MTBF is a subset of a smaller MTBF's.
+    t += rng.Exponential(1.0 / candidate_mtbf);
+    const double accept_draw = rng.NextDouble();
+    const double repair_draw = rng.NextDouble();
+    if (t >= options.horizon) {
+      break;
+    }
+    if (accept_draw >= accept_prob) {
+      continue;
+    }
+    if (options.mttr <= 0.0) {
+      // Permanent failure: nothing further can happen to this component.
+      out->push_back({t, domain, FaultAction::kFail, index});
+      return;
+    }
+    const double repair = -std::log1p(-repair_draw) * options.mttr;
+    outages.emplace_back(t, t + repair);
+  }
+  // Emit fail/recover at the boundaries of the merged outage intervals.
+  double start = 0.0;
+  double end = -1.0;
+  for (const auto& [s, e] : outages) {
+    if (end < 0.0) {
+      start = s;
+      end = e;
+    } else if (s <= end) {
+      end = std::max(end, e);
+    } else {
+      out->push_back({start, domain, FaultAction::kFail, index});
+      out->push_back({end, domain, FaultAction::kRecover, index});
+      start = s;
+      end = e;
+    }
+  }
+  if (end >= 0.0) {
+    out->push_back({start, domain, FaultAction::kFail, index});
+    out->push_back({end, domain, FaultAction::kRecover, index});
+  }
+}
+
+}  // namespace
+
+int FaultPlan::FailureCount() const {
+  return static_cast<int>(std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.action == FaultAction::kFail;
+  }));
+}
+
+int FaultPlan::RecoveryCount() const {
+  return static_cast<int>(std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.action == FaultAction::kRecover;
+  }));
+}
+
+void FaultPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  out << events.size() << " events [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i > 0) {
+      out << ", ";
+    }
+    out << (e.action == FaultAction::kFail ? "fail " : "recover ") << DomainName(e.domain)
+        << "-" << e.index << "@" << e.time;
+  }
+  out << "]";
+  return out.str();
+}
+
+FaultPlan GenerateFaultPlan(const FaultModelOptions& options, int num_prefill, int num_decode,
+                            int num_links) {
+  FaultPlan plan;
+  if (options.mtbf <= 0.0 || options.horizon <= 0.0) {
+    return plan;
+  }
+  for (int i = 0; i < num_prefill; ++i) {
+    SampleComponent(options, FaultDomain::kPrefill, i, &plan.events);
+  }
+  for (int i = 0; i < num_decode; ++i) {
+    SampleComponent(options, FaultDomain::kDecode, i, &plan.events);
+  }
+  for (int i = 0; i < num_links; ++i) {
+    SampleComponent(options, FaultDomain::kLink, i, &plan.events);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+}  // namespace distserve::serving

@@ -1,0 +1,73 @@
+// Deterministic fault injection schedules (§4.3 extended to instance failures).
+//
+// A FaultPlan is a replayable schedule of component failures and recoveries — prefill
+// instances, decode instances, and KV-transfer ingress links — that the serving system
+// injects as ordinary simulator events. Plans are either hand-built (tests) or sampled from
+// a per-component Poisson failure process with GenerateFaultPlan.
+//
+// Generation uses thinning against a fixed candidate process: candidate failure times are
+// drawn at the generator's `candidate_mtbf` rate and each is accepted with probability
+// candidate_mtbf / mtbf. For one seed, the accepted outages at a larger MTBF are a subset of
+// those at a smaller MTBF (identical times and repair durations). A candidate striking an
+// already-down component extends its outage (overlapping intervals merge), so each component's
+// downtime union is nested across a MTBF sweep and the fig13 bench degrades monotonically
+// instead of resampling unrelated fault patterns at every point. mtbf <= 0 disables a
+// component class entirely; mttr <= 0 makes failures permanent.
+#ifndef DISTSERVE_SERVING_FAULT_PLAN_H_
+#define DISTSERVE_SERVING_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distserve::serving {
+
+// Which component class a fault event targets.
+enum class FaultDomain { kPrefill, kDecode, kLink };
+
+enum class FaultAction { kFail, kRecover };
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultDomain domain = FaultDomain::kPrefill;
+  FaultAction action = FaultAction::kFail;
+  int index = 0;  // instance / link index within the domain
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // must be sorted by time (Normalize enforces)
+
+  bool empty() const { return events.empty(); }
+  int FailureCount() const;
+  int RecoveryCount() const;
+
+  // Stable-sorts events by time so injection order is deterministic.
+  void Normalize();
+
+  std::string ToString() const;
+};
+
+struct FaultModelOptions {
+  // Per-component mean time between failures, seconds. <= 0 disables failures.
+  double mtbf = 0.0;
+  // Mean time to repair, seconds. <= 0 means failures are permanent (no recovery events).
+  double mttr = 30.0;
+  // Failures are sampled in [0, horizon).
+  double horizon = 0.0;
+  uint64_t seed = 0;
+  // Candidate-process MTBF for thinning (must be <= mtbf when set). 0 samples directly at
+  // `mtbf`, which is still deterministic but loses the subset property across a MTBF sweep.
+  double candidate_mtbf = 0.0;
+};
+
+// Samples a failure/recovery schedule for num_prefill + num_decode instances and num_links
+// transfer links. Deterministic in (options, counts); a failure striking a component that is
+// already down extends the outage until the later repair completes.
+FaultPlan GenerateFaultPlan(const FaultModelOptions& options, int num_prefill, int num_decode,
+                            int num_links);
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_FAULT_PLAN_H_

@@ -24,4 +24,22 @@ void Replanner::Observe(const workload::Request& request) {
   profiler_.Rebase();
 }
 
+void Replanner::NotifyFailure(double time, int failed_gpus) {
+  ++failures_reported_;
+  if (!on_failure_) {
+    return;
+  }
+  if (time - last_failure_replan_time_ < options_.failure_cooldown) {
+    return;
+  }
+  const workload::WorkloadProfiler::WindowStats stats = profiler_.RecentStats();
+  if (stats.count == 0) {
+    return;  // no observed traffic: nothing to re-plan for yet
+  }
+  last_failure_replan_time_ = time;
+  ++failure_replans_triggered_;
+  on_failure_(profiler_.FitRecent(), stats.rate, time, failed_gpus);
+  // No Rebase(): the workload did not change, and the drift path should keep its own window.
+}
+
 }  // namespace distserve::serving

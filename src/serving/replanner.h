@@ -5,6 +5,11 @@
 // dataset fitted from recent history and the observed rate — the inputs a placement algorithm
 // needs to compute a fresh plan. A cooldown prevents thrashing while a replan is in flight
 // (the paper notes weight reloading takes minutes versus hourly workload shifts).
+//
+// A second, failure-driven trigger path (NotifyFailure) reacts to fault events from the
+// serving layer: losing GPUs changes the resource budget even when the workload is steady, so
+// it bypasses drift detection and runs under its own (shorter) cooldown — a failure is urgent
+// in a way workload drift is not.
 #ifndef DISTSERVE_SERVING_REPLANNER_H_
 #define DISTSERVE_SERVING_REPLANNER_H_
 
@@ -20,28 +25,53 @@ class Replanner {
  public:
   struct Options {
     workload::WorkloadProfiler::Options profiler;
-    // Minimum virtual time between replans, seconds.
+    // Minimum virtual time between drift-triggered replans, seconds.
     double cooldown = 600.0;
+    // Minimum virtual time between failure-triggered replans. Much shorter than `cooldown`:
+    // back-to-back failures of distinct components each deserve a response, but one flapping
+    // component must not thrash the planner.
+    double failure_cooldown = 60.0;
   };
 
   // `on_replan(fitted_dataset, observed_rate, trigger_time)` computes and installs a new plan.
   using ReplanFn =
       std::function<void(const workload::EmpiricalDataset&, double rate, double trigger_time)>;
 
+  // Failure-path callback: same fitted workload, plus how many GPUs the caller believes are
+  // currently dead (the callback re-plans on the surviving topology).
+  using FailureReplanFn = std::function<void(const workload::EmpiricalDataset&, double rate,
+                                             double trigger_time, int failed_gpus)>;
+
   Replanner(Options options, ReplanFn on_replan);
 
   // Feeds one observed request (call at its arrival, with arrival_time set).
   void Observe(const workload::Request& request);
 
+  // Enables the failure trigger path; without it NotifyFailure is a counter-only no-op.
+  void set_on_failure(FailureReplanFn fn) { on_failure_ = std::move(fn); }
+
+  // Reports a component failure at virtual time `time` with `failed_gpus` GPUs now dead in
+  // total. Fires the failure callback using the profiler's recent window — unless the window
+  // is empty (no traffic observed yet: nothing to re-plan for) or the failure cooldown has not
+  // elapsed. Recoveries can be reported too (with a lower failed_gpus) but typically are not:
+  // re-planning back onto recovered capacity rides the ordinary drift path.
+  void NotifyFailure(double time, int failed_gpus);
+
   int replans_triggered() const { return replans_triggered_; }
+  int failure_replans_triggered() const { return failure_replans_triggered_; }
+  int failures_reported() const { return failures_reported_; }
   const workload::WorkloadProfiler& profiler() const { return profiler_; }
 
  private:
   Options options_;
   ReplanFn on_replan_;
+  FailureReplanFn on_failure_;
   workload::WorkloadProfiler profiler_;
   double last_replan_time_ = -1e18;
+  double last_failure_replan_time_ = -1e18;
   int replans_triggered_ = 0;
+  int failure_replans_triggered_ = 0;
+  int failures_reported_ = 0;
 };
 
 }  // namespace distserve::serving

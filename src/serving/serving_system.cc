@@ -1,6 +1,8 @@
 #include "serving/serving_system.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -62,33 +64,64 @@ ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) 
     links_.push_back(std::make_unique<Link>(&sim_, link_bw, link_lat,
                                             "decode-" + std::to_string(i) + "-ingress"));
     engine::DecodeInstance* decode = decodes_.back().get();
-    Link* link = links_.back().get();
-    decode->set_transfer_fn([this, link](engine::RequestState* r, std::function<void()> done) {
-      const int64_t bytes =
-          static_cast<int64_t>(r->request.input_len) * kv_bytes_per_prompt_token_;
-      link->Transfer(bytes, [this, r, done = std::move(done)] {
-        // Pull complete: the prefill side may now release its copy.
-        prefills_[static_cast<size_t>(r->prefill_instance)]->ReleaseKv(r);
-        done();
-      });
-    });
+    const size_t link_idx = links_.size() - 1;
+    decode->set_transfer_fn(
+        [this, link_idx](engine::RequestState* r, std::function<void()> done) {
+          r->transfer_tries = 0;
+          StartKvPull(link_idx, r, std::move(done));
+        });
     decode->set_on_complete([this](engine::RequestState* r) { OnDecodeDone(r); });
   }
+
+  prefill_down_since_.resize(prefills_.size());
+  decode_down_since_.resize(decodes_.size());
+  link_down_since_.resize(links_.size());
 }
 
 ServingSystem::~ServingSystem() = default;
 
 void ServingSystem::DispatchArrival(engine::RequestState* request) {
-  // Shortest-queue prefill dispatch (by queued tokens, which tracks work better than count).
-  engine::PrefillInstance* best = prefills_.front().get();
+  // Shortest-queue prefill dispatch (by queued tokens, which tracks work better than count),
+  // over live instances only.
+  engine::PrefillInstance* best = nullptr;
   int64_t best_tokens = std::numeric_limits<int64_t>::max();
   for (const auto& p : prefills_) {
-    if (p->outstanding_tokens() < best_tokens) {
+    if (p->alive() && p->outstanding_tokens() < best_tokens) {
       best_tokens = p->outstanding_tokens();
       best = p.get();
     }
   }
+  if (best == nullptr) {
+    Park(request);
+    return;
+  }
   best->Enqueue(request);
+}
+
+void ServingSystem::DispatchToDecode(engine::RequestState* request) {
+  // Least-loaded decode dispatch over live instances, preferring ones whose ingress link is
+  // also alive (routing around dead links); a dead-link instance is still usable — its pulls
+  // ride the retry/timeout path until the link recovers or retries exhaust.
+  int best = -1;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (int pass = 0; pass < 2 && best < 0; ++pass) {
+    for (size_t i = 0; i < decodes_.size(); ++i) {
+      if (!decodes_[i]->alive() || (pass == 0 && !links_[i]->alive())) {
+        continue;
+      }
+      if (decodes_[i]->load() < best_load) {
+        best_load = decodes_[i]->load();
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  if (best < 0) {
+    request->phase = engine::RequestPhase::kDecodePending;
+    request->decode_instance = -1;
+    Park(request);
+    return;
+  }
+  decodes_[static_cast<size_t>(best)]->Submit(request);
 }
 
 void ServingSystem::OnPrefillDone(engine::RequestState* request) {
@@ -103,21 +136,287 @@ void ServingSystem::OnPrefillDone(engine::RequestState* request) {
     OnDecodeDone(request);
     return;
   }
-  // Least-loaded decode dispatch.
-  size_t best = 0;
-  int64_t best_load = std::numeric_limits<int64_t>::max();
-  for (size_t i = 0; i < decodes_.size(); ++i) {
-    if (decodes_[i]->load() < best_load) {
-      best_load = decodes_[i]->load();
-      best = i;
-    }
-  }
-  decodes_[best]->Submit(request);
+  DispatchToDecode(request);
 }
 
 void ServingSystem::OnDecodeDone(engine::RequestState* request) {
+  request->phase = engine::RequestPhase::kDone;
   collector_.Record(request->record);
   ++completed_;
+}
+
+// --- KV pull with watchdog/retry ---------------------------------------------------------
+
+void ServingSystem::StartKvPull(size_t link_idx, engine::RequestState* request,
+                                std::function<void()> done) {
+  Link* link = links_[link_idx].get();
+  const int attempt = request->attempt;
+  const int seq = ++request->transfer_seq;
+  const int64_t bytes =
+      static_cast<int64_t>(request->request.input_len) * kv_bytes_per_prompt_token_;
+  auto watchdog = std::make_shared<simcore::EventHandle>();
+  // A dead link drops the pull silently (and counts it); only the watchdog notices.
+  link->Transfer(bytes, [this, request, attempt, seq, watchdog, done] {
+    if (request->attempt != attempt || request->transfer_seq != seq) {
+      return;  // re-routed or retried while the pull was in flight
+    }
+    watchdog->Cancel();
+    // Pull complete: the prefill side may now release its copy.
+    prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
+    done();
+  });
+  // Watchdog. On a live link it is armed past the pull's worst-case completion, so it only
+  // fires when the link dies mid-flight; on a dead link it doubles as the retry backoff.
+  double fire_at;
+  if (link->alive()) {
+    const double service = static_cast<double>(bytes) / link->bandwidth();
+    // The FIFO pipe serializes pulls; an upper bound on queueing is every currently-admitted
+    // resident request pulling ahead of us. Cheaper and exact enough: expected completion is
+    // busy_until + service, but busy_until is private — bound it with timeout growth instead.
+    fire_at = sim_.now() + service * (1.0 + static_cast<double>(decodes_[link_idx]->load())) +
+              config_.fault_options.transfer_timeout *
+                  std::pow(2.0, static_cast<double>(request->transfer_tries));
+  } else {
+    fire_at = sim_.now() + config_.fault_options.transfer_backoff *
+                               std::pow(2.0, static_cast<double>(request->transfer_tries));
+  }
+  *watchdog = sim_.ScheduleAt(
+      fire_at, [this, link_idx, request, attempt, seq, done = std::move(done)] {
+        if (request->attempt != attempt || request->transfer_seq != seq) {
+          return;
+        }
+        OnKvPullTimeout(link_idx, request, done);
+      });
+}
+
+void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* request,
+                                    std::function<void()> done) {
+  ++fault_stats().transfer_retries;
+  ++request->transfer_tries;
+  if (request->transfer_tries <= config_.fault_options.max_transfer_retries) {
+    StartKvPull(link_idx, request, std::move(done));
+    return;
+  }
+  // Retries exhausted: route around the dead link to a decode instance with a live one.
+  engine::DecodeInstance* owner = decodes_[static_cast<size_t>(request->decode_instance)].get();
+  owner->Abort(request);
+  ++request->attempt;
+  request->transfer_tries = 0;
+  int target = -1;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (size_t i = 0; i < decodes_.size(); ++i) {
+    if (i == link_idx || !decodes_[i]->alive() || !links_[i]->alive()) {
+      continue;
+    }
+    if (decodes_[i]->load() < best_load) {
+      best_load = decodes_[i]->load();
+      target = static_cast<int>(i);
+    }
+  }
+  if (target < 0) {
+    FailFast(request);
+    return;
+  }
+  ++fault_stats().decode_redispatches;
+  request->phase = engine::RequestPhase::kDecodePending;
+  request->decode_instance = -1;
+  ScheduleReroute(request);
+}
+
+// --- Fault application --------------------------------------------------------------------
+
+void ServingSystem::ApplyFault(const FaultEvent& event) {
+  const size_t index = static_cast<size_t>(event.index);
+  const double now = sim_.now();
+  switch (event.domain) {
+    case FaultDomain::kPrefill: {
+      DS_CHECK(index < prefills_.size()) << "fault plan indexes prefill-" << event.index;
+      if (event.action == FaultAction::kFail) {
+        if (prefills_[index]->alive()) {
+          ++fault_stats().instance_failures;
+          prefill_down_since_[index] = now;
+          OnPrefillFailure(event.index);
+        }
+      } else if (!prefills_[index]->alive()) {
+        ++fault_stats().instance_recoveries;
+        fault_stats().downtime_seconds += now - prefill_down_since_[index].value_or(now);
+        prefill_down_since_[index].reset();
+        prefills_[index]->Recover();
+        FlushParked();
+      }
+      break;
+    }
+    case FaultDomain::kDecode: {
+      DS_CHECK(index < decodes_.size()) << "fault plan indexes decode-" << event.index;
+      if (event.action == FaultAction::kFail) {
+        if (decodes_[index]->alive()) {
+          ++fault_stats().instance_failures;
+          decode_down_since_[index] = now;
+          OnDecodeFailure(event.index);
+        }
+      } else if (!decodes_[index]->alive()) {
+        ++fault_stats().instance_recoveries;
+        fault_stats().downtime_seconds += now - decode_down_since_[index].value_or(now);
+        decode_down_since_[index].reset();
+        decodes_[index]->Recover();
+        FlushParked();
+      }
+      break;
+    }
+    case FaultDomain::kLink: {
+      DS_CHECK(index < links_.size()) << "fault plan indexes link-" << event.index;
+      if (event.action == FaultAction::kFail) {
+        if (links_[index]->alive()) {
+          ++fault_stats().link_failures;
+          link_down_since_[index] = now;
+          // No scan needed: in-flight pulls are squashed by the link's epoch and every pull
+          // carries a watchdog that retries or routes around.
+          links_[index]->Fail();
+        }
+      } else if (!links_[index]->alive()) {
+        ++fault_stats().link_recoveries;
+        fault_stats().downtime_seconds += now - link_down_since_[index].value_or(now);
+        link_down_since_[index].reset();
+        links_[index]->Recover();
+        FlushParked();
+      }
+      break;
+    }
+  }
+  if (fault_callback_) {
+    fault_callback_(event);
+  }
+}
+
+void ServingSystem::OnPrefillFailure(int index) {
+  prefills_[static_cast<size_t>(index)]->Fail();
+  for (const auto& state : states_) {
+    engine::RequestState* r = state.get();
+    if (r->prefill_instance != index) {
+      continue;
+    }
+    switch (r->phase) {
+      case engine::RequestPhase::kPrefillQueued:
+      case engine::RequestPhase::kPrefilling:
+        // Work in progress died with the instance: restart the prefill from scratch.
+        ++r->attempt;
+        ++r->prefill_restarts;
+        ++fault_stats().prefill_restarts;
+        r->phase = engine::RequestPhase::kPending;
+        if (!r->parked) {
+          ScheduleReroute(r);
+        }
+        break;
+      case engine::RequestPhase::kDecodePending:
+      case engine::RequestPhase::kTransferring:
+        // Prefill finished but its KV copy died before (or during) the pull: re-prefill on a
+        // healthy instance, modelling the paper's KV-loss cost.
+        if (r->decode_instance >= 0) {
+          decodes_[static_cast<size_t>(r->decode_instance)]->Abort(r);
+          r->decode_instance = -1;
+        }
+        ++r->attempt;
+        ++r->kv_reprefills;
+        ++fault_stats().kv_reprefills;
+        r->phase = engine::RequestPhase::kPending;
+        if (!r->parked) {
+          ScheduleReroute(r);
+        }
+        break;
+      default:
+        break;  // kDecoding and beyond: the prefill copy was already released
+    }
+  }
+}
+
+void ServingSystem::OnDecodeFailure(int index) {
+  decodes_[static_cast<size_t>(index)]->Fail();
+  for (const auto& state : states_) {
+    engine::RequestState* r = state.get();
+    if (r->decode_instance != index) {
+      continue;
+    }
+    switch (r->phase) {
+      case engine::RequestPhase::kDecodePending:
+      case engine::RequestPhase::kTransferring:
+        // The prefill side still holds the KV copy (released only at pull completion, which
+        // the attempt bump squashes): just re-dispatch to another decode instance.
+        ++r->attempt;
+        ++fault_stats().decode_redispatches;
+        r->phase = engine::RequestPhase::kDecodePending;
+        r->decode_instance = -1;
+        if (!r->parked) {
+          ScheduleReroute(r);
+        }
+        break;
+      case engine::RequestPhase::kDecoding:
+        // Prompt KV and generated tokens lived on the dead GPU and the prefill copy is gone:
+        // full re-prefill, losing all decode progress.
+        ++r->attempt;
+        ++r->kv_reprefills;
+        ++fault_stats().kv_reprefills;
+        r->decode_steps_done = 0;
+        r->phase = engine::RequestPhase::kPending;
+        r->decode_instance = -1;
+        if (!r->parked) {
+          ScheduleReroute(r);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void ServingSystem::ScheduleReroute(engine::RequestState* request) {
+  const int attempt = request->attempt;
+  sim_.ScheduleAfter(config_.fault_options.redispatch_delay, [this, request, attempt] {
+    if (request->attempt != attempt || request->parked) {
+      return;  // a newer fault re-routed (or parked) it first
+    }
+    RouteAfterFault(request);
+  });
+}
+
+void ServingSystem::RouteAfterFault(engine::RequestState* request) {
+  switch (request->phase) {
+    case engine::RequestPhase::kPending:
+      DispatchArrival(request);
+      break;
+    case engine::RequestPhase::kDecodePending:
+      DispatchToDecode(request);
+      break;
+    default:
+      DS_CHECK(false) << "unroutable phase for request " << request->request.id;
+  }
+}
+
+void ServingSystem::Park(engine::RequestState* request) {
+  DS_CHECK(!request->parked);
+  request->parked = true;
+  parked_.push_back(request);
+}
+
+void ServingSystem::FlushParked() {
+  std::deque<engine::RequestState*> waiting;
+  waiting.swap(parked_);
+  for (engine::RequestState* r : waiting) {
+    r->parked = false;
+    RouteAfterFault(r);  // may re-park when its component class is still fully dead
+  }
+}
+
+void ServingSystem::FailFast(engine::RequestState* request) {
+  // A request dropped between prefill completion and pull completion still holds its KV copy
+  // on the prefill side; release it, or the prefill pool leaks one prompt per lost request
+  // until the batch former stalls on memory for good.
+  if ((request->phase == engine::RequestPhase::kDecodePending ||
+       request->phase == engine::RequestPhase::kTransferring) &&
+      request->prefill_instance >= 0) {
+    prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
+  }
+  request->phase = engine::RequestPhase::kLost;
+  collector_.RecordLost(request->record);
 }
 
 metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
@@ -125,15 +424,58 @@ metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
   collector_.Reserve(trace.size());
   states_.clear();
   states_.reserve(trace.size());
+  parked_.clear();
   completed_ = 0;
   for (const workload::Request& req : trace) {
     states_.push_back(std::make_unique<engine::RequestState>(req));
     engine::RequestState* state = states_.back().get();
     sim_.ScheduleAt(req.arrival_time, [this, state] { DispatchArrival(state); });
   }
+  for (const FaultEvent& event : config_.faults.events) {
+    DS_CHECK_GE(event.time, 0.0);
+    sim_.ScheduleAt(event.time, [this, event] { ApplyFault(event); });
+  }
   sim_.Run();
-  DS_CHECK_EQ(completed_, static_cast<int64_t>(trace.size()))
-      << "requests lost in flight: the simulation deadlocked";
+  // Requests stranded with no recovery in the plan are lost, not deadlocked.
+  for (engine::RequestState* r : parked_) {
+    r->parked = false;
+    FailFast(r);
+  }
+  parked_.clear();
+  // Close downtime intervals still open at the end of the run.
+  const double end = sim_.now();
+  for (auto& since : prefill_down_since_) {
+    if (since.has_value()) {
+      fault_stats().downtime_seconds += end - *since;
+      *since = end;  // a later Run() accrues only its own share
+    }
+  }
+  for (auto& since : decode_down_since_) {
+    if (since.has_value()) {
+      fault_stats().downtime_seconds += end - *since;
+      *since = end;
+    }
+  }
+  for (auto& since : link_down_since_) {
+    if (since.has_value()) {
+      fault_stats().downtime_seconds += end - *since;
+      *since = end;
+    }
+  }
+  if (completed_ + static_cast<int64_t>(collector_.lost_count()) !=
+      static_cast<int64_t>(trace.size())) {
+    std::array<int, 9> by_phase{};
+    for (const auto& state : states_) {
+      by_phase[static_cast<size_t>(state->phase)]++;
+    }
+    DS_CHECK(false) << "requests lost in flight: the simulation deadlocked (completed="
+                    << completed_ << " lost=" << collector_.lost_count() << " of "
+                    << trace.size() << "; phases: pending=" << by_phase[0]
+                    << " prefill_queued=" << by_phase[1] << " prefilling=" << by_phase[2]
+                    << " decode_pending=" << by_phase[3] << " transferring=" << by_phase[4]
+                    << " decoding=" << by_phase[5] << " done=" << by_phase[6]
+                    << " lost=" << by_phase[7] << ")";
+  }
   return std::move(collector_);
 }
 

@@ -6,11 +6,23 @@
 // and routes pull-based KV transfers over per-decode-instance ingress links. Running a trace
 // yields a metrics::Collector with the full per-request lifecycle.
 //
+// Fault tolerance (§4.3 extended): a ServingConfig may carry a FaultPlan, injected as ordinary
+// simulator events. When an instance dies, its queued/in-flight work and KV pool die with it;
+// the controller re-routes every stranded request — prefill work restarts from scratch on a
+// healthy instance, requests whose computed KV was lost (on the dead prefill before the pull,
+// or on the dead decode after it) are re-prefilled (the paper's KV-loss cost), and requests
+// whose prefill KV copy survived are merely re-dispatched. Dead transfer links drop bytes
+// silently; every pull is paired with a watchdog timeout and retried with exponential backoff,
+// re-routing to another decode instance on exhaustion and failing fast only when no healthy
+// route exists. Requests with no live target are parked and re-routed on recovery.
+//
 // This engine-level runtime is the "real system" of our Table-2 reproduction; the fast
 // placement simulator (src/placement/simulate.h) is a coarser, independent implementation.
 #ifndef DISTSERVE_SERVING_SERVING_SYSTEM_H_
 #define DISTSERVE_SERVING_SERVING_SYSTEM_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -21,11 +33,26 @@
 #include "engine/request_state.h"
 #include "metrics/collector.h"
 #include "placement/placement.h"
+#include "serving/fault_plan.h"
 #include "serving/transfer.h"
 #include "simcore/simulator.h"
 #include "workload/request.h"
 
 namespace distserve::serving {
+
+// Knobs for the failure-handling paths; all delays in virtual seconds.
+struct FaultOptions {
+  // Failure detection + controller rescheduling latency applied to every fault-driven
+  // re-route (the paper's controller is centralized, so detection is fast but not free).
+  double redispatch_delay = 0.25;
+  // Slack beyond a pull's expected completion before the watchdog declares it dead.
+  double transfer_timeout = 0.25;
+  // Base wait before reissuing a pull on a link that was already dead at issue time; retry k
+  // waits transfer_backoff * 2^k.
+  double transfer_backoff = 0.25;
+  // Pull reissues on the same link before routing around it (or failing fast).
+  int max_transfer_retries = 3;
+};
 
 struct ServingConfig {
   model::ModelSpec model;
@@ -41,6 +68,11 @@ struct ServingConfig {
   // Optional override of the latency coefficients (e.g. fitted ones); when unset they are
   // derived from cluster.gpu.
   std::optional<model::LatencyCoefficients> coefficients;
+
+  // Deterministic failure schedule; empty means a fault-free run (bit-identical to a config
+  // that never mentions faults).
+  FaultPlan faults;
+  FaultOptions fault_options;
 };
 
 class ServingSystem {
@@ -51,8 +83,16 @@ class ServingSystem {
   ServingSystem& operator=(const ServingSystem&) = delete;
   ~ServingSystem();
 
-  // Replays the trace to completion and returns the per-request records.
+  // Replays the trace to completion and returns the per-request records. With a fault plan a
+  // request may fail fast (retry exhaustion with no healthy route) or end the run stranded
+  // with every instance dead; both are recorded as lost, not completed. A faulted system is
+  // single-use: permanently failed instances stay dead across runs.
   metrics::Collector Run(const workload::Trace& trace);
+
+  // Fired after each fault-plan event is applied (failure-driven replanning hooks in here).
+  void set_fault_callback(std::function<void(const FaultEvent&)> fn) {
+    fault_callback_ = std::move(fn);
+  }
 
   // Observability (valid after Run).
   const std::vector<std::unique_ptr<engine::PrefillInstance>>& prefill_instances() const {
@@ -69,8 +109,25 @@ class ServingSystem {
 
  private:
   void DispatchArrival(engine::RequestState* request);
+  void DispatchToDecode(engine::RequestState* request);
   void OnPrefillDone(engine::RequestState* request);
   void OnDecodeDone(engine::RequestState* request);
+
+  // Fault machinery.
+  void ApplyFault(const FaultEvent& event);
+  void OnPrefillFailure(int index);
+  void OnDecodeFailure(int index);
+  void StartKvPull(size_t link_idx, engine::RequestState* request, std::function<void()> done);
+  void OnKvPullTimeout(size_t link_idx, engine::RequestState* request,
+                       std::function<void()> done);
+  // Re-routes one stranded request per its phase (kPending -> prefill, kDecodePending ->
+  // decode), after the detection delay. Parks it when no live target exists.
+  void ScheduleReroute(engine::RequestState* request);
+  void RouteAfterFault(engine::RequestState* request);
+  void Park(engine::RequestState* request);
+  void FlushParked();
+  void FailFast(engine::RequestState* request);
+  metrics::FaultStats& fault_stats() { return collector_.fault_stats(); }
 
   ServingConfig config_;
   simcore::Simulator sim_;
@@ -79,6 +136,16 @@ class ServingSystem {
   std::vector<std::unique_ptr<Link>> links_;  // one ingress link per decode instance
   std::vector<std::unique_ptr<engine::RequestState>> states_;
   metrics::Collector collector_;
+  std::function<void(const FaultEvent&)> fault_callback_;
+
+  // Requests with no live target, re-routed when a component recovers.
+  std::deque<engine::RequestState*> parked_;
+  // Per-(domain, index) time of the unrecovered failure, for downtime accounting; keyed as
+  // domain * max_index + index in a flat map below.
+  std::vector<std::optional<double>> prefill_down_since_;
+  std::vector<std::optional<double>> decode_down_since_;
+  std::vector<std::optional<double>> link_down_since_;
+
   int64_t kv_bytes_per_prompt_token_ = 0;
   int64_t prefill_token_target_ = 0;
   int64_t completed_ = 0;

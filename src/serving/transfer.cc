@@ -15,13 +15,34 @@ Link::Link(simcore::Simulator* sim, double bandwidth, double latency, std::strin
 
 void Link::Transfer(int64_t bytes, std::function<void()> done) {
   DS_CHECK_GE(bytes, 0);
+  if (!alive_) {
+    ++transfers_dropped_;
+    return;  // bytes vanish; the caller's watchdog fires eventually
+  }
   const double service = static_cast<double>(bytes) / bandwidth_;
   const double start = std::max(sim_->now(), busy_until_);
   busy_until_ = start + service;
   busy_seconds_ += service;
   bytes_transferred_ += bytes;
   ++transfers_;
-  sim_->ScheduleAt(busy_until_ + latency_, std::move(done));
+  sim_->ScheduleAt(busy_until_ + latency_,
+                   [this, epoch = epoch_, done = std::move(done)] {
+                     if (epoch != epoch_) {
+                       return;  // the link died while this transfer was in flight
+                     }
+                     done();
+                   });
 }
+
+void Link::Fail() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  ++epoch_;
+  busy_until_ = 0.0;
+}
+
+void Link::Recover() { alive_ = true; }
 
 }  // namespace distserve::serving

@@ -25,13 +25,24 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  // Enqueues a transfer; `done` fires at completion time.
+  // Enqueues a transfer; `done` fires at completion time. Issuing on a dead link drops the
+  // transfer silently (the bytes vanish; callers detect via their own watchdog timeout), as
+  // does a Fail() while the transfer is in flight.
   void Transfer(int64_t bytes, std::function<void()> done);
+
+  // Fault injection (serving::FaultPlan): a dead link moves no bytes and never completes a
+  // transfer. Fail() aborts in-flight transfers without notification — modelling a dark NIC,
+  // not a polite connection reset — so the serving layer pairs every pull with a timeout.
+  // Idempotent; Recover() resets the pipe to empty.
+  void Fail();
+  void Recover();
+  bool alive() const { return alive_; }
 
   double bandwidth() const { return bandwidth_; }
   const std::string& name() const { return name_; }
   int64_t bytes_transferred() const { return bytes_transferred_; }
   int64_t transfers() const { return transfers_; }
+  int64_t transfers_dropped() const { return transfers_dropped_; }
   double busy_seconds() const { return busy_seconds_; }
 
  private:
@@ -40,9 +51,13 @@ class Link {
   double latency_;
   std::string name_;
 
+  bool alive_ = true;
+  uint64_t epoch_ = 0;  // completions scheduled before a Fail() become no-ops
+
   double busy_until_ = 0.0;
   int64_t bytes_transferred_ = 0;
   int64_t transfers_ = 0;
+  int64_t transfers_dropped_ = 0;
   double busy_seconds_ = 0.0;
 };
 

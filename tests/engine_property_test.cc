@@ -181,8 +181,9 @@ TEST(EnginePropertyTest, CrossConfigDeterminism) {
     config.plan.num_decode = 2;
     config.plan.intra_node_transfers = true;
     serving::ServingSystem system(config);
+    const metrics::Collector collector = system.Run(trace);
     double digest = 0.0;
-    for (const metrics::RequestRecord& r : system.Run(trace).records()) {
+    for (const metrics::RequestRecord& r : collector.records()) {
       digest += r.completion + 3.0 * r.first_token;
     }
     return digest;

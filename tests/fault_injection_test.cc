@@ -1,0 +1,249 @@
+// End-to-end fault injection through the serving system: instance deaths mid-prefill and
+// mid-decode, KV-loss re-prefills, dead links with retry/timeout/backoff, parking during total
+// outages, and the determinism guarantees the fig13 bench depends on.
+#include <gtest/gtest.h>
+
+#include "serving/serving_system.h"
+#include "workload/generator.h"
+
+namespace distserve::serving {
+namespace {
+
+ServingConfig BasicConfig(int num_prefill = 1, int num_decode = 1) {
+  ServingConfig config;
+  config.model = model::ModelSpec::Opt13B();
+  config.cluster = cluster::ClusterSpec::PaperTestbed();
+  config.plan.prefill_par = {1, 1};
+  config.plan.decode_par = {1, 1};
+  config.plan.num_prefill = num_prefill;
+  config.plan.num_decode = num_decode;
+  config.plan.intra_node_transfers = true;
+  return config;
+}
+
+workload::Trace MakeTrace(double rate, int n, uint64_t seed = 1, int input_len = 256,
+                          int output_len = 32) {
+  workload::FixedDataset dataset(input_len, output_len);
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = n;
+  spec.seed = seed;
+  return workload::GenerateTrace(spec, dataset);
+}
+
+FaultEvent Fail(FaultDomain domain, int index, double time) {
+  return {time, domain, FaultAction::kFail, index};
+}
+
+FaultEvent Recover(FaultDomain domain, int index, double time) {
+  return {time, domain, FaultAction::kRecover, index};
+}
+
+TEST(FaultInjectionTest, EmptyPlanIsBitIdenticalToNoFaultConfig) {
+  const workload::Trace trace = MakeTrace(4.0, 200, 7);
+  ServingSystem plain(BasicConfig(2, 2));
+  ServingConfig with_options = BasicConfig(2, 2);
+  with_options.fault_options.max_transfer_retries = 9;  // knobs alone must change nothing
+  ServingSystem faultless(std::move(with_options));
+  const metrics::Collector ra = plain.Run(trace);
+  const metrics::Collector rb = faultless.Run(trace);
+  ASSERT_EQ(ra.count(), rb.count());
+  for (size_t i = 0; i < ra.count(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.records()[i].first_token, rb.records()[i].first_token);
+    EXPECT_DOUBLE_EQ(ra.records()[i].completion, rb.records()[i].completion);
+  }
+  EXPECT_FALSE(rb.fault_stats().any());
+}
+
+TEST(FaultInjectionTest, DeterministicUnderFaults) {
+  const workload::Trace trace = MakeTrace(4.0, 300, 7);
+  auto make = [] {
+    ServingConfig config = BasicConfig(2, 2);
+    config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0),
+                            Recover(FaultDomain::kPrefill, 0, 25.0),
+                            Fail(FaultDomain::kDecode, 1, 12.0),
+                            Recover(FaultDomain::kDecode, 1, 40.0),
+                            Fail(FaultDomain::kLink, 0, 18.0),
+                            Recover(FaultDomain::kLink, 0, 22.0)};
+    return config;
+  };
+  ServingSystem a(make());
+  ServingSystem b(make());
+  const metrics::Collector ra = a.Run(trace);
+  const metrics::Collector rb = b.Run(trace);
+  ASSERT_EQ(ra.count(), rb.count());
+  EXPECT_EQ(ra.lost_count(), rb.lost_count());
+  for (size_t i = 0; i < ra.count(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.records()[i].completion, rb.records()[i].completion);
+  }
+  EXPECT_EQ(ra.fault_stats().prefill_restarts, rb.fault_stats().prefill_restarts);
+  EXPECT_EQ(ra.fault_stats().kv_reprefills, rb.fault_stats().kv_reprefills);
+  EXPECT_EQ(ra.fault_stats().transfer_retries, rb.fault_stats().transfer_retries);
+}
+
+TEST(FaultInjectionTest, PrefillDeathMidRunRestartsWorkOnSurvivor) {
+  ServingConfig config = BasicConfig(2, 1);
+  // Permanent death of prefill-0 while traffic is flowing. The load is heavy enough (long
+  // prompts near instance saturation) that prefill-0 has queued or executing work at t=10.
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 10.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(20.0, 300, 3, /*input_len=*/512);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_EQ(results.count(), 300u);
+  EXPECT_EQ(results.lost_count(), 0u);
+  EXPECT_EQ(results.fault_stats().instance_failures, 1);
+  EXPECT_GT(results.fault_stats().prefill_restarts, 0);
+  EXPECT_FALSE(system.prefill_instances()[0]->alive());
+  EXPECT_TRUE(system.prefill_instances()[1]->alive());
+  // The dead instance holds no KV; the survivor drained normally.
+  EXPECT_EQ(system.prefill_instances()[0]->kv().used_blocks(), 0);
+  EXPECT_EQ(system.prefill_instances()[1]->kv().used_blocks(), 0);
+}
+
+TEST(FaultInjectionTest, DecodeDeathLosesKvAndForcesReprefill) {
+  ServingConfig config = BasicConfig(1, 2);
+  config.faults.events = {Fail(FaultDomain::kDecode, 0, 10.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(4.0, 200, 3);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_EQ(results.count(), 200u);
+  EXPECT_EQ(results.lost_count(), 0u);
+  // Requests decoding on the dead instance lost their KV entirely (prefill copy already
+  // released) and re-prefilled; transferring/pending ones were merely re-dispatched.
+  EXPECT_GT(results.fault_stats().kv_reprefills, 0);
+  EXPECT_EQ(system.decode_instances()[0]->kv().used_blocks(), 0);
+  EXPECT_EQ(system.decode_instances()[1]->kv().used_blocks(), 0);
+}
+
+TEST(FaultInjectionTest, FaultsDegradeAttainment) {
+  const workload::Trace trace = MakeTrace(4.0, 300, 3);
+  const metrics::SloSpec slo{0.4, 0.1};
+  ServingSystem healthy(BasicConfig(2, 2));
+  const double base = healthy.Run(trace).ComputeAttainment(slo).both;
+  ServingConfig config = BasicConfig(2, 2);
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0),
+                          Recover(FaultDomain::kPrefill, 0, 35.0),
+                          Fail(FaultDomain::kDecode, 0, 20.0)};
+  ServingSystem faulted(std::move(config));
+  const metrics::Collector results = faulted.Run(trace);
+  EXPECT_LT(results.ComputeAttainment(slo).both, base);
+  EXPECT_GT(results.fault_stats().downtime_seconds, 0.0);
+}
+
+TEST(FaultInjectionTest, DeadLinkRetriesThenRecovers) {
+  ServingConfig config = BasicConfig(1, 1);
+  // Link dies for one second; the backoff schedule (0.25 + 0.5 + 1 + 2) out-waits it, so every
+  // pull eventually lands and nothing is lost.
+  config.faults.events = {Fail(FaultDomain::kLink, 0, 8.0), Recover(FaultDomain::kLink, 0, 9.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(4.0, 100, 3);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_EQ(results.count(), 100u);
+  EXPECT_EQ(results.lost_count(), 0u);
+  EXPECT_GT(results.fault_stats().transfer_retries, 0);
+  EXPECT_GT(system.ingress_links()[0]->transfers_dropped(), 0);
+}
+
+TEST(FaultInjectionTest, RetryExhaustionWithNoAlternateRouteLosesRequests) {
+  ServingConfig config = BasicConfig(1, 1);
+  // The only decode ingress link dies permanently: pulls exhaust their retries and there is no
+  // other decode instance to route to, so transferring requests fail fast.
+  config.faults.events = {Fail(FaultDomain::kLink, 0, 8.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(4.0, 100, 3);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_GT(results.lost_count(), 0u);
+  EXPECT_EQ(results.count() + results.lost_count(), 100u);
+  EXPECT_GT(results.fault_stats().transfer_retries, 0);
+  EXPECT_GT(results.fault_stats().requests_lost, 0);
+  EXPECT_LT(results.CompletionRate(), 1.0);
+  // Lost requests count against attainment.
+  const metrics::Attainment attainment = results.ComputeAttainment({10.0, 10.0});
+  EXPECT_LT(attainment.both, 1.0);
+}
+
+TEST(FaultInjectionTest, RetryExhaustionRoutesAroundDeadLink) {
+  ServingConfig config = BasicConfig(1, 2);
+  // Long prompts over a slow cross-node NIC: each pull takes ~1 s against a ~0.3 s prefill
+  // cadence, so the links run a standing backlog and pulls are guaranteed in flight on link-0
+  // when it dies; those requests burn their retries and then re-dispatch to decode-1.
+  config.plan.intra_node_transfers = false;
+  config.cluster.cross_node_bandwidth = 0.8e9;
+  config.faults.events = {Fail(FaultDomain::kLink, 0, 5.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(8.0, 150, 3, /*input_len=*/1024);
+  const metrics::Collector results = system.Run(trace);
+  // A second decode instance with a live link exists, so nothing is lost: requests that
+  // exhausted retries on the dead link re-dispatched to decode-1.
+  EXPECT_EQ(results.count(), 150u);
+  EXPECT_EQ(results.lost_count(), 0u);
+  EXPECT_GT(results.fault_stats().decode_redispatches, 0);
+}
+
+TEST(FaultInjectionTest, TotalPrefillOutageParksArrivalsUntilRecovery) {
+  ServingConfig config = BasicConfig(1, 1);
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0),
+                          Recover(FaultDomain::kPrefill, 0, 20.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(4.0, 150, 3);
+  const metrics::Collector results = system.Run(trace);
+  // Arrivals during the outage had nowhere to go; they waited parked and completed after the
+  // recovery. Their TTFT absorbs the outage.
+  EXPECT_EQ(results.count(), 150u);
+  EXPECT_EQ(results.lost_count(), 0u);
+  EXPECT_GT(results.fault_stats().instance_recoveries, 0);
+  EXPECT_GT(results.TtftPercentile(99.0), 10.0);
+}
+
+TEST(FaultInjectionTest, PermanentTotalOutageLosesParkedRequests) {
+  ServingConfig config = BasicConfig(1, 1);
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(4.0, 100, 3);
+  const metrics::Collector results = system.Run(trace);
+  // Everything not already past prefill when the only prefill died is unservable.
+  EXPECT_GT(results.lost_count(), 0u);
+  EXPECT_EQ(results.count() + results.lost_count(), 100u);
+}
+
+TEST(FaultInjectionTest, DowntimeAccountingMatchesPlan) {
+  ServingConfig config = BasicConfig(2, 2);
+  config.faults.events = {Fail(FaultDomain::kDecode, 1, 5.0),
+                          Recover(FaultDomain::kDecode, 1, 17.5)};
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(2.0, 100, 3);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_DOUBLE_EQ(results.fault_stats().downtime_seconds, 12.5);
+  EXPECT_EQ(results.fault_stats().instance_failures, 1);
+  EXPECT_EQ(results.fault_stats().instance_recoveries, 1);
+}
+
+TEST(FaultInjectionTest, RedundantFaultEventsAreIdempotent) {
+  ServingConfig config = BasicConfig(2, 1);
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0),
+                          Fail(FaultDomain::kPrefill, 0, 6.0),   // already dead: no-op
+                          Recover(FaultDomain::kPrefill, 0, 15.0),
+                          Recover(FaultDomain::kPrefill, 0, 16.0)};  // already alive: no-op
+  ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(2.0, 100, 3);
+  const metrics::Collector results = system.Run(trace);
+  EXPECT_EQ(results.count(), 100u);
+  EXPECT_EQ(results.fault_stats().instance_failures, 1);
+  EXPECT_EQ(results.fault_stats().instance_recoveries, 1);
+}
+
+TEST(FaultInjectionTest, FaultCallbackSeesEveryEvent) {
+  ServingConfig config = BasicConfig(2, 1);
+  config.faults.events = {Fail(FaultDomain::kPrefill, 0, 5.0),
+                          Recover(FaultDomain::kPrefill, 0, 15.0)};
+  ServingSystem system(std::move(config));
+  std::vector<FaultEvent> seen;
+  system.set_fault_callback([&](const FaultEvent& e) { seen.push_back(e); });
+  system.Run(MakeTrace(2.0, 50, 3));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].action, FaultAction::kFail);
+  EXPECT_EQ(seen[1].action, FaultAction::kRecover);
+}
+
+}  // namespace
+}  // namespace distserve::serving

@@ -1,0 +1,159 @@
+#include "serving/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace distserve::serving {
+namespace {
+
+FaultModelOptions BaseOptions() {
+  FaultModelOptions options;
+  options.mtbf = 200.0;
+  options.mttr = 25.0;
+  options.horizon = 2000.0;
+  options.seed = 42;
+  options.candidate_mtbf = 100.0;
+  return options;
+}
+
+TEST(FaultPlanTest, DeterministicForSameOptions) {
+  const FaultPlan a = GenerateFaultPlan(BaseOptions(), 2, 2, 2);
+  const FaultPlan b = GenerateFaultPlan(BaseOptions(), 2, 2, 2);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  FaultModelOptions other = BaseOptions();
+  other.seed = 43;
+  const FaultPlan a = GenerateFaultPlan(BaseOptions(), 2, 2, 2);
+  const FaultPlan b = GenerateFaultPlan(other, 2, 2, 2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(FaultPlanTest, SortedByTime) {
+  const FaultPlan plan = GenerateFaultPlan(BaseOptions(), 3, 3, 3);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_TRUE(std::is_sorted(
+      plan.events.begin(), plan.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; }));
+}
+
+TEST(FaultPlanTest, DisabledWhenMtbfOrHorizonUnset) {
+  FaultModelOptions no_mtbf = BaseOptions();
+  no_mtbf.mtbf = 0.0;
+  EXPECT_TRUE(GenerateFaultPlan(no_mtbf, 2, 2, 2).empty());
+  FaultModelOptions no_horizon = BaseOptions();
+  no_horizon.horizon = 0.0;
+  EXPECT_TRUE(GenerateFaultPlan(no_horizon, 2, 2, 2).empty());
+}
+
+TEST(FaultPlanTest, PermanentFailuresHaveNoRecoveries) {
+  FaultModelOptions options = BaseOptions();
+  options.mttr = 0.0;
+  const FaultPlan plan = GenerateFaultPlan(options, 2, 2, 2);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.RecoveryCount(), 0);
+  // At most one failure per component: a dead component cannot die again.
+  EXPECT_LE(plan.FailureCount(), 6);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.action, FaultAction::kFail);
+  }
+}
+
+TEST(FaultPlanTest, EveryFailurePairsWithALaterRecovery) {
+  const FaultPlan plan = GenerateFaultPlan(BaseOptions(), 2, 2, 2);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.FailureCount(), plan.RecoveryCount());
+}
+
+// The thinning construction: for one seed, the failures sampled at a larger MTBF are a subset
+// of those at a smaller MTBF (identical times and repair durations). This is what makes the
+// fig13 MTBF sweep degrade monotonically instead of resampling unrelated fault patterns.
+// Near-zero MTTR keeps accepted outages from overlapping, so no merging shifts the emitted
+// event boundaries and the subset property holds on the events themselves.
+TEST(FaultPlanTest, LargerMtbfEventsAreSubsetOfSmaller) {
+  FaultModelOptions base = BaseOptions();
+  base.mttr = 1e-9;
+  FaultModelOptions rare = base;
+  rare.mtbf = 400.0;
+  const FaultPlan frequent = GenerateFaultPlan(base, 2, 2, 2);
+  const FaultPlan sparse = GenerateFaultPlan(rare, 2, 2, 2);
+  ASSERT_FALSE(sparse.empty());
+  EXPECT_LT(sparse.FailureCount(), frequent.FailureCount());
+  for (const FaultEvent& e : sparse.events) {
+    EXPECT_NE(std::find(frequent.events.begin(), frequent.events.end(), e),
+              frequent.events.end())
+        << "sparse event missing from the frequent plan at t=" << e.time;
+  }
+}
+
+// With realistic MTTR, overlapping outages merge and the emitted event times shift, so the
+// subset property lives one level up: every instant a component is down under the sparse plan,
+// it is also down under the frequent plan. This is the invariant the fig13 monotonicity check
+// actually needs.
+TEST(FaultPlanTest, SparseDowntimeIsContainedInFrequentDowntime) {
+  FaultModelOptions base = BaseOptions();
+  FaultModelOptions rare = base;
+  rare.mtbf = 400.0;
+  const FaultPlan frequent = GenerateFaultPlan(base, 2, 2, 2);
+  const FaultPlan sparse = GenerateFaultPlan(rare, 2, 2, 2);
+  ASSERT_FALSE(sparse.empty());
+  // Replay both plans over a fine time grid and compare per-component down state.
+  const auto down_at = [](const FaultPlan& plan, double t, FaultDomain domain, int index) {
+    bool down = false;
+    for (const FaultEvent& e : plan.events) {
+      if (e.time > t) {
+        break;
+      }
+      if (e.domain == domain && e.index == index) {
+        down = e.action == FaultAction::kFail;
+      }
+    }
+    return down;
+  };
+  for (double t = 0.0; t < base.horizon; t += base.horizon / 400.0) {
+    for (FaultDomain domain : {FaultDomain::kPrefill, FaultDomain::kDecode, FaultDomain::kLink}) {
+      for (int index = 0; index < 2; ++index) {
+        if (down_at(sparse, t, domain, index)) {
+          EXPECT_TRUE(down_at(frequent, t, domain, index))
+              << "t=" << t << " index=" << index << ": down under the sparse plan only";
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, MoreFailuresAtSmallerMtbf) {
+  int prev = 0;
+  for (double mtbf : {800.0, 400.0, 200.0, 100.0}) {
+    FaultModelOptions options = BaseOptions();
+    options.mtbf = mtbf;
+    const int failures = GenerateFaultPlan(options, 2, 2, 2).FailureCount();
+    EXPECT_GE(failures, prev) << "mtbf=" << mtbf;
+    prev = failures;
+  }
+  EXPECT_GT(prev, 0);
+}
+
+TEST(FaultPlanTest, AddingComponentsPreservesExistingStreams) {
+  const FaultPlan small = GenerateFaultPlan(BaseOptions(), 1, 1, 1);
+  const FaultPlan large = GenerateFaultPlan(BaseOptions(), 3, 3, 3);
+  for (const FaultEvent& e : small.events) {
+    EXPECT_NE(std::find(large.events.begin(), large.events.end(), e), large.events.end());
+  }
+}
+
+TEST(FaultPlanTest, NormalizeSortsHandBuiltPlans) {
+  FaultPlan plan;
+  plan.events.push_back({30.0, FaultDomain::kDecode, FaultAction::kRecover, 0});
+  plan.events.push_back({10.0, FaultDomain::kDecode, FaultAction::kFail, 0});
+  plan.Normalize();
+  EXPECT_DOUBLE_EQ(plan.events.front().time, 10.0);
+  EXPECT_EQ(plan.FailureCount(), 1);
+  EXPECT_EQ(plan.RecoveryCount(), 1);
+}
+
+}  // namespace
+}  // namespace distserve::serving

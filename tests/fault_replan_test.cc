@@ -1,0 +1,154 @@
+// Failure-driven replanning: the Replanner's failure trigger path, the degraded-topology
+// helpers, and DistServe::ReplanDegraded producing a valid plan on the shrunk cluster while
+// reusing the goodput cache warmed by the healthy-cluster search.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "core/distserve.h"
+#include "serving/replanner.h"
+
+namespace distserve {
+namespace {
+
+TEST(DegradedClusterTest, DropsWholeNodesConservatively) {
+  const cluster::ClusterSpec base = cluster::ClusterSpec::PaperTestbed();  // 4 x 8
+  EXPECT_EQ(base.Degraded(0).total_gpus(), 32);
+  EXPECT_EQ(base.Degraded(8).num_nodes, 3);
+  EXPECT_EQ(base.Degraded(8).gpus_per_node, 8);
+  // A partially-failed node is dropped outright: 4 failures cost a full node.
+  EXPECT_EQ(base.Degraded(4).num_nodes, 3);
+  EXPECT_EQ(base.Degraded(4).total_gpus(), 24);
+}
+
+TEST(DegradedClusterTest, KeepsARemnantNodeWhenLessThanOneNodeSurvives) {
+  const cluster::ClusterSpec base = cluster::ClusterSpec::PaperTestbed();
+  const cluster::ClusterSpec tiny = base.Degraded(30);
+  EXPECT_EQ(tiny.num_nodes, 1);
+  EXPECT_EQ(tiny.gpus_per_node, 2);
+  EXPECT_EQ(base.Degraded(31).total_gpus(), 1);
+}
+
+TEST(DegradedClusterDeathTest, RejectsTotalLoss) {
+  const cluster::ClusterSpec base = cluster::ClusterSpec::PaperTestbed();
+  EXPECT_DEATH(base.Degraded(32), "survivors");
+}
+
+TEST(GpuAllocatorFailureTest, FailedGpuIsNeverAllocated) {
+  cluster::ClusterSpec spec = cluster::ClusterSpec::PaperTestbed();
+  spec.num_nodes = 1;
+  spec.gpus_per_node = 4;
+  cluster::GpuAllocator allocator(spec);
+  allocator.MarkFailed({0, 0});
+  allocator.MarkFailed({0, 0});  // idempotent
+  EXPECT_EQ(allocator.failed_gpus(), 1);
+  EXPECT_EQ(allocator.free_gpus(), 3);
+  const auto gpus = allocator.Allocate(3, 4);
+  ASSERT_TRUE(gpus.has_value());
+  for (const cluster::GpuId& id : *gpus) {
+    EXPECT_NE(id, (cluster::GpuId{0, 0}));
+  }
+  EXPECT_FALSE(allocator.Allocate(1, 4).has_value());
+}
+
+TEST(GpuAllocatorFailureTest, FreeingADeadInstanceDoesNotResurrectItsFailedGpu) {
+  cluster::ClusterSpec spec = cluster::ClusterSpec::PaperTestbed();
+  spec.num_nodes = 1;
+  spec.gpus_per_node = 4;
+  cluster::GpuAllocator allocator(spec);
+  const auto gpus = allocator.Allocate(2, 4);
+  ASSERT_TRUE(gpus.has_value());
+  allocator.MarkFailed((*gpus)[0]);  // the instance's GPU dies under it
+  allocator.Free(*gpus);
+  // Only the healthy GPU came back.
+  EXPECT_EQ(allocator.free_gpus(), 3);
+  EXPECT_EQ(allocator.failed_gpus(), 1);
+}
+
+TEST(ReplannerFailureTest, NotifyFailureFiresWithRecentWorkload) {
+  serving::Replanner::Options options;
+  options.profiler.window_size = 32;
+  options.cooldown = 1e9;  // drift path effectively off
+  options.failure_cooldown = 10.0;
+  serving::Replanner replanner(options,
+                      [&](const workload::EmpiricalDataset&, double, double) { FAIL(); });
+  int fired = 0;
+  double seen_rate = 0.0;
+  int seen_failed = 0;
+  replanner.set_on_failure(
+      [&](const workload::EmpiricalDataset&, double rate, double, int failed_gpus) {
+        ++fired;
+        seen_rate = rate;
+        seen_failed = failed_gpus;
+      });
+  // Nothing observed yet: a failure has no workload to re-plan for.
+  replanner.NotifyFailure(1.0, 4);
+  EXPECT_EQ(fired, 0);
+  for (int i = 0; i < 100; ++i) {
+    replanner.Observe(workload::Request{i, i * 0.5, 200, 100});
+  }
+  replanner.NotifyFailure(51.0, 4);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seen_failed, 4);
+  EXPECT_NEAR(seen_rate, 2.0, 0.5);
+  // Within the failure cooldown: suppressed. After it: fires again.
+  replanner.NotifyFailure(55.0, 8);
+  EXPECT_EQ(fired, 1);
+  replanner.NotifyFailure(62.0, 8);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(replanner.failure_replans_triggered(), 2);
+  EXPECT_EQ(replanner.failures_reported(), 4);
+}
+
+TEST(ReplannerFailureTest, NoCallbackMeansCounterOnly) {
+  serving::Replanner::Options options;
+  options.profiler.window_size = 32;
+  serving::Replanner replanner(options,
+                      [&](const workload::EmpiricalDataset&, double, double) {});
+  replanner.NotifyFailure(1.0, 1);
+  EXPECT_EQ(replanner.failures_reported(), 1);
+  EXPECT_EQ(replanner.failure_replans_triggered(), 0);
+}
+
+DistServeOptions FastOptions(const workload::Dataset* dataset) {
+  DistServeOptions options;
+  options.model = model::ModelSpec::Opt13B();
+  options.cluster = cluster::ClusterSpec::PaperTestbed();
+  options.slo = {0.2, 0.1};
+  options.traffic_rate = 4.0;
+  options.dataset = dataset;
+  options.search.num_requests = 150;
+  options.search.min_trace_duration = 20.0;
+  options.search.max_requests = 1500;
+  options.search.bisection_iters = 5;
+  return options;
+}
+
+TEST(ReplanDegradedTest, ProducesValidPlanOnShrunkTopology) {
+  const auto dataset = workload::MakeShareGptLike();
+  DistServe server(FastOptions(dataset.get()));
+  const placement::PlacementPlan healthy = server.Plan();
+  EXPECT_LE(healthy.total_gpus(), 32);
+
+  // Two nodes die. The new plan must fit the survivors and still serve the same rate.
+  const cluster::ClusterSpec degraded = server.options().cluster.Degraded(16);
+  const placement::PlacementPlan& plan = server.ReplanDegraded(degraded, 4.0);
+  EXPECT_LE(plan.total_gpus(), degraded.total_gpus());
+  EXPECT_GE(plan.num_prefill, 1);
+  EXPECT_GE(plan.num_decode, 1);
+  EXPECT_GT(plan.system_goodput(), 0.0);
+}
+
+TEST(ReplanDegradedTest, ReusesGoodputCacheAcrossTheReplan) {
+  const auto dataset = workload::MakeShareGptLike();
+  DistServe server(FastOptions(dataset.get()));
+  server.Plan();
+  const int first_sims = server.PlannerDetails().simulations_run;
+  server.ReplanDegraded(server.options().cluster.Degraded(8), 4.0);
+  // The goodput cache keys per-config results by parallelism and rate, not cluster size, so
+  // the degraded search answers configs it already measured on the healthy cluster from cache.
+  EXPECT_GT(server.PlannerDetails().cache_hits, 0);
+  EXPECT_LT(server.PlannerDetails().simulations_run, first_sims);
+}
+
+}  // namespace
+}  // namespace distserve
