@@ -6,10 +6,13 @@
 #ifndef DISTSERVE_BENCH_BENCH_COMMON_H_
 #define DISTSERVE_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/vllm_system.h"
@@ -20,6 +23,69 @@
 #include "workload/generator.h"
 
 namespace distserve::bench {
+
+// Wall-clock timer for the standard `wall_ms` bench field.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Minimal flat-JSON emitter for bench artifacts. Every bench artifact carries `bench` (the
+// binary's name) and `wall_ms` (total wall-clock of the measured section) so the CI perf
+// trajectory can compare runs across commits; extra fields are bench-specific. Values passed
+// to AddRaw are embedded verbatim (numbers, booleans, or nested JSON).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) { AddString("bench", std::move(bench_name)); }
+
+  void AddString(const std::string& key, std::string value) {
+    fields_.emplace_back(key, "\"" + std::move(value) + "\"");
+  }
+  void AddDouble(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void AddInt(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void AddBool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void AddRaw(const std::string& key, std::string raw_json) {
+    fields_.emplace_back(key, std::move(raw_json));
+  }
+  void AddWallMs(const WallTimer& timer) { AddDouble("wall_ms", timer.ms()); }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+      out += (i + 1 < fields_.size()) ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << Render();
+    return out.good();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 // One Table-1 row.
 struct Application {

@@ -2,12 +2,45 @@
 // traffic. For each model: SLO attainment vs per-GPU rate (top row) and vs SLO scale (bottom
 // row), DistServe (Algorithm-2 placement) vs vLLM (paper parallelism), equal GPU counts.
 // Paper's shape: DistServe sustains 2.0x-3.41x the per-GPU rate and 1.4x-1.8x tighter SLOs.
+//
+// Flags: --smoke (OPT-13B only, reduced trace, for CI and perf tracking), --json=PATH
+// (machine-readable artifact with the standard wall_ms field). Stdout stays byte-identical
+// across runs; timing goes only into the JSON artifact.
+#include <cstring>
+
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distserve::bench;
-  RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81);
-  RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82);
-  RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83);
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const WallTimer timer;
+  if (smoke) {
+    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81);
+  } else {
+    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81);
+    RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82);
+    RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83);
+  }
+  if (!json_path.empty()) {
+    BenchJson json("fig8_chatbot_e2e");
+    json.AddBool("smoke", smoke);
+    json.AddWallMs(timer);
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

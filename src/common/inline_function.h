@@ -1,0 +1,139 @@
+// A move-only type-erased callable with inline storage, built for the event queue's
+// allocation diet.
+//
+// std::function<void()> heap-allocates any callable larger than its ~16-byte small-buffer,
+// and the engine's step callbacks (`[this, epoch, lane_idx]`, batch-completion closures)
+// routinely exceed that — which charged every simulated engine step one malloc/free pair.
+// InlineFunction stores callables up to `kInline` bytes (64 by default, sized to the largest
+// steady-state engine closure) directly in the object; only oversized or throwing-move
+// callables fall back to the heap. Unlike std::function it accepts move-only callables and
+// never requires copyability, because events fire exactly once.
+#ifndef DISTSERVE_COMMON_INLINE_FUNCTION_H_
+#define DISTSERVE_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace distserve {
+
+template <size_t kInline = 64>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &InvokeInline<D>;
+      manage_ = &ManageInline<D>;
+    } else {
+      *BoxSlot() = new D(std::forward<F>(f));
+      invoke_ = &InvokeBoxed<D>;
+      manage_ = &ManageBoxed<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  enum class Op { kDestroy, kRelocate };
+
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInline && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void** BoxSlot() { return reinterpret_cast<void**>(storage_); }
+
+  template <typename D>
+  static void InvokeInline(void* storage) {
+    (*std::launder(reinterpret_cast<D*>(storage)))();
+  }
+
+  template <typename D>
+  static void ManageInline(Op op, void* storage, void* from) {
+    D* self = std::launder(reinterpret_cast<D*>(storage));
+    switch (op) {
+      case Op::kDestroy:
+        self->~D();
+        break;
+      case Op::kRelocate: {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (storage) D(std::move(*src));
+        src->~D();
+        break;
+      }
+    }
+  }
+
+  template <typename D>
+  static void InvokeBoxed(void* storage) {
+    (*static_cast<D*>(*reinterpret_cast<void**>(storage)))();
+  }
+
+  template <typename D>
+  static void ManageBoxed(Op op, void* storage, void* from) {
+    switch (op) {
+      case Op::kDestroy:
+        delete static_cast<D*>(*reinterpret_cast<void**>(storage));
+        break;
+      case Op::kRelocate:
+        *reinterpret_cast<void**>(storage) = *reinterpret_cast<void**>(from);
+        break;
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kRelocate, storage_, other.storage_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInline];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace distserve
+
+#endif  // DISTSERVE_COMMON_INLINE_FUNCTION_H_

@@ -1,0 +1,121 @@
+#include "common/prof.h"
+
+#include <fstream>
+
+#ifdef DISTSERVE_PROF
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace distserve::prof {
+
+#ifdef DISTSERVE_PROF
+
+namespace {
+
+constexpr int kMaxZones = 256;
+
+struct Zone {
+  const char* name = nullptr;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> ns{0};
+};
+
+Zone g_zones[kMaxZones];
+std::atomic<int> g_num_zones{0};
+std::mutex g_register_mutex;
+
+}  // namespace
+
+namespace detail {
+
+int Register(const char* name) {
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  const int n = g_num_zones.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    if (g_zones[i].name == name) {
+      return i;  // same literal re-registered (e.g. template instantiation)
+    }
+  }
+  if (n >= kMaxZones) {
+    return kMaxZones - 1;  // overflow bucket; never expected in practice
+  }
+  g_zones[n].name = name;
+  g_num_zones.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void AddCount(int id, uint64_t n) {
+  g_zones[id].count.fetch_add(n, std::memory_order_relaxed);
+}
+
+void AddTimed(int id, uint64_t ns) {
+  g_zones[id].count.fetch_add(1, std::memory_order_relaxed);
+  g_zones[id].ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace detail
+
+bool Enabled() { return true; }
+
+std::vector<ZoneStats> Snapshot() {
+  std::vector<ZoneStats> out;
+  const int n = g_num_zones.load(std::memory_order_acquire);
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(ZoneStats{g_zones[i].name,
+                            g_zones[i].count.load(std::memory_order_relaxed),
+                            g_zones[i].ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void Reset() {
+  const int n = g_num_zones.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    g_zones[i].count.store(0, std::memory_order_relaxed);
+    g_zones[i].ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else  // !DISTSERVE_PROF
+
+bool Enabled() { return false; }
+std::vector<ZoneStats> Snapshot() { return {}; }
+void Reset() {}
+
+#endif  // DISTSERVE_PROF
+
+std::string DumpJson() {
+  std::string out = "{\n  \"prof_enabled\": ";
+  out += Enabled() ? "true" : "false";
+  out += ",\n  \"zones\": [\n";
+  const std::vector<ZoneStats> zones = Snapshot();
+  for (size_t i = 0; i < zones.size(); ++i) {
+    out += "    {\"name\": \"";
+    out += zones[i].name;
+    out += "\", \"count\": " + std::to_string(zones[i].count) +
+           ", \"ns\": " + std::to_string(zones[i].ns) + "}";
+    out += (i + 1 < zones.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << DumpJson();
+  return out.good();
+}
+
+}  // namespace distserve::prof

@@ -1,0 +1,102 @@
+// Lightweight zone profiling for the simulation hot path.
+//
+// A zone is a named call-site; entering it starts a steady_clock timer and leaving it adds the
+// elapsed nanoseconds (and one count) to the zone's totals. Counters may also be bumped
+// without timing (cache hits, events fired). Totals are process-global and dumped as JSON so
+// bench runs can attribute wall time to the event queue, the latency model, the step cache,
+// and the engine step loops.
+//
+// Everything compiles away unless the build sets -DDISTSERVE_PROF (CMake option
+// DISTSERVE_PROF=ON): with profiling off, DS_PROF_ZONE / DS_PROF_COUNT expand to nothing and
+// the query functions below return empty results, so call sites never need their own guards.
+// With profiling on, counters are relaxed atomics — safe under the multi-threaded placement
+// search, imprecise only in the ordering sense (totals are exact once threads join).
+#ifndef DISTSERVE_COMMON_PROF_H_
+#define DISTSERVE_COMMON_PROF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distserve::prof {
+
+struct ZoneStats {
+  const char* name = nullptr;
+  uint64_t count = 0;  // times the zone was entered (or DS_PROF_COUNT increments)
+  uint64_t ns = 0;     // total nanoseconds spent inside (0 for pure counters)
+};
+
+// True when the build has profiling compiled in.
+bool Enabled();
+
+// Snapshot of every registered zone, in registration order. Empty when profiling is off.
+std::vector<ZoneStats> Snapshot();
+
+// Zeroes every zone's totals (registrations persist).
+void Reset();
+
+// {"prof_enabled": ..., "zones": [{"name": ..., "count": ..., "ns": ...}, ...]}
+std::string DumpJson();
+
+// Appends the snapshot to `path` as one JSON document (overwrites). Returns false on I/O
+// failure. Convenience for benches honouring the DISTSERVE_PROF_JSON env var.
+bool WriteJsonFile(const std::string& path);
+
+#ifdef DISTSERVE_PROF
+
+namespace detail {
+
+// Registers a zone name once and returns its stable id. Thread-safe; call through a
+// function-local static so registration cost is paid once per call site.
+int Register(const char* name);
+
+void AddCount(int id, uint64_t n);
+void AddTimed(int id, uint64_t ns);
+
+uint64_t NowNs();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int id) : id_(id), start_(NowNs()) {}
+  ~ScopedTimer() { AddTimed(id_, NowNs() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int id_;
+  uint64_t start_;
+};
+
+}  // namespace detail
+
+#define DS_PROF_CONCAT_INNER(a, b) a##b
+#define DS_PROF_CONCAT(a, b) DS_PROF_CONCAT_INNER(a, b)
+
+// Times the enclosing scope under `name` (a string literal).
+#define DS_PROF_ZONE(name)                                             \
+  static const int DS_PROF_CONCAT(_ds_prof_zone_id_, __LINE__) =       \
+      ::distserve::prof::detail::Register(name);                       \
+  ::distserve::prof::detail::ScopedTimer DS_PROF_CONCAT(               \
+      _ds_prof_zone_timer_, __LINE__)(DS_PROF_CONCAT(_ds_prof_zone_id_, __LINE__))
+
+// Adds `n` to the counter `name` without timing.
+#define DS_PROF_COUNT(name, n)                                                        \
+  do {                                                                                \
+    static const int _ds_prof_count_id = ::distserve::prof::detail::Register(name);   \
+    ::distserve::prof::detail::AddCount(_ds_prof_count_id, static_cast<uint64_t>(n)); \
+  } while (0)
+
+#else  // !DISTSERVE_PROF
+
+#define DS_PROF_ZONE(name) \
+  do {                     \
+  } while (0)
+#define DS_PROF_COUNT(name, n) \
+  do {                         \
+  } while (0)
+
+#endif  // DISTSERVE_PROF
+
+}  // namespace distserve::prof
+
+#endif  // DISTSERVE_COMMON_PROF_H_

@@ -6,7 +6,7 @@ namespace distserve::engine {
 
 std::vector<RequestState*> FormPrefillBatch(
     std::deque<RequestState*>& queue, const PrefillBatchPolicy& policy,
-    const std::function<bool(int64_t)>& memory_fits) {
+    const std::function<bool(int64_t)>& memory_fits, model::BatchWorkload* workload) {
   std::vector<RequestState*> batch;
   if (queue.empty()) {
     return batch;
@@ -26,6 +26,11 @@ std::vector<RequestState*> FormPrefillBatch(
     batch.push_back(head);
     queue.pop_front();
     total_tokens += head_tokens;
+    if (workload != nullptr) {
+      workload->prefill_tokens += head_tokens;
+      workload->prefill_sq_tokens +=
+          static_cast<double>(head_tokens) * static_cast<double>(head_tokens);
+    }
     // An over-length head runs alone.
     if (is_first && head_tokens >= policy.target_tokens) {
       break;

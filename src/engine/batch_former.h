@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/request_state.h"
+#include "model/latency_model.h"
 
 namespace distserve::engine {
 
@@ -30,9 +31,14 @@ struct PrefillBatchPolicy {
 //     the batch is below max_batch_size;
 //   - `memory_fits(total_tokens)` gates every admission including the head; if even the head
 //     cannot fit, an empty batch is returned and the queue is left untouched (KV stall).
+//
+// When `workload` is non-null it accumulates the admitted prompts' BatchWorkload in admission
+// order (the same order BatchWorkload::Prefill would sum them, so the FP total is identical),
+// sparing the caller a second pass over the batch.
 std::vector<RequestState*> FormPrefillBatch(
     std::deque<RequestState*>& queue, const PrefillBatchPolicy& policy,
-    const std::function<bool(int64_t)>& memory_fits);
+    const std::function<bool(int64_t)>& memory_fits,
+    model::BatchWorkload* workload = nullptr);
 
 }  // namespace distserve::engine
 

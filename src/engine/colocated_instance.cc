@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/prof.h"
 
 namespace distserve::engine {
 
@@ -11,6 +12,8 @@ ColocatedInstance::ColocatedInstance(simcore::Simulator* sim,
                                      int64_t kv_capacity_tokens, Options options, int id)
     : sim_(sim),
       latency_model_(std::move(latency_model)),
+      step_cache_(&latency_model_,
+                  options.enable_step_time_cache ? model::StepTimeCache::kDefaultCapacity : 0),
       kv_(kv_capacity_tokens, options.kv_block_size),
       options_(options),
       id_(id) {
@@ -98,20 +101,15 @@ void ColocatedInstance::MaybeStep() {
       options_.mode == Options::SchedulingMode::kPrefillPriority && !prefilled_now.empty();
   const bool decodes_advance = !decoding_.empty() && !prefill_only_step;
   if (decodes_advance) {
-    int64_t context_tokens = 0;
-    for (const RequestState* r : decoding_) {
-      context_tokens += r->context_len();
-    }
     workload.decode_requests = static_cast<int64_t>(decoding_.size());
-    workload.decode_context_tokens = context_tokens;
+    workload.decode_context_tokens = decode_ctx_tokens_;
   }
 
   if (workload.empty()) {
     return;  // Idle; the next Enqueue re-arms the loop.
   }
 
-  const double step_time =
-      latency_model_.FullTime(workload) + options_.cpu_overhead_per_step;
+  const double step_time = step_cache_.FullTime(workload) + options_.cpu_overhead_per_step;
   step_in_flight_ = true;
   busy_seconds_ += step_time;
   ++steps_executed_;
@@ -124,27 +122,31 @@ void ColocatedInstance::MaybeStep() {
 
 void ColocatedInstance::StepEnd(std::vector<RequestState*> prefilled_now,
                                 bool decodes_advanced) {
+  DS_PROF_ZONE("colocated.step_end");
   step_in_flight_ = false;
   const double now = sim_->now();
 
-  // Decode advancement and completions (skipped when the step was prefill-only).
+  // Decode advancement and completions (skipped when the step was prefill-only). Survivors
+  // compact in place; the running context sum tracks the +1 token per stepped request and the
+  // departure of completers.
   if (decodes_advanced) {
-    std::vector<RequestState*> still_decoding;
-    still_decoding.reserve(decoding_.size());
+    size_t write = 0;
     for (RequestState* r : decoding_) {
       ++r->decode_steps_done;
+      ++decode_ctx_tokens_;
       ++tokens_generated_;
       if (r->remaining_decode_steps() <= 0) {
+        decode_ctx_tokens_ -= r->context_len();
         r->record.completion = now;
         kv_.Release(r->request.id);
         if (on_complete_) {
           on_complete_(r);
         }
       } else {
-        still_decoding.push_back(r);
+        decoding_[write++] = r;
       }
     }
-    decoding_ = std::move(still_decoding);
+    decoding_.resize(write);
   }
 
   // Prompts that finished this step produce their first token now; colocation means no
@@ -163,6 +165,7 @@ void ColocatedInstance::StepEnd(std::vector<RequestState*> prefilled_now,
       }
     } else {
       decoding_.push_back(r);
+      decode_ctx_tokens_ += r->context_len();
     }
   }
 

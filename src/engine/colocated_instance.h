@@ -27,6 +27,7 @@
 #include "engine/kv_block_manager.h"
 #include "engine/request_state.h"
 #include "model/latency_model.h"
+#include "model/step_time_cache.h"
 #include "simcore/simulator.h"
 
 namespace distserve::engine {
@@ -51,6 +52,11 @@ class ColocatedInstance {
     // stated motivations for DistServe's C++ engine (§5). Zero by default; the vLLM baseline
     // sets kVllmStepCpuOverhead.
     double cpu_overhead_per_step = 0.0;
+    // Memoize step times through a StepTimeCache (bit-identical either way). Off by
+    // default: profiling shows engine-loop workload signatures almost never repeat (the
+    // decode context sum grows every step), so the memo is pure lookup overhead here; it
+    // pays only where signatures recur (see model/step_time_cache.h).
+    bool enable_step_time_cache = false;
   };
 
   ColocatedInstance(simcore::Simulator* sim, model::LatencyModel latency_model,
@@ -83,6 +89,7 @@ class ColocatedInstance {
 
   simcore::Simulator* sim_;
   model::LatencyModel latency_model_;
+  model::StepTimeCache step_cache_;  // bound to latency_model_; lifetime matches
   KvBlockManager kv_;
   Options options_;
   int id_;
@@ -92,6 +99,10 @@ class ColocatedInstance {
   std::deque<RequestState*> waiting_;       // not yet admitted (no KV reserved)
   std::deque<RequestState*> prefilling_;    // admitted, prompt partially processed (chunked)
   std::vector<RequestState*> decoding_;     // prompt done, generating tokens
+  // Invariant: sum of context_len() over `decoding_`, maintained incrementally on
+  // join/step/complete so batch formation is O(1) (integer adds are exactly associative, so
+  // this matches a per-step rescan bit for bit).
+  int64_t decode_ctx_tokens_ = 0;
   bool step_in_flight_ = false;
 
   int64_t steps_executed_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/prof.h"
 
 namespace distserve::engine {
 
@@ -10,6 +11,8 @@ DecodeInstance::DecodeInstance(simcore::Simulator* sim, model::LatencyModel late
                                int64_t kv_capacity_tokens, Options options, int id)
     : sim_(sim),
       latency_model_(std::move(latency_model)),
+      step_cache_(&latency_model_,
+                  options.enable_step_time_cache ? model::StepTimeCache::kDefaultCapacity : 0),
       kv_(kv_capacity_tokens, options.kv_block_size),
       options_(options),
       id_(id),
@@ -46,6 +49,7 @@ void DecodeInstance::Fail() {
   for (Lane& lane : lanes_) {
     lane.active.clear();
     lane.joining.clear();
+    lane.ctx_tokens = 0;
     lane.step_in_flight = false;
   }
   resident_count_ = 0;
@@ -78,13 +82,18 @@ void DecodeInstance::Abort(RequestState* request) {
   --resident_count_;
   for (Lane& lane : lanes_) {
     std::erase(lane.joining, request);
-    std::erase(lane.active, request);
+    if (std::erase(lane.active, request) > 0) {
+      lane.ctx_tokens -= request->context_len();
+    }
   }
   // Freed memory may admit a pending request right away.
   TryAdmit();
 }
 
 void DecodeInstance::TryAdmit() {
+  if (pending_.empty()) {
+    return;  // every step end lands here; skip the watermark math when there is no queue
+  }
   const int64_t usable_blocks = static_cast<int64_t>(
       static_cast<double>(kv_.total_blocks()) * options_.admission_watermark);
   while (!pending_.empty()) {
@@ -144,16 +153,13 @@ void DecodeInstance::LaneMaybeStep(size_t lane_idx) {
     lane.joining.erase(lane.joining.begin());
     request->record.decode_start = sim_->now();
     lane.active.push_back(request);
+    lane.ctx_tokens += request->context_len();
   }
   if (lane.active.empty()) {
     return;
   }
-  int64_t context_tokens = 0;
-  for (const RequestState* r : lane.active) {
-    context_tokens += r->context_len();
-  }
-  const double step_time = latency_model_.DecodeStepFullTime(
-      static_cast<int64_t>(lane.active.size()), context_tokens);
+  const double step_time = step_cache_.FullTime(model::BatchWorkload::Decode(
+      static_cast<int64_t>(lane.active.size()), lane.ctx_tokens));
   lane.step_in_flight = true;
   busy_seconds_ += step_time;
   ++steps_executed_;
@@ -166,14 +172,19 @@ void DecodeInstance::LaneMaybeStep(size_t lane_idx) {
 }
 
 void DecodeInstance::LaneStepEnd(size_t lane_idx) {
+  DS_PROF_ZONE("decode.lane_step_end");
   Lane& lane = lanes_[lane_idx];
   lane.step_in_flight = false;
-  std::vector<RequestState*> still_active;
-  still_active.reserve(lane.active.size());
+  // Compact survivors in place (no per-step vector) and keep the lane's running context sum
+  // current: every stepped request grows by one token; completers leave with their final
+  // context.
+  size_t write = 0;
   for (RequestState* r : lane.active) {
     ++r->decode_steps_done;
+    ++lane.ctx_tokens;
     ++tokens_generated_;
     if (r->remaining_decode_steps() <= 0) {
+      lane.ctx_tokens -= r->context_len();
       r->record.completion = sim_->now();
       r->phase = RequestPhase::kDone;
       kv_.Release(r->request.id);
@@ -182,10 +193,10 @@ void DecodeInstance::LaneStepEnd(size_t lane_idx) {
         on_complete_(r);
       }
     } else {
-      still_active.push_back(r);
+      lane.active[write++] = r;
     }
   }
-  lane.active = std::move(still_active);
+  lane.active.resize(write);
   // Freed memory may admit pending requests before the next step forms.
   TryAdmit();
   LaneMaybeStep(lane_idx);

@@ -24,6 +24,7 @@
 #include "engine/kv_block_manager.h"
 #include "engine/request_state.h"
 #include "model/latency_model.h"
+#include "model/step_time_cache.h"
 #include "simcore/simulator.h"
 
 namespace distserve::engine {
@@ -37,6 +38,11 @@ class DecodeInstance {
     // Fraction of KV blocks the admission path may use (1.0 = all). Lowering it forces
     // earlier backpressure onto prefill instances.
     double admission_watermark = 1.0;
+    // Memoize step times through a StepTimeCache (bit-identical either way). Off by
+    // default: profiling shows engine-loop workload signatures almost never repeat (the
+    // decode context sum grows every step), so the memo is pure lookup overhead here; it
+    // pays only where signatures recur (see model/step_time_cache.h).
+    bool enable_step_time_cache = false;
   };
 
   // Issued when the instance wants a request's KV moved here; the callback must fire when the
@@ -88,6 +94,10 @@ class DecodeInstance {
   struct Lane {
     std::vector<RequestState*> active;
     std::vector<RequestState*> joining;  // admitted, waiting for the next step boundary
+    // Invariant: sum of context_len() over `active` — maintained incrementally on
+    // admit/evict/step so forming a batch is O(1), not O(batch). Integer adds are exactly
+    // associative, so this matches the per-step rescan bit for bit.
+    int64_t ctx_tokens = 0;
     bool step_in_flight = false;
   };
 
@@ -99,6 +109,7 @@ class DecodeInstance {
 
   simcore::Simulator* sim_;
   model::LatencyModel latency_model_;
+  model::StepTimeCache step_cache_;  // bound to latency_model_; lifetime matches
   KvBlockManager kv_;
   Options options_;
   int id_;

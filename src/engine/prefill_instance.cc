@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/prof.h"
 
 namespace distserve::engine {
 
@@ -10,6 +11,8 @@ PrefillInstance::PrefillInstance(simcore::Simulator* sim, model::LatencyModel la
                                  int64_t kv_capacity_tokens, Options options, int id)
     : sim_(sim),
       latency_model_(std::move(latency_model)),
+      step_cache_(&latency_model_,
+                  options.enable_step_time_cache ? model::StepTimeCache::kDefaultCapacity : 0),
       kv_(kv_capacity_tokens, options.kv_block_size),
       options_(options),
       id_(id) {
@@ -82,6 +85,7 @@ void PrefillInstance::MaybeScheduleLaunch() {
 }
 
 void PrefillInstance::OnLaunchEvent() {
+  DS_PROF_ZONE("prefill.launch");
   launch_scheduled_ = false;
   if (queue_.empty()) {
     return;
@@ -102,24 +106,21 @@ void PrefillInstance::OnLaunchEvent() {
     admitted_tokens = total_with_candidate;
     return true;
   };
+  model::BatchWorkload workload;
   std::vector<RequestState*> batch =
-      FormPrefillBatch(queue_, options_.batch_policy, memory_fits);
+      FormPrefillBatch(queue_, options_.batch_policy, memory_fits, &workload);
   if (batch.empty()) {
     // Head does not fit: stall until a ReleaseKv frees space.
     stalled_on_memory_ = true;
     return;
   }
-  std::vector<int> lens;
-  lens.reserve(batch.size());
   for (RequestState* r : batch) {
     const bool reserved = kv_.Reserve(r->request.id, r->request.input_len);
     DS_CHECK(reserved) << "KV reservation failed after CanReserve admission";
-    lens.push_back(r->request.input_len);
     queued_tokens_ -= r->request.input_len;
   }
-  const model::BatchWorkload workload = model::BatchWorkload::Prefill(lens);
-  const double stage_time = latency_model_.StageTime(workload);
-  const double full_time = latency_model_.FullTime(workload);
+  const double stage_time = step_cache_.StageTime(workload);
+  const double full_time = step_cache_.FullTime(workload);
 
   // Pipeline-bubble recurrence: entry >= prev_entry + T_prev + (pp-1)*max(0, T_prev - T_this).
   const int pp = latency_model_.par().pp;

@@ -1,0 +1,114 @@
+#include "model/step_time_cache.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/prof.h"
+
+namespace distserve::model {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer: cheap and well-distributed for the small-integer keys here.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StepTimeCache::StepTimeCache(const LatencyModel* model, size_t capacity) : model_(model) {
+  DS_CHECK(model_ != nullptr);
+  if (capacity > 0) {
+    const size_t n = RoundUpPow2(capacity);
+    slots_ = std::make_unique_for_overwrite<Slot[]>(n);
+    valid_.assign(n, 0);
+    mask_ = n - 1;
+  }
+}
+
+uint64_t StepTimeCache::HashKey(const BatchWorkload& batch) {
+  uint64_t sq_bits;
+  std::memcpy(&sq_bits, &batch.prefill_sq_tokens, sizeof(sq_bits));
+  uint64_t h = Mix(static_cast<uint64_t>(batch.prefill_tokens));
+  h = Mix(h ^ sq_bits);
+  h = Mix(h ^ static_cast<uint64_t>(batch.decode_requests));
+  h = Mix(h ^ static_cast<uint64_t>(batch.decode_context_tokens));
+  return h;
+}
+
+bool StepTimeCache::KeyMatches(const Slot& slot, const BatchWorkload& batch) {
+  return slot.prefill_tokens == batch.prefill_tokens &&
+         slot.prefill_sq_tokens == batch.prefill_sq_tokens &&
+         slot.decode_requests == batch.decode_requests &&
+         slot.decode_context_tokens == batch.decode_context_tokens;
+}
+
+size_t StepTimeCache::FindSlot(const BatchWorkload& batch) {
+  const size_t i = HashKey(batch) & mask_;
+  Slot& slot = slots_[i];
+  if (valid_[i] != 0) {
+    if (KeyMatches(slot, batch)) {
+      return i;
+    }
+    ++stats_.evictions;  // direct-mapped collision: the old key is overwritten below
+  }
+  valid_[i] = 0;
+  slot.prefill_tokens = batch.prefill_tokens;
+  slot.prefill_sq_tokens = batch.prefill_sq_tokens;
+  slot.decode_requests = batch.decode_requests;
+  slot.decode_context_tokens = batch.decode_context_tokens;
+  return i;
+}
+
+double StepTimeCache::StageTime(const BatchWorkload& batch) {
+  if (slots_ == nullptr) {
+    return model_->StageTime(batch);
+  }
+  const size_t i = FindSlot(batch);
+  if ((valid_[i] & kStageValid) != 0) {
+    ++stats_.hits;
+    DS_PROF_COUNT("step_cache.hit", 1);
+    return slots_[i].stage_time;
+  }
+  ++stats_.misses;
+  DS_PROF_COUNT("step_cache.miss", 1);
+  slots_[i].stage_time = model_->StageTime(batch);
+  valid_[i] |= kStageValid;
+  return slots_[i].stage_time;
+}
+
+double StepTimeCache::FullTime(const BatchWorkload& batch) {
+  if (slots_ == nullptr) {
+    return model_->FullTime(batch);
+  }
+  const size_t i = FindSlot(batch);
+  if ((valid_[i] & kFullValid) != 0) {
+    ++stats_.hits;
+    DS_PROF_COUNT("step_cache.hit", 1);
+    return slots_[i].full_time;
+  }
+  ++stats_.misses;
+  DS_PROF_COUNT("step_cache.miss", 1);
+  slots_[i].full_time = model_->FullTime(batch);
+  valid_[i] |= kFullValid;
+  return slots_[i].full_time;
+}
+
+void StepTimeCache::Clear() {
+  if (!valid_.empty()) {
+    std::memset(valid_.data(), 0, valid_.size());
+  }
+}
+
+}  // namespace distserve::model

@@ -1,0 +1,94 @@
+// Memoized step times for one LatencyModel.
+//
+// The analytical latency model is pure: StageTime/FullTime depend only on the model's
+// parallelism/coefficients and the BatchWorkload signature (prefill_tokens,
+// prefill_sq_tokens, decode_requests, decode_context_tokens). Simulated serving hits the
+// same signatures constantly — a decode lane re-evaluates the identical (batch, context)
+// pair every step until membership changes, and the placement search replays the same trace
+// across dozens of rate probes — so a small memo in front of the model removes most of the
+// roofline arithmetic from the hot path.
+//
+// The cache is direct-mapped over a power-of-two slot array: lookup is one hash + one
+// compare, insertion overwrites whatever the slot held (eviction = collision), and the whole
+// structure allocates once at construction. Slot payloads are deliberately left
+// uninitialized — validity lives in a separate one-byte-per-slot array — so constructing or
+// clearing a cache touches kilobytes, not the full slot storage (engine instances are built
+// per simulation run; a quarter-megabyte memset each would dwarf short runs). Results are
+// bit-identical with the cache on or off by construction — a hit returns the exact double
+// the model produced earlier for the exact same key, and the model itself is deterministic.
+// Capacity 0 disables the cache (every call forwards to the model), which the equivalence
+// tests use as the reference.
+//
+// Not thread-safe: callers own one cache per thread (engine instances own their model copy
+// and cache; the placement search creates one per worker task).
+#ifndef DISTSERVE_MODEL_STEP_TIME_CACHE_H_
+#define DISTSERVE_MODEL_STEP_TIME_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/latency_model.h"
+
+namespace distserve::model {
+
+class StepTimeCache {
+ public:
+  // `model` must outlive the cache. `capacity` is rounded up to a power of two; 0 disables
+  // memoization entirely.
+  explicit StepTimeCache(const LatencyModel* model, size_t capacity = kDefaultCapacity);
+
+  const LatencyModel* model() const { return model_; }
+  bool enabled() const { return slots_ != nullptr; }
+
+  // Memoized equivalents of LatencyModel::StageTime / FullTime.
+  double StageTime(const BatchWorkload& batch);
+  double FullTime(const BatchWorkload& batch);
+
+  // Drops every memoized entry (stats survive). Call after mutating the model
+  // (e.g. ScaleCollectiveCost) — cached values would be stale.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;  // overwrites of a live slot holding a different key
+  };
+  const Stats& stats() const { return stats_; }
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+ private:
+  // Deliberately no member initializers: slot storage is allocated uninitialized and a slot
+  // is only read once its valid_ byte says which fields hold data.
+  struct Slot {
+    // Key (meaningful iff valid_[i] != 0).
+    int64_t prefill_tokens;
+    double prefill_sq_tokens;
+    int64_t decode_requests;
+    int64_t decode_context_tokens;
+    // Memoized values, each filled on first demand for this key.
+    double stage_time;
+    double full_time;
+  };
+  // valid_ bits per slot:
+  static constexpr unsigned char kStageValid = 1;
+  static constexpr unsigned char kFullValid = 2;
+
+  static uint64_t HashKey(const BatchWorkload& batch);
+  static bool KeyMatches(const Slot& slot, const BatchWorkload& batch);
+
+  // Locates the slot for `batch`, installing its key (and clearing validity) on miss or
+  // collision. Returns the slot index.
+  size_t FindSlot(const BatchWorkload& batch);
+
+  const LatencyModel* model_;
+  std::unique_ptr<Slot[]> slots_;    // power-of-two length; null when disabled
+  std::vector<unsigned char> valid_; // parallel to slots_
+  size_t mask_ = 0;
+  Stats stats_;
+};
+
+}  // namespace distserve::model
+
+#endif  // DISTSERVE_MODEL_STEP_TIME_CACHE_H_

@@ -4,43 +4,67 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "common/logging.h"
+#include "common/prof.h"
 
 namespace distserve::placement {
 
 using model::BatchWorkload;
 
-metrics::Attainment FastAttainment(const std::vector<FastRecord>& records,
-                                   const metrics::SloSpec& slo) {
-  metrics::Attainment result;
-  if (records.empty()) {
-    return result;
-  }
-  int64_t both = 0;
-  int64_t ttft_ok = 0;
-  int64_t tpot_ok = 0;
-  for (const FastRecord& r : records) {
-    const bool t_ok = r.ttft <= slo.ttft;
-    const bool p_ok = r.tpot <= slo.tpot;
-    both += (t_ok && p_ok) ? 1 : 0;
-    ttft_ok += t_ok ? 1 : 0;
-    tpot_ok += p_ok ? 1 : 0;
-  }
-  const double n = static_cast<double>(records.size());
-  result.both = both / n;
-  result.ttft_only = ttft_ok / n;
-  result.tpot_only = tpot_ok / n;
-  return result;
-}
+namespace {
 
-std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
-                                               const workload::Trace& trace,
-                                               int64_t target_tokens, int max_batch_size) {
-  DS_CHECK_GT(target_tokens, 0);
-  DS_CHECK_GT(max_batch_size, 0);
+// A strided/indexed read-only view of a trace. The round-robin splitters used to copy each
+// instance's sub-trace (one full Request copy per request per instance, repeated for every
+// rate probe of the placement search); a view carries only an index vector and reads the
+// shared trace in place.
+class TraceView {
+ public:
+  explicit TraceView(const workload::Trace& trace) : trace_(&trace) {}
+  TraceView(const workload::Trace& trace, std::span<const size_t> idx)
+      : trace_(&trace), idx_(idx), identity_(false) {}
+
+  size_t size() const { return identity_ ? trace_->size() : idx_.size(); }
+  const workload::Request& operator[](size_t k) const {
+    return (*trace_)[identity_ ? k : idx_[k]];
+  }
+  // Position of view element `k` in the underlying trace.
+  size_t global(size_t k) const { return identity_ ? k : idx_[k]; }
+
+ private:
+  const workload::Trace* trace_;
+  std::span<const size_t> idx_;
+  bool identity_ = true;
+};
+
+// Step-time dispatch: through the memo when one is supplied, straight to the model otherwise.
+class CachedLm {
+ public:
+  CachedLm(const model::LatencyModel& lm, model::StepTimeCache* cache)
+      : lm_(&lm), cache_(cache) {
+    DS_DCHECK(cache == nullptr || cache->model() == &lm)
+        << "StepTimeCache bound to a different LatencyModel";
+  }
+
+  const model::LatencyModel& lm() const { return *lm_; }
+  double StageTime(const BatchWorkload& b) {
+    return cache_ != nullptr ? cache_->StageTime(b) : lm_->StageTime(b);
+  }
+  double FullTime(const BatchWorkload& b) {
+    return cache_ != nullptr ? cache_->FullTime(b) : lm_->FullTime(b);
+  }
+
+ private:
+  const model::LatencyModel* lm_;
+  model::StepTimeCache* cache_;
+};
+
+std::vector<double> PrefillFinishTimesView(CachedLm lm, const TraceView& trace,
+                                           int64_t target_tokens, int max_batch_size) {
+  DS_PROF_ZONE("fast_sim.prefill");
   std::vector<double> finish(trace.size(), 0.0);
-  const int pp = lm.par().pp;
+  const int pp = lm.lm().par().pp;
   size_t i = 0;
   double stage0_free = 0.0;
   double prev_entry = 0.0;
@@ -48,27 +72,32 @@ std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
   bool first_batch = true;
   while (i < trace.size()) {
     const double launch = std::max(trace[i].arrival_time, stage0_free);
-    // L_m-aware FCFS batch formation over requests already arrived at launch time.
-    std::vector<int> lens;
+    // L_m-aware FCFS batch formation over requests already arrived at launch time. The
+    // workload accumulates inline, in admission order — the same summation order
+    // BatchWorkload::Prefill uses, so the FP totals are identical.
+    BatchWorkload workload;
+    int batch_count = 0;
     size_t j = i;
     int64_t tokens = 0;
-    while (j < trace.size() && static_cast<int>(lens.size()) < max_batch_size) {
+    while (j < trace.size() && batch_count < max_batch_size) {
       const workload::Request& r = trace[j];
       if (r.arrival_time > launch) {
         break;
       }
-      const bool is_head = lens.empty();
+      const bool is_head = batch_count == 0;
       if (!is_head && tokens + r.input_len > target_tokens) {
         break;
       }
-      lens.push_back(r.input_len);
+      workload.prefill_tokens += r.input_len;
+      workload.prefill_sq_tokens +=
+          static_cast<double>(r.input_len) * static_cast<double>(r.input_len);
+      ++batch_count;
       tokens += r.input_len;
       ++j;
       if (is_head && r.input_len >= target_tokens) {
         break;  // over-length prompts run alone
       }
     }
-    const BatchWorkload workload = BatchWorkload::Prefill(lens);
     const double stage_time = lm.StageTime(workload);
     const double full_time = lm.FullTime(workload);
     double entry = launch;
@@ -90,11 +119,10 @@ std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
   return finish;
 }
 
-std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
-                                        int64_t kv_capacity_tokens,
-                                        const workload::Trace& trace,
-                                        const std::vector<double>& ready_times,
-                                        int max_batch_size) {
+std::vector<double> DecodeTpotsView(CachedLm lm, int64_t kv_capacity_tokens,
+                                    const TraceView& trace, std::span<const double> ready_times,
+                                    int max_batch_size) {
+  DS_PROF_ZONE("fast_sim.decode");
   DS_CHECK_EQ(trace.size(), ready_times.size());
   DS_CHECK_GT(max_batch_size, 0);
   std::vector<double> tpot(trace.size(), 0.0);
@@ -125,10 +153,12 @@ std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
     double join;
   };
   std::vector<Active> active;
-  const int pp = lm.par().pp;
+  active.reserve(static_cast<size_t>(max_batch_size));
+  const int pp = lm.lm().par().pp;
   size_t next = 0;
   double now = 0.0;
   int64_t used_tokens = 0;
+  int64_t ctx_sum = 0;  // invariant: sum of ctx over `active` (exact: integer adds)
 
   while (next < order.size() || !active.empty()) {
     if (active.empty()) {
@@ -145,9 +175,9 @@ std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
       used_tokens += need;
       // TPOT is measured from first-token readiness, so admission queueing counts toward it
       // (matching RequestRecord::Tpot in the engine runtime).
-      active.push_back(Active{idx, trace[idx].output_len - 1,
-                              static_cast<int64_t>(trace[idx].input_len) + 1,
-                              ready_times[idx]});
+      const int64_t ctx = static_cast<int64_t>(trace[idx].input_len) + 1;
+      active.push_back(Active{idx, trace[idx].output_len - 1, ctx, ready_times[idx]});
+      ctx_sum += ctx;
       ++next;
     }
     if (active.empty()) {
@@ -155,83 +185,35 @@ std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
     }
     // One decode step at the micro-batch lane cadence.
     const int64_t batch = static_cast<int64_t>(active.size());
-    int64_t ctx_sum = 0;
-    for (const Active& a : active) {
-      ctx_sum += a.ctx;
-    }
     const int64_t lane_batch = (batch + pp - 1) / pp;
     const int64_t lane_ctx = ctx_sum / pp;
     now += lm.FullTime(BatchWorkload::Decode(lane_batch, std::max<int64_t>(lane_ctx, 1)));
-    std::vector<Active> still;
-    still.reserve(active.size());
+    // Survivors compact in place; the running context sum tracks the +1 per stepped request
+    // and the departure of completers.
+    size_t write = 0;
     for (Active& a : active) {
       --a.remaining;
       ++a.ctx;
+      ++ctx_sum;
       if (a.remaining <= 0) {
+        ctx_sum -= a.ctx;
         tpot[a.idx] = (now - a.join) / static_cast<double>(trace[a.idx].output_len - 1);
         used_tokens -= trace[a.idx].total_len();
       } else {
-        still.push_back(a);
+        active[write++] = a;
       }
     }
-    active = std::move(still);
+    active.resize(write);
   }
   return tpot;
 }
 
-std::vector<FastRecord> SimulateDisaggregated(const model::LatencyModel& prefill_lm,
-                                              const model::LatencyModel& decode_lm,
-                                              const workload::Trace& trace,
-                                              const DisaggregatedFastConfig& config) {
-  DS_CHECK_GE(config.num_prefill, 1);
-  DS_CHECK_GE(config.num_decode, 1);
-  std::vector<FastRecord> records(trace.size());
-
-  // Phase 1: round-robin prefill across instances.
-  std::vector<double> first_token(trace.size(), 0.0);
-  for (int inst = 0; inst < config.num_prefill; ++inst) {
-    workload::Trace sub;
-    std::vector<size_t> idx;
-    for (size_t i = static_cast<size_t>(inst); i < trace.size();
-         i += static_cast<size_t>(config.num_prefill)) {
-      sub.push_back(trace[i]);
-      idx.push_back(i);
-    }
-    const std::vector<double> finish = SimulatePrefillFinishTimes(
-        prefill_lm, sub, config.prefill_target_tokens, config.prefill_max_batch);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      first_token[idx[k]] = finish[k];
-      records[idx[k]].ttft = finish[k] - trace[idx[k]].arrival_time;
-    }
-  }
-
-  // Phase 2: round-robin decode with arrivals at prefill completion.
-  for (int inst = 0; inst < config.num_decode; ++inst) {
-    workload::Trace sub;
-    std::vector<double> ready;
-    std::vector<size_t> idx;
-    for (size_t i = static_cast<size_t>(inst); i < trace.size();
-         i += static_cast<size_t>(config.num_decode)) {
-      sub.push_back(trace[i]);
-      ready.push_back(first_token[i]);
-      idx.push_back(i);
-    }
-    const std::vector<double> tpots = SimulateDecodeTpots(
-        decode_lm, config.decode_kv_capacity_tokens, sub, ready, config.decode_max_batch);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      records[idx[k]].tpot = tpots[k];
-    }
-  }
-  return records;
-}
-
-namespace {
-
-// Single colocated instance over a sub-trace; writes results through `global_idx`.
-void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& trace,
-                          const std::vector<size_t>& global_idx,
+// Single colocated instance over a trace view; writes results through the view's global
+// positions.
+void SimulateColocatedOne(CachedLm lm, const TraceView& trace,
                           const ColocatedFastConfig& config,
                           std::vector<FastRecord>& records) {
+  DS_PROF_ZONE("fast_sim.colocated");
   struct Active {
     size_t local_idx;
     int remaining;
@@ -240,9 +222,11 @@ void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& 
   };
   std::deque<size_t> waiting;
   std::vector<Active> decoding;
+  decoding.reserve(static_cast<size_t>(config.max_batch_size));
   size_t next_arrival = 0;
   double now = 0.0;
   int64_t used_tokens = 0;
+  int64_t decode_ctx_sum = 0;  // invariant: sum of ctx over `decoding` (exact: integer adds)
 
   auto pull_arrivals = [&] {
     while (next_arrival < trace.size() && trace[next_arrival].arrival_time <= now) {
@@ -271,8 +255,8 @@ void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& 
       const int64_t need = trace[idx].total_len();
       if (need > config.kv_capacity_tokens) {
         // Unserveable on this configuration: count as failing both SLOs and drop it.
-        records[global_idx[idx]].ttft = std::numeric_limits<double>::infinity();
-        records[global_idx[idx]].tpot = std::numeric_limits<double>::infinity();
+        records[trace.global(idx)].ttft = std::numeric_limits<double>::infinity();
+        records[trace.global(idx)].tpot = std::numeric_limits<double>::infinity();
         waiting.pop_front();
         continue;
       }
@@ -295,12 +279,8 @@ void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& 
     // prefill work is prefill-only and stalls resident decodes.
     const bool decodes_advance = decoding.empty() ? false : prefilled_now.empty();
     if (decodes_advance) {
-      int64_t ctx_sum = 0;
-      for (const Active& a : decoding) {
-        ctx_sum += a.ctx;
-      }
       workload.decode_requests = static_cast<int64_t>(decoding.size());
-      workload.decode_context_tokens = ctx_sum;
+      workload.decode_context_tokens = decode_ctx_sum;
     }
 
     if (workload.empty()) {
@@ -313,38 +293,135 @@ void SimulateColocatedOne(const model::LatencyModel& lm, const workload::Trace& 
 
     now += lm.FullTime(workload) + config.cpu_overhead_per_step;
 
-    // Decode advancement (skipped on prefill-only steps).
+    // Decode advancement (skipped on prefill-only steps). Survivors compact in place, with
+    // the running context sum tracking steps and departures.
     if (decodes_advance) {
-      std::vector<Active> still;
-      still.reserve(decoding.size());
+      size_t write = 0;
       for (Active& a : decoding) {
         --a.remaining;
         ++a.ctx;
+        ++decode_ctx_sum;
         if (a.remaining <= 0) {
-          records[global_idx[a.local_idx]].tpot =
+          decode_ctx_sum -= a.ctx;
+          records[trace.global(a.local_idx)].tpot =
               (now - a.first_token) / static_cast<double>(trace[a.local_idx].output_len - 1);
           used_tokens -= trace[a.local_idx].total_len();
         } else {
-          still.push_back(a);
+          decoding[write++] = a;
         }
       }
-      decoding = std::move(still);
+      decoding.resize(write);
     }
 
     // Prompts finished this step.
     for (size_t idx : prefilled_now) {
-      records[global_idx[idx]].ttft = now - trace[idx].arrival_time;
+      records[trace.global(idx)].ttft = now - trace[idx].arrival_time;
       if (trace[idx].output_len <= 1) {
         used_tokens -= trace[idx].total_len();
       } else {
-        decoding.push_back(Active{idx, trace[idx].output_len - 1,
-                                  static_cast<int64_t>(trace[idx].input_len) + 1, now});
+        const int64_t ctx = static_cast<int64_t>(trace[idx].input_len) + 1;
+        decoding.push_back(Active{idx, trace[idx].output_len - 1, ctx, now});
+        decode_ctx_sum += ctx;
       }
     }
   }
 }
 
+// Round-robin split: indices of the requests instance `inst` of `count` serves.
+std::vector<size_t> RoundRobinIndices(size_t trace_size, int inst, int count) {
+  std::vector<size_t> idx;
+  idx.reserve(trace_size / static_cast<size_t>(count) + 1);
+  for (size_t i = static_cast<size_t>(inst); i < trace_size;
+       i += static_cast<size_t>(count)) {
+    idx.push_back(i);
+  }
+  return idx;
+}
+
 }  // namespace
+
+metrics::Attainment FastAttainment(const std::vector<FastRecord>& records,
+                                   const metrics::SloSpec& slo) {
+  metrics::Attainment result;
+  if (records.empty()) {
+    return result;
+  }
+  int64_t both = 0;
+  int64_t ttft_ok = 0;
+  int64_t tpot_ok = 0;
+  for (const FastRecord& r : records) {
+    const bool t_ok = r.ttft <= slo.ttft;
+    const bool p_ok = r.tpot <= slo.tpot;
+    both += (t_ok && p_ok) ? 1 : 0;
+    ttft_ok += t_ok ? 1 : 0;
+    tpot_ok += p_ok ? 1 : 0;
+  }
+  const double n = static_cast<double>(records.size());
+  result.both = both / n;
+  result.ttft_only = ttft_ok / n;
+  result.tpot_only = tpot_ok / n;
+  return result;
+}
+
+std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
+                                               const workload::Trace& trace,
+                                               int64_t target_tokens, int max_batch_size,
+                                               model::StepTimeCache* step_cache) {
+  DS_CHECK_GT(target_tokens, 0);
+  DS_CHECK_GT(max_batch_size, 0);
+  return PrefillFinishTimesView(CachedLm(lm, step_cache), TraceView(trace), target_tokens,
+                                max_batch_size);
+}
+
+std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
+                                        int64_t kv_capacity_tokens,
+                                        const workload::Trace& trace,
+                                        const std::vector<double>& ready_times,
+                                        int max_batch_size,
+                                        model::StepTimeCache* step_cache) {
+  return DecodeTpotsView(CachedLm(lm, step_cache), kv_capacity_tokens, TraceView(trace),
+                         ready_times, max_batch_size);
+}
+
+std::vector<FastRecord> SimulateDisaggregated(const model::LatencyModel& prefill_lm,
+                                              const model::LatencyModel& decode_lm,
+                                              const workload::Trace& trace,
+                                              const DisaggregatedFastConfig& config) {
+  DS_CHECK_GE(config.num_prefill, 1);
+  DS_CHECK_GE(config.num_decode, 1);
+  std::vector<FastRecord> records(trace.size());
+
+  // Phase 1: round-robin prefill across instances (views into the shared trace, no copies).
+  std::vector<double> first_token(trace.size(), 0.0);
+  for (int inst = 0; inst < config.num_prefill; ++inst) {
+    const std::vector<size_t> idx =
+        RoundRobinIndices(trace.size(), inst, config.num_prefill);
+    const std::vector<double> finish = PrefillFinishTimesView(
+        CachedLm(prefill_lm, config.prefill_step_cache), TraceView(trace, idx),
+        config.prefill_target_tokens, config.prefill_max_batch);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      first_token[idx[k]] = finish[k];
+      records[idx[k]].ttft = finish[k] - trace[idx[k]].arrival_time;
+    }
+  }
+
+  // Phase 2: round-robin decode with arrivals at prefill completion.
+  for (int inst = 0; inst < config.num_decode; ++inst) {
+    const std::vector<size_t> idx = RoundRobinIndices(trace.size(), inst, config.num_decode);
+    std::vector<double> ready;
+    ready.reserve(idx.size());
+    for (size_t i : idx) {
+      ready.push_back(first_token[i]);
+    }
+    const std::vector<double> tpots = DecodeTpotsView(
+        CachedLm(decode_lm, config.decode_step_cache), config.decode_kv_capacity_tokens,
+        TraceView(trace, idx), ready, config.decode_max_batch);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      records[idx[k]].tpot = tpots[k];
+    }
+  }
+  return records;
+}
 
 std::vector<FastRecord> SimulateColocated(const model::LatencyModel& lm,
                                           const workload::Trace& trace,
@@ -353,14 +430,10 @@ std::vector<FastRecord> SimulateColocated(const model::LatencyModel& lm,
   DS_CHECK_GT(config.kv_capacity_tokens, 0);
   std::vector<FastRecord> records(trace.size());
   for (int inst = 0; inst < config.num_instances; ++inst) {
-    workload::Trace sub;
-    std::vector<size_t> idx;
-    for (size_t i = static_cast<size_t>(inst); i < trace.size();
-         i += static_cast<size_t>(config.num_instances)) {
-      sub.push_back(trace[i]);
-      idx.push_back(i);
-    }
-    SimulateColocatedOne(lm, sub, idx, config, records);
+    const std::vector<size_t> idx =
+        RoundRobinIndices(trace.size(), inst, config.num_instances);
+    SimulateColocatedOne(CachedLm(lm, config.step_cache), TraceView(trace, idx), config,
+                         records);
   }
   return records;
 }

@@ -1,26 +1,43 @@
 // A deterministic pending-event set for discrete-event simulation.
 //
-// Events are (time, sequence, callback) triples kept in a binary min-heap. The monotonically
-// increasing sequence number breaks time ties in insertion order, which makes simulations
-// bit-reproducible regardless of heap internals. Events can be cancelled in O(1) via a shared
-// liveness flag (lazy deletion: dead entries are skipped when they reach the top). A shared
-// dead-entry counter bounds the garbage lazy deletion can accumulate: when more than half of
-// the stored entries are cancelled, the heap is compacted in one O(n) sweep — without this,
-// cancel-heavy schedulers (speculative timeouts, per-request deadlines that almost never
-// fire) grow the heap with entries that sift through every push until they surface.
+// Events are (time, sequence) pairs kept in a binary min-heap of POD entries; the
+// monotonically increasing sequence number breaks time ties in insertion order, which makes
+// simulations bit-reproducible regardless of heap internals. Callbacks live out-of-heap in a
+// slab of reusable nodes threaded on a free-list, so the steady-state schedule→fire cycle
+// allocates nothing: a fired (or cancelled) node returns to the free-list and its inline
+// callback storage is reused by the next event. Handles are (queue, node, generation)
+// triples — cancellation is O(1) by bumping the node's generation, and the common
+// schedule-then-fire path pays no cancellation machinery beyond one generation compare at
+// fire time (no shared_ptr control blocks, no atomics).
+//
+// A dead-entry counter bounds the garbage lazy deletion can accumulate: when more than half
+// of the stored heap entries are cancelled, the heap is compacted in one O(n) sweep —
+// without this, cancel-heavy schedulers (speculative timeouts, per-request deadlines that
+// almost never fire) grow the heap with entries that sift through every push until they
+// surface.
+//
+// Lifetime rule: an EventHandle must not be *used* (Cancel/pending) after its queue is
+// destroyed; destroying a handle is always safe. Every component in this codebase owns its
+// handles inside objects that the simulator outlives, so this costs nothing in practice.
 #ifndef DISTSERVE_SIMCORE_EVENT_QUEUE_H_
 #define DISTSERVE_SIMCORE_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
+
+#include "common/inline_function.h"
 
 namespace distserve::simcore {
 
 using SimTime = double;  // seconds of virtual time
 
-// Handle to a scheduled event; lets the owner cancel it before it fires.
+// Event callbacks: move-only, with 64 bytes of inline storage so the engine's step closures
+// never touch the heap (std::function's ~16-byte buffer forced one allocation per event).
+using EventCallback = InlineFunction<64>;
+
+class EventQueue;
+
+// Handle to a scheduled event; lets the owner cancel it before it fires. Trivially copyable.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -34,17 +51,22 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  EventHandle(std::shared_ptr<bool> alive, std::shared_ptr<size_t> dead_count)
-      : alive_(std::move(alive)), dead_count_(std::move(dead_count)) {}
+  EventHandle(EventQueue* queue, uint32_t node, uint32_t generation)
+      : queue_(queue), node_(node), generation_(generation) {}
 
-  std::shared_ptr<bool> alive_;
-  std::shared_ptr<size_t> dead_count_;  // owning queue's cancelled-entry tally
+  EventQueue* queue_ = nullptr;
+  uint32_t node_ = 0;
+  uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   // Schedules `fn` at absolute time `when`. Ordering among equal times is insertion order.
-  EventHandle Schedule(SimTime when, std::function<void()> fn);
+  EventHandle Schedule(SimTime when, EventCallback fn);
 
   // True when no live (uncancelled) event remains.
   bool empty() const;
@@ -58,16 +80,23 @@ class EventQueue {
   // Pops and returns the earliest live event. Requires !empty().
   struct Fired {
     SimTime time;
-    std::function<void()> fn;
+    EventCallback fn;
   };
   Fired Pop();
 
  private:
+  friend class EventHandle;
+
+  static constexpr uint32_t kNilNode = UINT32_MAX;
+
+  // Heap entries are 24-byte PODs: cheap to sift, no callback churn during heap ops. An
+  // entry is live iff its generation still matches its node's (firing or cancelling bumps
+  // the node's generation, which also invalidates stale handles when the node is reused).
   struct Entry {
     SimTime time;
     uint64_t seq;
-    std::shared_ptr<bool> alive;
-    std::function<void()> fn;
+    uint32_t node;
+    uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -78,17 +107,35 @@ class EventQueue {
     }
   };
 
-  // Removes cancelled entries from the heap top.
+  // Slab node: callback + liveness generation + free-list link.
+  struct Node {
+    EventCallback fn;
+    uint32_t generation = 0;
+    uint32_t next_free = kNilNode;
+  };
+
+  bool EntryLive(const Entry& e) const { return nodes_[e.node].generation == e.generation; }
+
+  // Handle-side liveness/cancel (see EventHandle).
+  bool HandlePending(uint32_t node, uint32_t generation) const {
+    return node < nodes_.size() && nodes_[node].generation == generation;
+  }
+  void CancelNode(uint32_t node, uint32_t generation);
+
+  uint32_t AcquireNode(EventCallback fn);
+  void ReleaseNode(uint32_t index);  // bumps generation, frees the callback, links free-list
+
+  // Removes dead entries from the heap top.
   void DropDead() const;
 
   // Rebuilds the heap without dead entries once they outnumber live ones.
   void MaybeCompact();
 
   mutable std::vector<Entry> heap_;
+  std::vector<Node> nodes_;
+  uint32_t free_head_ = kNilNode;
   uint64_t next_seq_ = 0;
-  // Shared with handles so Cancel() can tally without a back-pointer to the queue (handles
-  // may outlive it). Counts cancelled entries still stored in heap_.
-  std::shared_ptr<size_t> dead_count_ = std::make_shared<size_t>(0);
+  mutable size_t dead_count_ = 0;  // cancelled entries still stored in heap_
 };
 
 }  // namespace distserve::simcore

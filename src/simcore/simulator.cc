@@ -4,12 +4,12 @@
 
 namespace distserve::simcore {
 
-EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(SimTime when, EventCallback fn) {
   DS_DCHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
   return queue_.Schedule(when, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAfter(SimTime delay, EventCallback fn) {
   DS_DCHECK(delay >= 0.0);
   return queue_.Schedule(now_ + delay, std::move(fn));
 }

@@ -9,7 +9,6 @@
 #define DISTSERVE_SIMCORE_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "simcore/event_queue.h"
@@ -26,10 +25,10 @@ class Simulator {
   int64_t events_processed() const { return events_processed_; }
 
   // Schedules `fn` at absolute virtual time `when` (must be >= now()).
-  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime when, EventCallback fn);
 
   // Schedules `fn` after a non-negative delay.
-  EventHandle ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventHandle ScheduleAfter(SimTime delay, EventCallback fn);
 
   // Runs until the event queue is empty or virtual time would exceed `until`.
   // Returns the number of events processed by this call.

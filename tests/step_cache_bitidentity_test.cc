@@ -1,0 +1,119 @@
+// End-to-end bit-identity of the step-time cache: a disaggregated serving run and a
+// colocated run, each executed with memoization on and off, must produce byte-identical
+// per-request timelines. EXPECT_EQ on raw doubles (not near/approx) is the point — the memo
+// returns the exact values the model computed, so every TTFT/TPOT must match to the last bit.
+#include <gtest/gtest.h>
+
+#include "engine/colocated_instance.h"
+#include "metrics/collector.h"
+#include "placement/fast_sim.h"
+#include "serving/serving_system.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve {
+namespace {
+
+workload::Trace SmokeTrace(int n, uint64_t seed) {
+  const auto dataset = workload::MakeDatasetByName("sharegpt");
+  workload::TraceSpec spec;
+  spec.rate = 4.0;
+  spec.num_requests = n;
+  spec.seed = seed;
+  return workload::GenerateTrace(spec, *dataset);
+}
+
+void ExpectIdenticalRecords(const metrics::Collector& a, const metrics::Collector& b) {
+  ASSERT_EQ(a.count(), b.count());
+  for (size_t i = 0; i < a.count(); ++i) {
+    const metrics::RequestRecord& ra = a.records()[i];
+    const metrics::RequestRecord& rb = b.records()[i];
+    ASSERT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.Ttft(), rb.Ttft());
+    EXPECT_EQ(ra.Tpot(), rb.Tpot());
+    EXPECT_EQ(ra.prefill_start, rb.prefill_start);
+    EXPECT_EQ(ra.first_token, rb.first_token);
+    EXPECT_EQ(ra.transfer_end, rb.transfer_end);
+    EXPECT_EQ(ra.decode_start, rb.decode_start);
+    EXPECT_EQ(ra.completion, rb.completion);
+  }
+}
+
+serving::ServingConfig DisaggConfig(bool cache) {
+  serving::ServingConfig config;
+  config.model = model::ModelSpec::Opt13B();
+  config.cluster = cluster::ClusterSpec::PaperTestbed();
+  config.plan.prefill_par = {1, 1};
+  config.plan.decode_par = {1, 2};
+  config.plan.num_prefill = 2;
+  config.plan.num_decode = 1;
+  config.prefill_options.enable_step_time_cache = cache;
+  config.decode_options.enable_step_time_cache = cache;
+  return config;
+}
+
+TEST(StepCacheBitIdentityTest, DisaggregatedServingRunIsByteIdentical) {
+  const workload::Trace trace = SmokeTrace(300, 81);
+  serving::ServingSystem with_cache(DisaggConfig(true));
+  serving::ServingSystem without_cache(DisaggConfig(false));
+  const metrics::Collector on = with_cache.Run(trace);
+  const metrics::Collector off = without_cache.Run(trace);
+  ExpectIdenticalRecords(on, off);
+}
+
+TEST(StepCacheBitIdentityTest, ColocatedServingRunIsByteIdentical) {
+  const workload::Trace trace = SmokeTrace(300, 82);
+  const model::LatencyModel lm(model::ModelSpec::Opt13B(), {1, 1},
+                               cluster::GpuSpec::A100_80GB());
+  metrics::Collector results[2];
+  for (int cache = 0; cache < 2; ++cache) {
+    simcore::Simulator sim;
+    engine::ColocatedInstance::Options options;
+    options.enable_step_time_cache = cache != 0;
+    engine::ColocatedInstance instance(&sim, lm, 1 << 20, options, 0);
+    instance.set_on_complete(
+        [&, cache](engine::RequestState* r) { results[cache].Record(r->record); });
+    std::vector<std::unique_ptr<engine::RequestState>> states;
+    states.reserve(trace.size());
+    for (const workload::Request& req : trace) {
+      states.push_back(std::make_unique<engine::RequestState>(req));
+      engine::RequestState* rs = states.back().get();
+      sim.ScheduleAt(req.arrival_time, [&instance, rs] { instance.Enqueue(rs); });
+    }
+    sim.Run();
+  }
+  ExpectIdenticalRecords(results[0], results[1]);
+}
+
+TEST(StepCacheBitIdentityTest, FastSimPipelineIsByteIdentical) {
+  const workload::Trace trace = SmokeTrace(500, 83);
+  const model::LatencyModel prefill_lm(model::ModelSpec::Opt13B(), {1, 1},
+                                       cluster::GpuSpec::A100_80GB());
+  const model::LatencyModel decode_lm(model::ModelSpec::Opt13B(), {1, 2},
+                                      cluster::GpuSpec::A100_80GB());
+  model::StepTimeCache prefill_cache(&prefill_lm);
+  model::StepTimeCache decode_cache(&decode_lm);
+  placement::DisaggregatedFastConfig config;
+  config.num_prefill = 2;
+  config.num_decode = 2;
+  config.decode_kv_capacity_tokens = 1 << 20;
+  const std::vector<placement::FastRecord> off =
+      placement::SimulateDisaggregated(prefill_lm, decode_lm, trace, config);
+  config.prefill_step_cache = &prefill_cache;
+  config.decode_step_cache = &decode_cache;
+  const std::vector<placement::FastRecord> on =
+      placement::SimulateDisaggregated(prefill_lm, decode_lm, trace, config);
+  // And a second cached pass: warm hits must not drift either.
+  const std::vector<placement::FastRecord> on2 =
+      placement::SimulateDisaggregated(prefill_lm, decode_lm, trace, config);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(on[i].ttft, off[i].ttft);
+    EXPECT_EQ(on[i].tpot, off[i].tpot);
+    EXPECT_EQ(on2[i].ttft, off[i].ttft);
+    EXPECT_EQ(on2[i].tpot, off[i].tpot);
+  }
+}
+
+}  // namespace
+}  // namespace distserve

@@ -1,0 +1,121 @@
+#include "model/step_time_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/gpu_spec.h"
+#include "common/rng.h"
+#include "model/latency_model.h"
+
+namespace distserve::model {
+namespace {
+
+LatencyModel MakeLm(ParallelismConfig par = {1, 1}) {
+  return LatencyModel(ModelSpec::Opt13B(), par, cluster::GpuSpec::A100_80GB());
+}
+
+// A mix of prefill-only, decode-only, and mixed signatures with small-integer fields, the
+// same shapes the engines and fast_sim produce.
+std::vector<BatchWorkload> RandomWorkloads(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BatchWorkload> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    BatchWorkload w;
+    const uint64_t kind = rng.NextU64() % 3;
+    if (kind != 1) {  // prefill side present
+      const int64_t tokens = 1 + static_cast<int64_t>(rng.NextU64() % 2048);
+      w.prefill_tokens = tokens;
+      w.prefill_sq_tokens = static_cast<double>(tokens) * static_cast<double>(tokens);
+    }
+    if (kind != 0) {  // decode side present
+      w.decode_requests = 1 + static_cast<int64_t>(rng.NextU64() % 256);
+      w.decode_context_tokens =
+          w.decode_requests * (1 + static_cast<int64_t>(rng.NextU64() % 1024));
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+TEST(StepTimeCacheTest, BitIdenticalToModelAcrossRandomizedSweep) {
+  const LatencyModel lm = MakeLm({1, 2});
+  StepTimeCache cache(&lm);
+  // Every workload evaluated twice: first call misses, second call must hit, and both must
+  // equal the uncached model exactly (EXPECT_EQ on doubles is deliberate — the memo returns
+  // the very value the model computed, not an approximation).
+  for (const BatchWorkload& w : RandomWorkloads(2000, 11)) {
+    EXPECT_EQ(cache.StageTime(w), lm.StageTime(w));
+    EXPECT_EQ(cache.StageTime(w), lm.StageTime(w));
+    EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+    EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().misses, 0u);
+}
+
+TEST(StepTimeCacheTest, RepeatedSignatureHitsAfterFirstMiss) {
+  const LatencyModel lm = MakeLm();
+  StepTimeCache cache(&lm);
+  const BatchWorkload w = BatchWorkload::Decode(32, 32 * 700);
+  const double first = cache.FullTime(w);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.FullTime(w), first);
+  }
+  EXPECT_EQ(cache.stats().hits, 10u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(StepTimeCacheTest, StageAndFullAreMemoizedIndependently) {
+  const LatencyModel lm = MakeLm({1, 2});
+  StepTimeCache cache(&lm);
+  const BatchWorkload w = BatchWorkload::PrefillSingle(512);
+  EXPECT_EQ(cache.StageTime(w), lm.StageTime(w));  // miss fills the stage value only
+  EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));    // same slot, full value still a miss
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.StageTime(w), lm.StageTime(w));
+  EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(StepTimeCacheTest, StaysExactUnderCapacityPressure) {
+  const LatencyModel lm = MakeLm();
+  // Far more distinct signatures than slots: the direct-mapped cache must evict (overwrite)
+  // constantly and still never return a wrong value.
+  StepTimeCache cache(&lm, /*capacity=*/8);
+  const std::vector<BatchWorkload> sweep = RandomWorkloads(500, 23);
+  for (int round = 0; round < 2; ++round) {
+    for (const BatchWorkload& w : sweep) {
+      EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+    }
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 2u * 500u);
+}
+
+TEST(StepTimeCacheTest, ClearDropsEntriesButKeepsExactness) {
+  const LatencyModel lm = MakeLm();
+  StepTimeCache cache(&lm);
+  const BatchWorkload w = BatchWorkload::Decode(8, 8 * 300);
+  const double before = cache.FullTime(w);
+  cache.Clear();
+  EXPECT_EQ(cache.FullTime(w), before);  // recomputed, same deterministic model
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(StepTimeCacheTest, CapacityZeroDisablesMemoization) {
+  const LatencyModel lm = MakeLm();
+  StepTimeCache cache(&lm, /*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  const BatchWorkload w = BatchWorkload::Decode(16, 16 * 400);
+  EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+  EXPECT_EQ(cache.FullTime(w), lm.FullTime(w));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace distserve::model
