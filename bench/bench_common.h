@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "baselines/vllm_system.h"
+#include "common/float_format.h"
 #include "metrics/collector.h"
 #include "placement/algorithms.h"
+#include "placement/goodput_cache_store.h"
 #include "serving/serving_system.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
@@ -48,10 +50,17 @@ class BenchJson {
   void AddString(const std::string& key, std::string value) {
     fields_.emplace_back(key, "\"" + std::move(value) + "\"");
   }
+  // Human-scale rendering ("%.6g") for timings and rates read by people. NOT round-trip
+  // exact: a value persisted for later bitwise reuse must go through AddDoubleExact.
   void AddDouble(const std::string& key, double value) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     fields_.emplace_back(key, buf);
+  }
+  // Exact mode ("%.17g", common/float_format.h): round-trips every binary64 bit pattern, for
+  // fields downstream tooling compares or reuses exactly (persisted goodputs, rate hints).
+  void AddDoubleExact(const std::string& key, double value) {
+    fields_.emplace_back(key, FormatDoubleExact(value));
   }
   void AddInt(const std::string& key, int64_t value) {
     fields_.emplace_back(key, std::to_string(value));
@@ -85,6 +94,52 @@ class BenchJson {
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Owns one process run's persistent goodput cache: loads `path` on construction (stale
+// calibrations rejected by coefficient hash), saves the merged cache on Save()/destruction.
+// The standard plumbing behind the benches' `--goodput-cache=PATH` flag (env
+// DISTSERVE_GOODPUT_CACHE fallback via GoodputCacheStore::ResolvePath); an empty path
+// disables persistence and cache() returns nullptr, the pre-flag behavior.
+class PersistentGoodputCache {
+ public:
+  PersistentGoodputCache(std::string path, const cluster::GpuSpec& gpu)
+      : path_(std::move(path)),
+        hash_(placement::GoodputCacheStore::CalibrationHash(
+            model::LatencyCoefficients::FromGpu(gpu))) {
+    if (!path_.empty()) {
+      load_ = placement::GoodputCacheStore::Load(path_, hash_, &cache_);
+    }
+  }
+  ~PersistentGoodputCache() { Save(); }
+  PersistentGoodputCache(const PersistentGoodputCache&) = delete;
+  PersistentGoodputCache& operator=(const PersistentGoodputCache&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  placement::GoodputCache* cache() { return enabled() ? &cache_ : nullptr; }
+  const placement::GoodputCacheStore::LoadResult& load_result() const { return load_; }
+
+  bool Save() {
+    return enabled() ? placement::GoodputCacheStore::Save(path_, hash_, cache_) : false;
+  }
+
+  // Cache-trajectory fields for the bench's JSON artifact (hits/misses land in CI's
+  // perf-smoke hit-rate report). Never printed to stdout: warm and cold runs must stay
+  // byte-identical there.
+  void AddJsonFields(BenchJson& json) const {
+    const placement::GoodputCache::Stats stats = cache_.stats();
+    json.AddInt("goodput_cache_hits", stats.hits);
+    json.AddInt("goodput_cache_misses", stats.misses);
+    json.AddInt("goodput_cache_entries", stats.entries);
+    json.AddInt("goodput_cache_hints", stats.hint_entries);
+    json.AddInt("goodput_cache_loaded", load_.values_loaded);
+  }
+
+ private:
+  std::string path_;
+  uint64_t hash_;
+  placement::GoodputCache cache_;
+  placement::GoodputCacheStore::LoadResult load_;
 };
 
 // One Table-1 row.
@@ -245,13 +300,16 @@ inline void PrintBanner(const std::string& title) {
 // Full Figure-8/9 style comparison for one application: plan DistServe with Algorithm 2 on
 // the paper testbed, size vLLM (paper tp, replicated) to the same GPU count, then sweep
 // attainment vs per-GPU rate and vs SLO scale, and report the 90%-attainment goodput and
-// tightest-SLO ratios.
-inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed) {
+// tightest-SLO ratios. `goodput_cache` (optional) memoizes the planner's simulations; cached
+// goodputs are exact, so a warm run's stdout is byte-identical to a cold one.
+inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed,
+                                  placement::GoodputCache* goodput_cache = nullptr) {
   const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
 
   // DistServe: one Algorithm-2 segment pair.
   placement::PlannerInputs inputs = MakePlannerInputs(app, cluster, dataset.get(), 1.0);
+  inputs.goodput_cache = goodput_cache;
   const placement::PlannerResult planned = placement::LowNodeAffinityPlacement(inputs);
   placement::PlacementPlan plan = planned.plan;
   plan.num_prefill = 1;

@@ -5,13 +5,28 @@
 // prompts at a lower rate). The replanner detects the drift, fits an empirical dataset from
 // recent history, and recomputes the placement — this example shows the detection, the plan
 // change, and the attainment before/after redeployment.
+//
+// --goodput-cache=PATH (env DISTSERVE_GOODPUT_CACHE fallback) persists the facade's goodput
+// cache across invocations: a re-run starts warm, so the printed replan costs show disk-level
+// reuse (note the cost lines then differ from a cold run's — the cache file is the point).
 #include <cstdio>
+#include <cstring>
 
 #include "core/distserve.h"
+#include "placement/goodput_cache_store.h"
 #include "serving/replanner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distserve;
+  std::string cache_flag;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
+      cache_flag = argv[i] + 16;
+    } else {
+      std::fprintf(stderr, "usage: %s [--goodput-cache=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
   const model::ModelSpec model = model::ModelSpec::Opt66B();
@@ -44,6 +59,7 @@ int main() {
   options.search.min_trace_duration = 30.0;
   options.search.max_requests = 2500;
   options.search.bisection_iters = 6;
+  options.goodput_cache_path = placement::GoodputCacheStore::ResolvePath(cache_flag);
   DistServe server(options);
   std::printf("Initial plan (chatbot regime): %s\n\n", server.Plan().ToString().c_str());
 

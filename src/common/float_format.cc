@@ -1,0 +1,33 @@
+#include "common/float_format.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace distserve {
+
+std::string FormatDoubleExact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatDoubleHex(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+std::optional<double> ParseDouble(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;  // strtod would skip leading whitespace; we require a bare number
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace distserve

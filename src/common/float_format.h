@@ -1,0 +1,31 @@
+// Exact double <-> string round-tripping for persisted artifacts.
+//
+// The bench tables render doubles with "%.6g", which is fine for humans but drops up to 11
+// significant digits — a goodput or rate hint round-tripped through that path does not come
+// back bitwise-equal, and the planner's bit-identity guarantees (DESIGN.md §10) are stated at
+// the bit level. Anything persisted for later exact reuse (the on-disk goodput cache, exact
+// bench fields) must go through these helpers instead.
+#ifndef DISTSERVE_COMMON_FLOAT_FORMAT_H_
+#define DISTSERVE_COMMON_FLOAT_FORMAT_H_
+
+#include <optional>
+#include <string>
+
+namespace distserve {
+
+// Shortest guaranteed-exact decimal ("%.17g"): 17 significant digits round-trip every IEEE-754
+// binary64 value, including denormals and negative zero.
+std::string FormatDoubleExact(double value);
+
+// Hex-float ("%a"): exact by construction, locale-independent, and compact. The on-disk
+// goodput cache uses this spelling.
+std::string FormatDoubleHex(double value);
+
+// Strict full-string parse (strtod): accepts decimal and hex-float spellings, rejects empty
+// input, trailing garbage, and embedded whitespace. Non-finite spellings ("inf", "nan") parse
+// successfully — callers decide whether non-finite values are legal for their field.
+std::optional<double> ParseDouble(const std::string& text);
+
+}  // namespace distserve
+
+#endif  // DISTSERVE_COMMON_FLOAT_FORMAT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.h"
@@ -61,7 +62,7 @@ void PercentileTracker::EnsureSorted() const {
 
 double PercentileTracker::Percentile(double q) const {
   if (samples_.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   DS_DCHECK(q >= 0.0 && q <= 100.0);
   EnsureSorted();
@@ -77,7 +78,7 @@ double PercentileTracker::Percentile(double q) const {
 
 double PercentileTracker::Mean() const {
   if (samples_.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   double sum = 0.0;
   for (double s : samples_) {
@@ -88,7 +89,7 @@ double PercentileTracker::Mean() const {
 
 double PercentileTracker::Max() const {
   if (samples_.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   EnsureSorted();
   return samples_.back();
@@ -96,7 +97,7 @@ double PercentileTracker::Max() const {
 
 double PercentileTracker::Min() const {
   if (samples_.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   EnsureSorted();
   return samples_.front();

@@ -43,15 +43,20 @@ class PercentileTracker {
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
+  // Empty-tracker contract (pinned by stats_test): Percentile/Mean/Min/Max return quiet NaN —
+  // there is no order statistic of zero samples, and the old silent 0.0 read as "zero
+  // latency" in bench tables for zero-request smoke configs. FractionAtOrBelow alone returns
+  // 0.0 (an attainment over zero requests is "none attained", and the SLO-attainment path
+  // must stay NaN-free). Callers printing human tables should check empty() first.
+
   // Exact percentile with linear interpolation between order statistics; q in [0, 100].
-  // Returns 0 when no samples were recorded.
   double Percentile(double q) const;
   double Median() const { return Percentile(50.0); }
   double Mean() const;
   double Max() const;
   double Min() const;
 
-  // Fraction of samples <= threshold (the empirical CDF); 0 when empty.
+  // Fraction of samples <= threshold (the empirical CDF); 0 when empty (see above).
   double FractionAtOrBelow(double threshold) const;
 
   // Sorted copy of the samples (for CDF dumps).

@@ -1,12 +1,28 @@
 #include "core/distserve.h"
 
 #include "common/logging.h"
+#include "model/latency_model.h"
+#include "placement/goodput_cache_store.h"
 
 namespace distserve {
 
 DistServe::DistServe(DistServeOptions options) : options_(std::move(options)) {
   DS_CHECK(options_.dataset != nullptr || options_.plan_override.has_value())
       << "DistServe needs a dataset to plan for (or an explicit plan override)";
+  if (!options_.goodput_cache_path.empty()) {
+    // The planner derives its latency model from the cluster's GPU spec; hash those
+    // coefficients so entries persisted under a different calibration are rejected instead of
+    // warm-starting the search from wrong goodputs. The GPU spec is fixed for the facade's
+    // lifetime (ReplanDegraded changes node counts, not the GPU), so one hash suffices.
+    goodput_cache_hash_ = placement::GoodputCacheStore::CalibrationHash(
+        model::LatencyCoefficients::FromGpu(options_.cluster.gpu));
+    const placement::GoodputCacheStore::LoadResult loaded = placement::GoodputCacheStore::Load(
+        options_.goodput_cache_path, goodput_cache_hash_, &goodput_cache_);
+    if (loaded.ok()) {
+      DS_LOG(Info) << "goodput cache " << options_.goodput_cache_path << ": warm-started with "
+                   << loaded.values_loaded << " entries, " << loaded.hints_loaded << " hints";
+    }
+  }
 }
 
 bool DistServe::ResolveHighAffinity() const {
@@ -56,6 +72,12 @@ const placement::PlannerResult& DistServe::PlannerDetails() {
   planner_result_ = used_high_affinity_ ? placement::HighNodeAffinityPlacement(inputs)
                                         : placement::LowNodeAffinityPlacement(inputs);
   DS_LOG(Info) << "DistServe plan: " << planner_result_->plan.ToString();
+  if (!options_.goodput_cache_path.empty()) {
+    // Save-on-plan-complete: persist everything this search measured (merged over compatible
+    // on-disk entries; newest wins) so the next process replans warm.
+    placement::GoodputCacheStore::Save(options_.goodput_cache_path, goodput_cache_hash_,
+                                       goodput_cache_);
+  }
   return *planner_result_;
 }
 

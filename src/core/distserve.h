@@ -51,6 +51,15 @@ struct DistServeOptions {
   // bit-identical for any value — see DESIGN.md §10).
   int planner_threads = 1;
 
+  // Persistent goodput-cache file (DESIGN.md §13). Empty = in-memory caching only. When set,
+  // the facade loads compatible entries at construction — entries persisted under different
+  // Appendix-A latency-model coefficients are rejected by calibration hash, never silently
+  // reused — and saves the merged cache after every completed plan and replan, so the next
+  // process starts warm. Cached goodputs are exact simulation results, so a warm-started plan
+  // is bitwise identical to the cold search's. Benches resolve their --goodput-cache flag
+  // (env DISTSERVE_GOODPUT_CACHE fallback) into this field.
+  std::string goodput_cache_path;
+
   // Manual plan override: skips the planner entirely when set.
   std::optional<placement::PlacementPlan> plan_override;
 };
@@ -101,6 +110,9 @@ class DistServe {
   // Search caches shared by every planner invocation this facade makes (initial + replans).
   workload::TraceCache trace_cache_;
   placement::GoodputCache goodput_cache_;
+  // Calibration fingerprint guarding the persisted cache file (0 until computed; only
+  // meaningful when options_.goodput_cache_path is set).
+  uint64_t goodput_cache_hash_ = 0;
 };
 
 }  // namespace distserve

@@ -255,10 +255,19 @@ class SearchContext {
       if (const std::optional<double> hit = cache->Lookup(value_key)) {
         return PhaseSim{*hit, true};
       }
+    }
+    const double roofline = kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_);
+    if (cache != nullptr) {
       hint_key = hint_prefix_ + ConfigSuffix(par, is_prefill);
       if (const std::optional<double> hint = cache->RateHint(hint_key)) {
-        if (*hint > 0.0) {
-          search.rate_hint = *hint;
+        // A hint can now come off disk, where it may predate a recalibration or be outright
+        // corrupt. Every in-process hint is a clamped simulation result, so a hint above the
+        // analytic roofline is stale or garbage: clamp it down (non-finite and non-positive
+        // hints are dropped) so the probe cannot start above anything this configuration can
+        // sustain. The search result is unchanged either way — the hint only picks the
+        // probe's starting lattice point — so a bad hint costs probes, never the plan.
+        if (std::isfinite(*hint) && *hint > 0.0) {
+          search.rate_hint = std::min(*hint, roofline);
         }
       }
     }
@@ -266,8 +275,7 @@ class SearchContext {
                                   : SimulateDecodeRate(inputs_, par, search);
     // Clamp to the analytic roofline (see RateUpperBound): discards finite-trial cap-out
     // artifacts and guarantees every result stays below GoodputUpperBound.
-    const double rate =
-        std::min(raw, kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_));
+    const double rate = std::min(raw, roofline);
     const double goodput = derate * rate;
     if (cache != nullptr) {
       cache->Insert(value_key, goodput);

@@ -47,7 +47,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
 
   double lo;
   int first_fail_k;  // hi = lattice(first_fail_k)
-  if (options.rate_hint > 0.0) {
+  // Non-finite hints (possible once hints round-trip through external storage) would poison
+  // the lattice-index arithmetic below; treat them as "no hint" and run the cold probe.
+  if (options.rate_hint > 0.0 && std::isfinite(options.rate_hint)) {
     int k0 = std::max(
         0, static_cast<int>(std::lround(std::log2(options.rate_hint / options.rate_probe))));
     while (k0 > 0 && lattice(k0) > kRateCeiling) {

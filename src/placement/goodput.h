@@ -43,8 +43,10 @@ struct GoodputSearchOptions {
   // fresh generation, so enabling the cache never changes results.
   workload::TraceCache* trace_cache = nullptr;
 
-  // When > 0, start the exponential probe at the lattice point nearest this rate instead of
-  // at rate_probe (typically the previous search's result for the same config).
+  // When > 0 (and finite; anything else is ignored), start the exponential probe at the
+  // lattice point nearest this rate instead of at rate_probe (typically the previous search's
+  // result for the same config). Callers with an analytic rate bound should clamp the hint to
+  // it first — a hint loaded from disk can predate a recalibration (see algorithms.cc).
   double rate_hint = 0.0;
 };
 

@@ -6,17 +6,16 @@ std::optional<double> GoodputCache::Lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = values_.find(key);
   if (it == values_.end()) {
-    ++stats_.misses;
+    ++misses_;
     return std::nullopt;
   }
-  ++stats_.hits;
+  ++hits_;
   return it->second;
 }
 
 void GoodputCache::Insert(const std::string& key, double goodput) {
   std::lock_guard<std::mutex> lock(mu_);
   values_[key] = goodput;
-  stats_.entries = static_cast<int64_t>(values_.size());
 }
 
 std::optional<double> GoodputCache::RateHint(const std::string& config_key) const {
@@ -35,14 +34,39 @@ void GoodputCache::UpdateRateHint(const std::string& config_key, double goodput)
 
 GoodputCache::Stats GoodputCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = static_cast<int64_t>(values_.size());
+  stats.hint_entries = static_cast<int64_t>(hints_.size());
+  return stats;
+}
+
+GoodputCache::Snapshot GoodputCache::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{values_, hints_};
+}
+
+void GoodputCache::Merge(const Snapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : snapshot.values) {
+    values_.emplace(key, value);  // no-op when the key is already present
+  }
+  for (const auto& [key, value] : snapshot.hints) {
+    hints_.emplace(key, value);
+  }
 }
 
 void GoodputCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   values_.clear();
   hints_.clear();
-  stats_ = Stats{};
+}
+
+void GoodputCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
 }
 
 }  // namespace distserve::placement

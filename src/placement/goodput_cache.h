@@ -11,7 +11,9 @@
 // rate for the same config is an excellent warm start for FindMaxRate's exponential probe.
 //
 // Entries are a few dozen bytes each and the config space is small (hundreds), so the cache
-// is unbounded; Clear() exists for explicit invalidation (e.g. after recalibration).
+// is unbounded; Clear() exists for explicit invalidation (e.g. after recalibration). For
+// cross-process reuse, GoodputCacheStore (goodput_cache_store.h) round-trips the entry maps
+// through a versioned on-disk file via Snapshot()/Merge().
 #ifndef DISTSERVE_PLACEMENT_GOODPUT_CACHE_H_
 #define DISTSERVE_PLACEMENT_GOODPUT_CACHE_H_
 
@@ -36,19 +38,37 @@ class GoodputCache {
   void UpdateRateHint(const std::string& config_key, double goodput);
 
   struct Stats {
+    // Lifetime hit/miss counters: they survive Clear() (a post-invalidation log must not
+    // report a freshly emptied cache as having never missed); ResetStats() zeroes them.
     int64_t hits = 0;
     int64_t misses = 0;
-    int64_t entries = 0;
+    int64_t entries = 0;       // current values_ size
+    int64_t hint_entries = 0;  // current hints_ size
   };
   Stats stats() const;
 
+  // Copy of the entry maps, for serialization (GoodputCacheStore) and tests.
+  struct Snapshot {
+    std::unordered_map<std::string, double> values;
+    std::unordered_map<std::string, double> hints;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Bulk-inserts entries that are not already present. In-memory entries win on key conflicts:
+  // anything this process simulated is newer than anything loaded from disk.
+  void Merge(const Snapshot& snapshot);
+
+  // Drops every entry and hint (explicit invalidation). Lifetime hit/miss counters are kept —
+  // use ResetStats() to zero them separately.
   void Clear();
+  void ResetStats();
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, double> values_;
   std::unordered_map<std::string, double> hints_;
-  Stats stats_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
 };
 
 }  // namespace distserve::placement

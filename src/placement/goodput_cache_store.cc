@@ -1,0 +1,301 @@
+#include "placement/goodput_cache_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/float_format.h"
+#include "common/logging.h"
+
+namespace distserve::placement {
+
+namespace {
+
+constexpr char kMagic[] = "distserve-goodput-cache";
+
+// Cache keys embed model/GPU/dataset names, so they may contain spaces (fine: the key is the
+// last field of its line) but must stay single-line for the line-oriented format.
+std::string EscapeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> UnescapeKey(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (++i == escaped.size()) {
+      return std::nullopt;  // dangling escape: truncated line
+    }
+    switch (escaped[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string HashToHex(uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// Parses one "v <value> <key>" / "h <value> <key>" record. Returns false on any malformation;
+// goodputs and rates are finite and non-negative by construction, so anything else is rot.
+bool ParseEntryLine(const std::string& line, char* tag, double* value, std::string* key) {
+  if (line.size() < 2 || (line[0] != 'v' && line[0] != 'h') || line[1] != ' ') {
+    return false;
+  }
+  const size_t value_end = line.find(' ', 2);
+  if (value_end == std::string::npos || value_end + 1 >= line.size()) {
+    return false;
+  }
+  const std::optional<double> parsed = ParseDouble(line.substr(2, value_end - 2));
+  if (!parsed.has_value() || !std::isfinite(*parsed) || *parsed < 0.0) {
+    return false;
+  }
+  const std::optional<std::string> unescaped = UnescapeKey(line.substr(value_end + 1));
+  if (!unescaped.has_value()) {
+    return false;
+  }
+  *tag = line[0];
+  *value = *parsed;
+  *key = std::move(*unescaped);
+  return true;
+}
+
+// Full-file parse into a snapshot. Any defect yields a non-kLoaded status and an empty
+// snapshot — the file either loads whole or not at all.
+GoodputCacheStore::LoadResult ParseFile(std::istream& in, uint64_t calibration_hash,
+                                        GoodputCache::Snapshot* snapshot) {
+  using LoadResult = GoodputCacheStore::LoadResult;
+  using LoadStatus = GoodputCacheStore::LoadStatus;
+  std::string line;
+
+  // Header: magic + version.
+  if (!std::getline(in, line)) {
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  std::istringstream header(line);
+  std::string magic;
+  int version = -1;
+  if (!(header >> magic >> version) || magic != kMagic) {
+    // Not even our magic: that is rot (or the wrong file), not a recognizable other version.
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  if (version != GoodputCacheStore::kFormatVersion) {
+    return LoadResult{LoadStatus::kVersionMismatch};
+  }
+
+  // Calibration hash: exactly 16 lowercase hex digits.
+  if (!std::getline(in, line) || line.rfind("calibration ", 0) != 0) {
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  const std::string hex = line.substr(std::strlen("calibration "));
+  if (hex.size() != 16 || hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  if (hex != HashToHex(calibration_hash)) {
+    return LoadResult{LoadStatus::kCalibrationMismatch};
+  }
+
+  // Entry counts: lets a truncation at a line boundary be detected.
+  if (!std::getline(in, line)) {
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  std::istringstream counts(line);
+  std::string counts_tag;
+  int64_t num_values = -1;
+  int64_t num_hints = -1;
+  if (!(counts >> counts_tag >> num_values >> num_hints) || counts_tag != "counts" ||
+      num_values < 0 || num_hints < 0) {
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+
+  LoadResult result;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;  // tolerate a trailing blank line
+    }
+    char tag = 0;
+    double value = 0.0;
+    std::string key;
+    if (!ParseEntryLine(line, &tag, &value, &key)) {
+      *snapshot = {};
+      return LoadResult{LoadStatus::kCorrupt};
+    }
+    if (tag == 'v') {
+      snapshot->values[key] = value;
+      ++result.values_loaded;
+    } else {
+      snapshot->hints[key] = value;
+      ++result.hints_loaded;
+    }
+  }
+  if (result.values_loaded != num_values || result.hints_loaded != num_hints) {
+    *snapshot = {};
+    return LoadResult{LoadStatus::kCorrupt};
+  }
+  result.status = LoadStatus::kLoaded;
+  return result;
+}
+
+const char* StatusName(GoodputCacheStore::LoadStatus status) {
+  switch (status) {
+    case GoodputCacheStore::LoadStatus::kLoaded:
+      return "loaded";
+    case GoodputCacheStore::LoadStatus::kNoFile:
+      return "no file";
+    case GoodputCacheStore::LoadStatus::kVersionMismatch:
+      return "version mismatch";
+    case GoodputCacheStore::LoadStatus::kCalibrationMismatch:
+      return "calibration mismatch";
+    case GoodputCacheStore::LoadStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+uint64_t GoodputCacheStore::CalibrationHash(const model::LatencyCoefficients& coeffs) {
+  // FNV-1a over the raw bit patterns: exact (no decimal rounding), and distinguishes -0.0
+  // from 0.0 the way bitwise plan identity demands.
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&mix](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix_double(coeffs.c1);
+  mix_double(coeffs.c2);
+  mix_double(coeffs.c3);
+  mix_double(coeffs.c4);
+  mix_double(coeffs.c5);
+  mix(static_cast<uint64_t>(coeffs.attention_block_size));
+  mix_double(coeffs.collective_byte_time);
+  mix_double(coeffs.collective_latency);
+  return hash;
+}
+
+GoodputCacheStore::LoadResult GoodputCacheStore::Load(const std::string& path,
+                                                      uint64_t calibration_hash,
+                                                      GoodputCache* cache) {
+  DS_CHECK(cache != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    return LoadResult{LoadStatus::kNoFile};
+  }
+  GoodputCache::Snapshot snapshot;
+  const LoadResult result = ParseFile(in, calibration_hash, &snapshot);
+  if (!result.ok()) {
+    DS_LOG(Warning) << "goodput cache " << path << ": " << StatusName(result.status)
+                    << "; starting cold";
+    return result;
+  }
+  cache->Merge(snapshot);
+  return result;
+}
+
+bool GoodputCacheStore::Save(const std::string& path, uint64_t calibration_hash,
+                             const GoodputCache& cache) {
+  const GoodputCache::Snapshot fresh = cache.TakeSnapshot();
+
+  // Newest wins: overlay this process's entries on whatever compatible entries the file
+  // already holds, so parallel fillers extend rather than clobber each other. Incompatible or
+  // corrupt existing content is dropped wholesale.
+  GoodputCache::Snapshot base;
+  {
+    std::ifstream in(path);
+    if (in) {
+      GoodputCache::Snapshot existing;
+      if (ParseFile(in, calibration_hash, &existing).ok()) {
+        base = std::move(existing);
+      }
+    }
+  }
+  for (const auto& [key, value] : fresh.values) {
+    base.values[key] = value;
+  }
+  for (const auto& [key, value] : fresh.hints) {
+    base.hints[key] = value;
+  }
+
+  // Sorted records: same contents -> same bytes, so artifact diffs are meaningful.
+  std::map<std::string, double> values(base.values.begin(), base.values.end());
+  std::map<std::string, double> hints(base.hints.begin(), base.hints.end());
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    DS_LOG(Warning) << "goodput cache " << path << ": cannot open for writing";
+    return false;
+  }
+  out << kMagic << ' ' << kFormatVersion << '\n';
+  out << "calibration " << HashToHex(calibration_hash) << '\n';
+  out << "counts " << values.size() << ' ' << hints.size() << '\n';
+  for (const auto& [key, value] : values) {
+    out << "v " << FormatDoubleHex(value) << ' ' << EscapeKey(key) << '\n';
+  }
+  for (const auto& [key, value] : hints) {
+    out << "h " << FormatDoubleHex(value) << ' ' << EscapeKey(key) << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    DS_LOG(Warning) << "goodput cache " << path << ": write failed";
+    return false;
+  }
+  return true;
+}
+
+std::string GoodputCacheStore::ResolvePath(const std::string& flag_value) {
+  if (!flag_value.empty()) {
+    return flag_value;
+  }
+  const char* env = std::getenv("DISTSERVE_GOODPUT_CACHE");
+  return env != nullptr ? env : std::string();
+}
+
+}  // namespace distserve::placement

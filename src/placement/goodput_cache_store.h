@@ -1,0 +1,88 @@
+// On-disk persistence for placement::GoodputCache (ROADMAP: cross-process warm starts).
+//
+// A planner process is short-lived — a bench invocation, a CI perf-smoke run, a replanning
+// demo — but the goodput simulations it runs are determined entirely by their cache keys, so
+// their results are as valid in the next process as in this one. GoodputCacheStore serializes
+// the cache's value and hint maps to a versioned, self-describing text file so cross-process
+// runs start warm, the same amortization LLMServingSim-style simulators apply to serving
+// sweeps.
+//
+// File format (one record per line, '\n'-terminated, keys escaped so they stay single-line):
+//
+//   distserve-goodput-cache 1            header: magic + format version
+//   calibration <16 lowercase hex>       hash of the Appendix-A latency-model coefficients
+//   counts <num values> <num hints>      entry counts (truncation detector)
+//   v <hex-float> <key>                  one exact-fingerprint goodput entry
+//   h <hex-float> <key>                  one rate-hint entry
+//
+// Values are hex-floats (common/float_format.h), so a persisted goodput round-trips
+// bit-identically and a warm search returns bitwise the plan the cold search computed. Keys
+// are the cache's own fingerprints (model, GPU, SLO, derates, search fidelity, workload
+// identity — see algorithms.cc BuildKeyPrefixes), already hex-float exact.
+//
+// Invalidation: the calibration hash covers C1..C5 and the communication constants. A
+// recalibration (changed coefficients) produces a different hash, and Load rejects the whole
+// file rather than silently warm-starting from goodputs measured under the old latency model.
+// Version bumps reject the same way. Any malformed, truncated, or short-counted file loads
+// nothing: Load never crashes and never half-loads, it degrades to the in-memory cache as-is
+// with a warning.
+//
+// Merge semantics: newest wins. Load inserts only keys the in-memory cache does not already
+// hold (what this process simulated is newer than disk); Save overlays the in-memory entries
+// on top of any compatible entries already in the file, so concurrent processes sharing a
+// cache file lose at most each other's duplicates, never their own fresh results.
+#ifndef DISTSERVE_PLACEMENT_GOODPUT_CACHE_STORE_H_
+#define DISTSERVE_PLACEMENT_GOODPUT_CACHE_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/latency_model.h"
+#include "placement/goodput_cache.h"
+
+namespace distserve::placement {
+
+class GoodputCacheStore {
+ public:
+  // Current on-disk format version; files written by other versions are rejected on load.
+  static constexpr int kFormatVersion = 1;
+
+  // Fingerprint of the Appendix-A latency-model coefficients (C1..C5, the FlashAttention
+  // block size, and the collective-communication constants). FNV-1a over the raw IEEE-754 bit
+  // patterns: flipping any single coefficient — e.g. a recalibration via FitCoefficients —
+  // changes the hash and invalidates every persisted entry.
+  static uint64_t CalibrationHash(const model::LatencyCoefficients& coeffs);
+
+  enum class LoadStatus {
+    kLoaded,               // entries merged into the cache
+    kNoFile,               // path does not exist / is unreadable (normal for a cold start)
+    kVersionMismatch,      // wrong magic or format version
+    kCalibrationMismatch,  // coefficients changed since the file was written
+    kCorrupt,              // malformed, truncated, or short-counted content
+  };
+  struct LoadResult {
+    LoadStatus status = LoadStatus::kNoFile;
+    int64_t values_loaded = 0;  // entries parsed from the file (pre-merge)
+    int64_t hints_loaded = 0;
+    bool ok() const { return status == LoadStatus::kLoaded; }
+  };
+
+  // Merges the file's entries into `cache` (keys already present in memory win). On any
+  // defect the cache is left exactly as it was and the defect is logged as a warning.
+  static LoadResult Load(const std::string& path, uint64_t calibration_hash,
+                         GoodputCache* cache);
+
+  // Writes the cache's entries to `path`, overlaid on any compatible entries already in the
+  // file (in-memory wins on conflicts; an incompatible or corrupt existing file is replaced
+  // wholesale). Output is deterministic (sorted keys). Returns false on I/O failure.
+  static bool Save(const std::string& path, uint64_t calibration_hash,
+                   const GoodputCache& cache);
+
+  // Standard --goodput-cache flag plumbing for benches and examples: the explicit flag value
+  // wins, else the DISTSERVE_GOODPUT_CACHE environment variable, else empty (disabled).
+  static std::string ResolvePath(const std::string& flag_value);
+};
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_GOODPUT_CACHE_STORE_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 
 namespace distserve {
@@ -61,11 +63,27 @@ TEST(OnlineStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
-TEST(PercentileTest, EmptyReturnsZero) {
+// Pins the empty-tracker contract (stats.h): order statistics of zero samples are NaN —
+// deterministically, not 0.0 masquerading as "zero latency" — while the empirical CDF used by
+// SLO-attainment accounting stays 0.0 so attainment math never sees a NaN.
+TEST(PercentileTest, EmptyTrackerOrderStatisticsAreNaN) {
   PercentileTracker tracker;
-  EXPECT_EQ(tracker.Percentile(50), 0.0);
-  EXPECT_EQ(tracker.Mean(), 0.0);
+  EXPECT_TRUE(std::isnan(tracker.Percentile(50)));
+  EXPECT_TRUE(std::isnan(tracker.Percentile(0)));
+  EXPECT_TRUE(std::isnan(tracker.Percentile(100)));
+  EXPECT_TRUE(std::isnan(tracker.Median()));
+  EXPECT_TRUE(std::isnan(tracker.Mean()));
+  EXPECT_TRUE(std::isnan(tracker.Min()));
+  EXPECT_TRUE(std::isnan(tracker.Max()));
   EXPECT_EQ(tracker.FractionAtOrBelow(1.0), 0.0);
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_TRUE(tracker.Sorted().empty());
+  // One sample flips every query back to finite values.
+  tracker.Add(2.0);
+  EXPECT_EQ(tracker.Percentile(50), 2.0);
+  EXPECT_EQ(tracker.Min(), 2.0);
+  EXPECT_EQ(tracker.Max(), 2.0);
+  EXPECT_EQ(tracker.Mean(), 2.0);
 }
 
 TEST(PercentileTest, SingleSample) {
