@@ -21,6 +21,7 @@
 #include "placement/algorithms.h"
 #include "placement/goodput_cache_store.h"
 #include "serving/serving_system.h"
+#include "trace/recorder.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
@@ -170,15 +171,19 @@ inline Application SummarizationOpt66B() {
 // A servable system under test: returns per-request records for a trace.
 using RunFn = std::function<metrics::Collector(const workload::Trace&)>;
 
-// Builds a fresh DistServe engine run bound to `plan` (systems are single-use).
+// Builds a fresh DistServe engine run bound to `plan` (systems are single-use). A non-null
+// `recorder` collects per-request spans across every run of the returned RunFn (each run gets
+// its own run index; see trace/recorder.h); results are bit-identical with or without it.
 inline RunFn MakeDistServeRunner(const model::ModelSpec& model,
                                  const cluster::ClusterSpec& cluster,
-                                 const placement::PlacementPlan& plan) {
-  return [model, cluster, plan](const workload::Trace& trace) {
+                                 const placement::PlacementPlan& plan,
+                                 trace::Recorder* recorder = nullptr) {
+  return [model, cluster, plan, recorder](const workload::Trace& trace) {
     serving::ServingConfig config;
     config.model = model;
     config.cluster = cluster;
     config.plan = plan;
+    config.recorder = recorder;
     serving::ServingSystem system(std::move(config));
     return system.Run(trace);
   };
@@ -186,14 +191,16 @@ inline RunFn MakeDistServeRunner(const model::ModelSpec& model,
 
 inline RunFn MakeVllmRunner(const model::ModelSpec& model, const cluster::ClusterSpec& cluster,
                             int tp, int num_instances,
-                            engine::ColocatedInstance::Options options = {}) {
-  return [model, cluster, tp, num_instances, options](const workload::Trace& trace) {
+                            engine::ColocatedInstance::Options options = {},
+                            trace::Recorder* recorder = nullptr) {
+  return [model, cluster, tp, num_instances, options, recorder](const workload::Trace& trace) {
     baselines::VllmConfig config;
     config.model = model;
     config.cluster = cluster;
     config.par = {tp, 1};
     config.num_instances = num_instances;
     config.engine_options = options;
+    config.recorder = recorder;
     baselines::VllmSystem system(std::move(config));
     return system.Run(trace);
   };
@@ -303,7 +310,8 @@ inline void PrintBanner(const std::string& title) {
 // tightest-SLO ratios. `goodput_cache` (optional) memoizes the planner's simulations; cached
 // goodputs are exact, so a warm run's stdout is byte-identical to a cold one.
 inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed,
-                                  placement::GoodputCache* goodput_cache = nullptr) {
+                                  placement::GoodputCache* goodput_cache = nullptr,
+                                  trace::Recorder* recorder = nullptr) {
   const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
 
@@ -327,8 +335,9 @@ inline void RunEndToEndComparison(const Application& app, int num_requests, uint
   std::printf("# vLLM baseline: tp=%d x %d instances (%d GPUs vs DistServe %d GPUs)\n",
               app.vllm_tp, vllm_instances, vllm_gpus, ds_gpus);
 
-  const RunFn ds_run = MakeDistServeRunner(app.model, cluster, plan);
-  const RunFn vllm_run = MakeVllmRunner(app.model, cluster, app.vllm_tp, vllm_instances);
+  const RunFn ds_run = MakeDistServeRunner(app.model, cluster, plan, recorder);
+  const RunFn vllm_run =
+      MakeVllmRunner(app.model, cluster, app.vllm_tp, vllm_instances, {}, recorder);
 
   // Rate sweep around the planner's per-GPU goodput estimate.
   const double est_per_gpu =

@@ -6,9 +6,10 @@
 // Flags: --smoke (OPT-13B only, reduced trace, for CI and perf tracking), --json=PATH
 // (machine-readable artifact with the standard wall_ms field), --goodput-cache=PATH (env
 // DISTSERVE_GOODPUT_CACHE fallback: persist the planner's goodput cache across processes;
-// cache statistics go into the JSON artifact). Stdout stays byte-identical across runs —
-// warm-cached or cold — so the CI determinism job can diff them; timing and cache-hit
-// accounting go only into the JSON artifact.
+// cache statistics go into the JSON artifact), --trace=PATH (export per-request spans for
+// every engine run as Chrome trace-event JSON; see DESIGN.md §14). Stdout stays byte-identical
+// across runs — warm-cached or cold, traced or not — so the CI determinism job can diff them;
+// timing and cache-hit accounting go only into the JSON artifact.
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
   std::string cache_flag;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -25,12 +27,21 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
       cache_flag = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] [--trace=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!trace_path.empty() && !distserve::trace::kCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: built with -DDISTSERVE_TRACE=OFF; no spans will be exported\n");
+  }
+  distserve::trace::Recorder recorder;
+  distserve::trace::Recorder* rec = trace_path.empty() ? nullptr : &recorder;
 
   PersistentGoodputCache persist(
       distserve::placement::GoodputCacheStore::ResolvePath(cache_flag),
@@ -38,14 +49,20 @@ int main(int argc, char** argv) {
 
   const WallTimer timer;
   if (smoke) {
-    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81, persist.cache());
+    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81, persist.cache(),
+                          rec);
   } else {
-    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81, persist.cache());
-    RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82, persist.cache());
+    RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81, persist.cache(),
+                          rec);
+    RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82, persist.cache(),
+                          rec);
     RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83,
-                          persist.cache());
+                          persist.cache(), rec);
   }
   persist.Save();
+  if (!trace_path.empty()) {
+    recorder.WriteChromeJson(trace_path);
+  }
   if (!json_path.empty()) {
     BenchJson json("fig8_chatbot_e2e");
     json.AddBool("smoke", smoke);

@@ -9,24 +9,35 @@
 // --goodput-cache=PATH (env DISTSERVE_GOODPUT_CACHE fallback) persists the facade's goodput
 // cache across invocations: a re-run starts warm, so the printed replan costs show disk-level
 // reuse (note the cost lines then differ from a cold run's — the cache file is the point).
+// --trace=PATH exports the stale-vs-replanned engine runs' per-request spans as Chrome
+// trace-event JSON (two runs in one file; see DESIGN.md §14).
 #include <cstdio>
 #include <cstring>
 
 #include "core/distserve.h"
 #include "placement/goodput_cache_store.h"
 #include "serving/replanner.h"
+#include "trace/recorder.h"
 
 int main(int argc, char** argv) {
   using namespace distserve;
   std::string cache_flag;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
       cache_flag = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
-      std::fprintf(stderr, "usage: %s [--goodput-cache=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--goodput-cache=PATH] [--trace=PATH]\n", argv[0]);
       return 2;
     }
   }
+  if (!trace_path.empty() && !trace::kCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: built with -DDISTSERVE_TRACE=OFF; no spans will be exported\n");
+  }
+  trace::Recorder recorder;
 
   const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
   const model::ModelSpec model = model::ModelSpec::Opt66B();
@@ -134,6 +145,7 @@ int main(int argc, char** argv) {
     config.model = model;
     config.cluster = cluster;
     config.plan = plan;
+    config.recorder = trace_path.empty() ? nullptr : &recorder;
     serving::ServingSystem system(std::move(config));
     return system.Run(post_trace).ComputeAttainment(slo);
   };
@@ -143,5 +155,8 @@ int main(int argc, char** argv) {
               100.0 * stale.both, 100.0 * fresh.both);
   std::printf("(The paper notes replanning runs in seconds and weight reloads in minutes,\n"
               "well under the hourly timescale of real workload shifts.)\n");
+  if (!trace_path.empty()) {
+    recorder.WriteChromeJson(trace_path);
+  }
   return 0;
 }

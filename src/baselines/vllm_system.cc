@@ -1,9 +1,11 @@
 #include "baselines/vllm_system.h"
 
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
 #include "placement/fast_sim.h"
+#include "trace/recorder.h"
 
 namespace distserve::baselines {
 
@@ -26,11 +28,19 @@ VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
       ++completed_;
     });
   }
+  if (DS_TRACE_ON(config_.recorder)) {
+    for (const auto& inst : instances_) {
+      inst->set_recorder(config_.recorder);
+      config_.recorder->SetProcessName(trace::ColocatedPid(inst->id()),
+                                       "vllm-" + std::to_string(inst->id()));
+    }
+  }
 }
 
 VllmSystem::~VllmSystem() = default;
 
 metrics::Collector VllmSystem::Run(const workload::Trace& trace) {
+  DS_TRACE(config_.recorder, NewRun());
   collector_ = metrics::Collector();
   collector_.Reserve(trace.size());
   states_.clear();

@@ -21,6 +21,10 @@
 #include "simcore/simulator.h"
 #include "workload/request.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::baselines {
 
 // Measured per-iteration CPU overhead of the Python-scheduled vLLM the paper evaluates
@@ -36,6 +40,10 @@ struct VllmConfig {
   int num_instances = 1;
   engine::ColocatedInstance::Options engine_options;
   std::optional<model::LatencyCoefficients> coefficients;
+
+  // Optional per-request span recorder (trace/recorder.h, DESIGN.md §14); null records
+  // nothing. Must outlive the system.
+  trace::Recorder* recorder = nullptr;
 };
 
 // Engine-level DES run of one or more colocated instances with least-loaded dispatch.

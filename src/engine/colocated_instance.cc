@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/prof.h"
+#include "trace/recorder.h"
 
 namespace distserve::engine {
 
@@ -29,6 +30,8 @@ void ColocatedInstance::Enqueue(RequestState* request) {
   DS_CHECK(request != nullptr);
   DS_CHECK_LE(kv_.BlocksForTokens(request->request.total_len()), kv_.total_blocks())
       << "request " << request->request.id << " can never fit colocated instance " << id_;
+  DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
+                                 trace::SpanKind::kPrefillQueue, trace::ColocatedPid(id_), 0));
   waiting_.push_back(request);
   MaybeStep();
 }
@@ -63,6 +66,9 @@ void ColocatedInstance::MaybeStep() {
       if (head->prefill_tokens_done == 0) {
         head->record.prefill_start = sim_->now();
       }
+      DS_TRACE(recorder_, Transition(head->request.id, sim_->now(),
+                                     trace::SpanKind::kPrefillExec, trace::ColocatedPid(id_), 0,
+                                     steps_executed_));
       head->prefill_tokens_done += chunk;
       workload.prefill_tokens += chunk;
       // Chunk attention reads the whole window so far: ~ c * (p + c) token-pairs.
@@ -85,6 +91,9 @@ void ColocatedInstance::MaybeStep() {
         }
         head->prefill_tokens_done = head->request.input_len;
         head->record.prefill_start = sim_->now();
+        DS_TRACE(recorder_, Transition(head->request.id, sim_->now(),
+                                       trace::SpanKind::kPrefillExec, trace::ColocatedPid(id_),
+                                       0, steps_executed_));
         workload.prefill_tokens += prompt;
         workload.prefill_sq_tokens += static_cast<double>(prompt) * static_cast<double>(prompt);
         prefill_tokens_in_step += prompt;
@@ -103,6 +112,14 @@ void ColocatedInstance::MaybeStep() {
   if (decodes_advance) {
     workload.decode_requests = static_cast<int64_t>(decoding_.size());
     workload.decode_context_tokens = decode_ctx_tokens_;
+    if (DS_TRACE_ON(recorder_)) {
+      const double now = sim_->now();
+      for (RequestState* r : decoding_) {
+        // Coalesced by the recorder into one contiguous decode_step run per stretch.
+        recorder_->Transition(r->request.id, now, trace::SpanKind::kDecodeStep,
+                              trace::ColocatedPid(id_), 0, r->decode_steps_done);
+      }
+    }
   }
 
   if (workload.empty()) {
@@ -110,6 +127,8 @@ void ColocatedInstance::MaybeStep() {
   }
 
   const double step_time = step_cache_.FullTime(workload) + options_.cpu_overhead_per_step;
+  DS_TRACE(recorder_, InstanceSpan(trace::ColocatedPid(id_), 0, trace::SpanKind::kEngineStep,
+                                   sim_->now(), sim_->now() + step_time, steps_executed_));
   step_in_flight_ = true;
   busy_seconds_ += step_time;
   ++steps_executed_;
@@ -138,6 +157,7 @@ void ColocatedInstance::StepEnd(std::vector<RequestState*> prefilled_now,
       if (r->remaining_decode_steps() <= 0) {
         decode_ctx_tokens_ -= r->context_len();
         r->record.completion = now;
+        DS_TRACE(recorder_, Finish(r->request.id, now));
         kv_.Release(r->request.id);
         if (on_complete_) {
           on_complete_(r);
@@ -159,11 +179,17 @@ void ColocatedInstance::StepEnd(std::vector<RequestState*> prefilled_now,
     ++tokens_generated_;
     if (r->request.output_len <= 1) {
       r->record.completion = now;
+      DS_TRACE(recorder_, Finish(r->request.id, now));
       kv_.Release(r->request.id);
       if (on_complete_) {
         on_complete_(r);
       }
     } else {
+      // Colocation: transfer and decode queue are zero-width; go straight to decode_step at
+      // the same instant the record stamps decode_start (keeps extents bitwise-equal to the
+      // collector's subtractions).
+      DS_TRACE(recorder_, Transition(r->request.id, now, trace::SpanKind::kDecodeStep,
+                                     trace::ColocatedPid(id_), 0, 0));
       decoding_.push_back(r);
       decode_ctx_tokens_ += r->context_len();
     }

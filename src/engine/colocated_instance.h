@@ -30,6 +30,10 @@
 #include "model/step_time_cache.h"
 #include "simcore/simulator.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::engine {
 
 class ColocatedInstance {
@@ -67,6 +71,9 @@ class ColocatedInstance {
 
   void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
 
+  // Optional span recorder (trace/recorder.h); null leaves the hot path untouched.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
   // Adds an arriving request to the FCFS waiting queue.
   void Enqueue(RequestState* request);
 
@@ -95,6 +102,7 @@ class ColocatedInstance {
   int id_;
 
   std::function<void(RequestState*)> on_complete_;
+  trace::Recorder* recorder_ = nullptr;
 
   std::deque<RequestState*> waiting_;       // not yet admitted (no KV reserved)
   std::deque<RequestState*> prefilling_;    // admitted, prompt partially processed (chunked)

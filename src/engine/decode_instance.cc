@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/prof.h"
+#include "trace/recorder.h"
 
 namespace distserve::engine {
 
@@ -35,6 +36,8 @@ void DecodeInstance::Submit(RequestState* request) {
       << "single-token requests must not be submitted to decode";
   request->decode_instance = id_;
   request->phase = RequestPhase::kDecodePending;
+  DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
+                                 trace::SpanKind::kDecodeAdmit, trace::DecodePid(id_), 0));
   pending_.push_back(request);
   TryAdmit();
 }
@@ -111,6 +114,9 @@ void DecodeInstance::TryAdmit() {
     ++resident_count_;
     request->record.transfer_start = sim_->now();
     request->phase = RequestPhase::kTransferring;
+    DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
+                                   trace::SpanKind::kKvTransfer, trace::DecodePid(id_), 0,
+                                   request->attempt));
     if (transfer_fn_) {
       transfer_fn_(request, [this, request, epoch = epoch_] {
         if (epoch != epoch_) {
@@ -127,6 +133,8 @@ void DecodeInstance::TryAdmit() {
 void DecodeInstance::OnTransferDone(RequestState* request) {
   request->record.transfer_end = sim_->now();
   request->phase = RequestPhase::kDecoding;
+  DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
+                                 trace::SpanKind::kDecodeQueue, trace::DecodePid(id_), 0));
   // Least-loaded lane assignment.
   size_t best = 0;
   size_t best_load = SIZE_MAX;
@@ -160,6 +168,18 @@ void DecodeInstance::LaneMaybeStep(size_t lane_idx) {
   }
   const double step_time = step_cache_.FullTime(model::BatchWorkload::Decode(
       static_cast<int64_t>(lane.active.size()), lane.ctx_tokens));
+  if (DS_TRACE_ON(recorder_)) {
+    const double now = sim_->now();
+    for (RequestState* r : lane.active) {
+      // Coalesced by the recorder into one contiguous decode_step run per stretch.
+      recorder_->Transition(r->request.id, now, trace::SpanKind::kDecodeStep,
+                            trace::DecodePid(id_), static_cast<int32_t>(lane_idx),
+                            r->decode_steps_done);
+    }
+    recorder_->InstanceSpan(trace::DecodePid(id_), static_cast<int32_t>(lane_idx),
+                            trace::SpanKind::kDecodeStep, now, now + step_time,
+                            static_cast<int64_t>(lane.active.size()));
+  }
   lane.step_in_flight = true;
   busy_seconds_ += step_time;
   ++steps_executed_;
@@ -187,6 +207,7 @@ void DecodeInstance::LaneStepEnd(size_t lane_idx) {
       lane.ctx_tokens -= r->context_len();
       r->record.completion = sim_->now();
       r->phase = RequestPhase::kDone;
+      DS_TRACE(recorder_, Finish(r->request.id, sim_->now()));
       kv_.Release(r->request.id);
       --resident_count_;
       if (on_complete_) {

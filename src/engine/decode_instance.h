@@ -27,6 +27,10 @@
 #include "model/step_time_cache.h"
 #include "simcore/simulator.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::engine {
 
 class DecodeInstance {
@@ -58,6 +62,9 @@ class DecodeInstance {
 
   void set_transfer_fn(TransferFn fn) { transfer_fn_ = std::move(fn); }
   void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
+
+  // Optional span recorder (trace/recorder.h); null leaves the hot path untouched.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   // Hands over a request whose prefill just finished (first token already produced).
   // Requires output_len >= 2 (single-token requests never reach decode).
@@ -116,6 +123,7 @@ class DecodeInstance {
 
   TransferFn transfer_fn_;
   std::function<void(RequestState*)> on_complete_;
+  trace::Recorder* recorder_ = nullptr;
 
   // Fault state: events scheduled before a Fail() carry the old epoch and become no-ops.
   bool alive_ = true;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/prof.h"
+#include "trace/recorder.h"
 
 namespace distserve::engine {
 
@@ -29,6 +30,8 @@ void PrefillInstance::Enqueue(RequestState* request) {
       << id_ << " KV pool";
   request->prefill_instance = id_;
   request->phase = RequestPhase::kPrefillQueued;
+  DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
+                                 trace::SpanKind::kPrefillQueue, trace::PrefillPid(id_), 0));
   queue_.push_back(request);
   queued_tokens_ += request->request.input_len;
   MaybeScheduleLaunch();
@@ -159,7 +162,12 @@ void PrefillInstance::ExecuteBatch(std::vector<RequestState*> batch, double stag
     r->record.prefill_start = entry;
     r->phase = RequestPhase::kPrefilling;
     batch_tokens += r->request.input_len;
+    DS_TRACE(recorder_, Transition(r->request.id, entry, trace::SpanKind::kPrefillExec,
+                                   trace::PrefillPid(id_), 0, batches_launched_));
   }
+  // Instance occupancy = stage-0 window; full_time windows overlap under pp > 1.
+  DS_TRACE(recorder_, InstanceSpan(trace::PrefillPid(id_), 0, trace::SpanKind::kPrefillExec,
+                                   entry, entry + stage_time, batches_launched_));
   inflight_tokens_ += batch_tokens;
   prev_entry_ = entry;
   prev_stage_time_ = stage_time;

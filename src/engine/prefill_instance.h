@@ -27,6 +27,10 @@
 #include "model/step_time_cache.h"
 #include "simcore/simulator.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::engine {
 
 class PrefillInstance {
@@ -49,6 +53,9 @@ class PrefillInstance {
 
   // Fired once per request when its prefill finishes (first token ready, KV resident here).
   void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
+
+  // Optional span recorder (trace/recorder.h); null leaves the hot path untouched.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   // Adds a request to the FCFS queue. The prompt must fit the KV pool outright.
   void Enqueue(RequestState* request);
@@ -98,6 +105,7 @@ class PrefillInstance {
   int64_t queued_tokens_ = 0;
   int64_t inflight_tokens_ = 0;
   std::function<void(RequestState*)> on_complete_;
+  trace::Recorder* recorder_ = nullptr;
 
   // Fault state: events scheduled before a Fail() carry the old epoch and become no-ops.
   bool alive_ = true;

@@ -148,4 +148,21 @@ double Collector::CompletedThroughput() const {
   return span > 0.0 ? static_cast<double>(records_.size()) / span : 0.0;
 }
 
+bool BitIdentical(const Collector& a, const Collector& b) {
+  if (a.count() != b.count() || a.lost_count() != b.lost_count()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.count(); ++i) {
+    const RequestRecord& ra = a.records()[i];
+    const RequestRecord& rb = b.records()[i];
+    if (ra.id != rb.id || ra.arrival != rb.arrival || ra.prefill_start != rb.prefill_start ||
+        ra.first_token != rb.first_token || ra.transfer_start != rb.transfer_start ||
+        ra.transfer_end != rb.transfer_end || ra.decode_start != rb.decode_start ||
+        ra.completion != rb.completion) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace distserve::metrics

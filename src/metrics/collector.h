@@ -145,6 +145,11 @@ class Collector {
   FaultStats fault_stats_;
 };
 
+// True when both collectors hold the same completed records with bitwise-equal timestamps
+// (and equal lost counts). The determinism exhibits (fig13's no-fault check, the trace
+// bit-identity test) rely on this being exact FP equality, not tolerance-based.
+bool BitIdentical(const Collector& a, const Collector& b);
+
 }  // namespace distserve::metrics
 
 #endif  // DISTSERVE_METRICS_COLLECTOR_H_

@@ -4,8 +4,10 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
+#include "trace/recorder.h"
 
 namespace distserve::serving {
 
@@ -76,6 +78,24 @@ ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) 
   prefill_down_since_.resize(prefills_.size());
   decode_down_since_.resize(decodes_.size());
   link_down_since_.resize(links_.size());
+
+  if (DS_TRACE_ON(config_.recorder)) {
+    trace::Recorder* rec = config_.recorder;
+    rec->SetProcessName(trace::kControllerPid, "controller");
+    for (const auto& p : prefills_) {
+      p->set_recorder(rec);
+      rec->SetProcessName(trace::PrefillPid(p->id()), "prefill-" + std::to_string(p->id()));
+    }
+    for (const auto& d : decodes_) {
+      d->set_recorder(rec);
+      rec->SetProcessName(trace::DecodePid(d->id()), "decode-" + std::to_string(d->id()));
+    }
+    for (size_t i = 0; i < links_.size(); ++i) {
+      const int32_t pid = trace::LinkPid(static_cast<int>(i));
+      links_[i]->set_recorder(rec, pid);
+      rec->SetProcessName(pid, links_[i]->name());
+    }
+  }
 }
 
 ServingSystem::~ServingSystem() = default;
@@ -132,6 +152,7 @@ void ServingSystem::OnPrefillDone(engine::RequestState* request) {
     request->record.transfer_end = now;
     request->record.decode_start = now;
     request->record.completion = now;
+    DS_TRACE(config_.recorder, Finish(request->request.id, now));
     prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
     OnDecodeDone(request);
     return;
@@ -194,6 +215,9 @@ void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* reque
   ++fault_stats().transfer_retries;
   ++request->transfer_tries;
   if (request->transfer_tries <= config_.fault_options.max_transfer_retries) {
+    DS_TRACE(config_.recorder,
+             Transition(request->request.id, sim_.now(), trace::SpanKind::kLinkRetry,
+                        trace::kControllerPid, 0, request->transfer_tries));
     StartKvPull(link_idx, request, std::move(done));
     return;
   }
@@ -220,6 +244,9 @@ void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* reque
   ++fault_stats().decode_redispatches;
   request->phase = engine::RequestPhase::kDecodePending;
   request->decode_instance = -1;
+  DS_TRACE(config_.recorder, Transition(request->request.id, sim_.now(),
+                                        trace::SpanKind::kRedispatch, trace::kControllerPid, 0,
+                                        request->attempt));
   ScheduleReroute(request);
 }
 
@@ -303,6 +330,9 @@ void ServingSystem::OnPrefillFailure(int index) {
         ++r->prefill_restarts;
         ++fault_stats().prefill_restarts;
         r->phase = engine::RequestPhase::kPending;
+        DS_TRACE(config_.recorder,
+                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRestart,
+                            trace::kControllerPid, 0, r->prefill_restarts));
         if (!r->parked) {
           ScheduleReroute(r);
         }
@@ -319,6 +349,9 @@ void ServingSystem::OnPrefillFailure(int index) {
         ++r->kv_reprefills;
         ++fault_stats().kv_reprefills;
         r->phase = engine::RequestPhase::kPending;
+        DS_TRACE(config_.recorder,
+                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRePrefill,
+                            trace::kControllerPid, 0, r->kv_reprefills));
         if (!r->parked) {
           ScheduleReroute(r);
         }
@@ -345,6 +378,9 @@ void ServingSystem::OnDecodeFailure(int index) {
         ++fault_stats().decode_redispatches;
         r->phase = engine::RequestPhase::kDecodePending;
         r->decode_instance = -1;
+        DS_TRACE(config_.recorder,
+                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRedispatch,
+                            trace::kControllerPid, 0, r->attempt));
         if (!r->parked) {
           ScheduleReroute(r);
         }
@@ -358,6 +394,9 @@ void ServingSystem::OnDecodeFailure(int index) {
         r->decode_steps_done = 0;
         r->phase = engine::RequestPhase::kPending;
         r->decode_instance = -1;
+        DS_TRACE(config_.recorder,
+                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRePrefill,
+                            trace::kControllerPid, 0, r->kv_reprefills));
         if (!r->parked) {
           ScheduleReroute(r);
         }
@@ -394,6 +433,11 @@ void ServingSystem::RouteAfterFault(engine::RequestState* request) {
 void ServingSystem::Park(engine::RequestState* request) {
   DS_CHECK(!request->parked);
   request->parked = true;
+  // Parked time is controller-held: the open redispatch span absorbs it (and starts the
+  // timeline for arrivals that find every instance dead).
+  DS_TRACE(config_.recorder, Transition(request->request.id, sim_.now(),
+                                        trace::SpanKind::kRedispatch, trace::kControllerPid, 0,
+                                        request->attempt));
   parked_.push_back(request);
 }
 
@@ -416,10 +460,12 @@ void ServingSystem::FailFast(engine::RequestState* request) {
     prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
   }
   request->phase = engine::RequestPhase::kLost;
+  DS_TRACE(config_.recorder, Drop(request->request.id, sim_.now()));
   collector_.RecordLost(request->record);
 }
 
 metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
+  DS_TRACE(config_.recorder, NewRun());
   collector_ = metrics::Collector();
   collector_.Reserve(trace.size());
   states_.clear();

@@ -38,6 +38,10 @@
 #include "simcore/simulator.h"
 #include "workload/request.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::serving {
 
 // Knobs for the failure-handling paths; all delays in virtual seconds.
@@ -73,6 +77,11 @@ struct ServingConfig {
   // that never mentions faults).
   FaultPlan faults;
   FaultOptions fault_options;
+
+  // Optional per-request span recorder (trace/recorder.h, DESIGN.md §14). Null (the default)
+  // records nothing and costs one pointer check per call site; results are bit-identical
+  // either way. The recorder must outlive the system.
+  trace::Recorder* recorder = nullptr;
 };
 
 class ServingSystem {

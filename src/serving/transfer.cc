@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "trace/recorder.h"
 
 namespace distserve::serving {
 
@@ -22,6 +23,9 @@ void Link::Transfer(int64_t bytes, std::function<void()> done) {
   const double service = static_cast<double>(bytes) / bandwidth_;
   const double start = std::max(sim_->now(), busy_until_);
   busy_until_ = start + service;
+  // Service window only; the fixed latency tail may overlap the next queued transfer.
+  DS_TRACE(recorder_, InstanceSpan(trace_pid_, 0, trace::SpanKind::kKvTransfer, start,
+                                   busy_until_, bytes));
   busy_seconds_ += service;
   bytes_transferred_ += bytes;
   ++transfers_;

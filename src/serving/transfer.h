@@ -15,6 +15,10 @@
 
 #include "simcore/simulator.h"
 
+namespace distserve::trace {
+class Recorder;
+}
+
 namespace distserve::serving {
 
 class Link {
@@ -24,6 +28,13 @@ class Link {
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
+
+  // Optional span recorder; records each transfer's service window (queue-head occupancy) on
+  // the link's own instance track under `pid`.
+  void set_recorder(trace::Recorder* recorder, int32_t pid) {
+    recorder_ = recorder;
+    trace_pid_ = pid;
+  }
 
   // Enqueues a transfer; `done` fires at completion time. Issuing on a dead link drops the
   // transfer silently (the bytes vanish; callers detect via their own watchdog timeout), as
@@ -50,6 +61,9 @@ class Link {
   double bandwidth_;
   double latency_;
   std::string name_;
+
+  trace::Recorder* recorder_ = nullptr;
+  int32_t trace_pid_ = 0;
 
   bool alive_ = true;
   uint64_t epoch_ = 0;  // completions scheduled before a Fail() become no-ops

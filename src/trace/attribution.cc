@@ -1,0 +1,258 @@
+#include "trace/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace distserve::trace {
+
+namespace {
+
+constexpr int kNumStages = 6;  // kPrefillQueue .. kDecodeStep, contiguous in SpanKind
+
+bool IsLifecycle(SpanKind kind) { return static_cast<int>(kind) < kNumStages; }
+
+struct StageRun {
+  double start = 0.0;
+  double end = 0.0;
+  bool seen = false;
+  double extent() const { return seen ? end - start : 0.0; }
+};
+
+// Per-request fold state. `last_kind` tracks the previous span of *this request* so a fault
+// span interposed between two same-kind spans starts a fresh contiguous run (the collector's
+// re-stamped timestamps behave the same way).
+struct Fold {
+  bool any = false;
+  SpanKind last_kind = SpanKind::kPrefillQueue;
+  double first_start = 0.0;
+  StageRun stages[kNumStages];
+  double fault = 0.0;
+};
+
+using Key = std::pair<int32_t, workload::RequestId>;  // (run, request)
+
+std::map<Key, Fold> FoldSpans(const Recorder& recorder) {
+  std::map<Key, Fold> folds;
+  for (const Span& span : recorder.spans()) {
+    if (span.request < 0) {
+      continue;  // instance track
+    }
+    Fold& fold = folds[{span.run, span.request}];
+    if (!fold.any) {
+      fold.any = true;
+      fold.first_start = span.start;
+    }
+    if (IsLifecycle(span.kind)) {
+      StageRun& stage = fold.stages[static_cast<int>(span.kind)];
+      if (stage.seen && fold.last_kind == span.kind) {
+        stage.end = span.end;  // extend the contiguous run (per-step decode tiling)
+      } else {
+        stage = StageRun{span.start, span.end, true};
+      }
+    } else {
+      fold.fault += span.end - span.start;
+    }
+    fold.last_kind = span.kind;
+  }
+  return folds;
+}
+
+}  // namespace
+
+std::vector<RequestAttribution> ComputeAttribution(const Recorder& recorder) {
+  const std::map<Key, Fold> folds = FoldSpans(recorder);
+  std::vector<RequestAttribution> result;
+  result.reserve(recorder.outcomes().size());
+  for (const Recorder::Outcome& outcome : recorder.outcomes()) {
+    RequestAttribution attr;
+    attr.request = outcome.request;
+    attr.run = outcome.run;
+    attr.lost = outcome.lost;
+    attr.end = outcome.at;
+    const auto it = folds.find({outcome.run, outcome.request});
+    if (it != folds.end()) {
+      const Fold& fold = it->second;
+      attr.start = fold.first_start;
+      attr.prefill_queue = fold.stages[static_cast<int>(SpanKind::kPrefillQueue)].extent();
+      attr.prefill_exec = fold.stages[static_cast<int>(SpanKind::kPrefillExec)].extent();
+      attr.decode_admit = fold.stages[static_cast<int>(SpanKind::kDecodeAdmit)].extent();
+      attr.transfer = fold.stages[static_cast<int>(SpanKind::kKvTransfer)].extent();
+      attr.decode_queue = fold.stages[static_cast<int>(SpanKind::kDecodeQueue)].extent();
+      attr.decode_exec = fold.stages[static_cast<int>(SpanKind::kDecodeStep)].extent();
+      attr.fault = fold.fault;
+    } else {
+      attr.start = outcome.at;  // dropped before any span was recorded
+    }
+    result.push_back(attr);
+  }
+  return result;
+}
+
+metrics::LatencyBreakdown ComputeLatencyBreakdown(const Recorder& recorder) {
+  // Same per-request values (extents reproduce the collector's timestamp subtractions) added
+  // in the same order (outcomes == record order), so the sums match bitwise on fault-free
+  // runs. decode_admit is deliberately absent, matching the collector's stage definitions.
+  metrics::LatencyBreakdown breakdown;
+  for (const RequestAttribution& attr : ComputeAttribution(recorder)) {
+    if (attr.lost) {
+      continue;
+    }
+    breakdown.prefill_queue += attr.prefill_queue;
+    breakdown.prefill_exec += attr.prefill_exec;
+    breakdown.transfer += attr.transfer;
+    breakdown.decode_queue += attr.decode_queue;
+    breakdown.decode_exec += attr.decode_exec;
+  }
+  return breakdown;
+}
+
+std::vector<double> TransferTimes(const Recorder& recorder) {
+  std::vector<double> times;
+  for (const RequestAttribution& attr : ComputeAttribution(recorder)) {
+    if (!attr.lost) {
+      times.push_back(attr.transfer);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::string AttributionTable(const Recorder& recorder) {
+  const std::vector<RequestAttribution> attrs = ComputeAttribution(recorder);
+  double totals[8] = {};  // five stages + decode_admit + fault + end-to-end
+  int64_t completed = 0;
+  int64_t lost = 0;
+  for (const RequestAttribution& attr : attrs) {
+    if (attr.lost) {
+      ++lost;
+      continue;
+    }
+    ++completed;
+    totals[0] += attr.prefill_queue;
+    totals[1] += attr.prefill_exec;
+    totals[2] += attr.decode_admit;
+    totals[3] += attr.transfer;
+    totals[4] += attr.decode_queue;
+    totals[5] += attr.decode_exec;
+    totals[6] += attr.fault;
+    totals[7] += attr.total();
+  }
+  static const char* kNames[] = {"prefill_queue", "prefill_exec", "decode_admit",
+                                 "kv_transfer",   "decode_queue", "decode_exec",
+                                 "fault",         "end_to_end"};
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "requests: %lld completed, %lld lost\n",
+                static_cast<long long>(completed), static_cast<long long>(lost));
+  out << line;
+  std::snprintf(line, sizeof(line), "%-14s %12s %12s %8s\n", "stage", "total_s", "mean_s",
+                "share");
+  out << line;
+  const double denom = totals[7] > 0.0 ? totals[7] : 1.0;
+  for (int i = 0; i < 8; ++i) {
+    std::snprintf(line, sizeof(line), "%-14s %12.6g %12.6g %7.2f%%\n", kNames[i], totals[i],
+                  completed > 0 ? totals[i] / static_cast<double>(completed) : 0.0,
+                  100.0 * totals[i] / denom);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string ValidateSpans(const Recorder& recorder) {
+  std::ostringstream err;
+  // Per-request timelines, indices in close order (chronological per request).
+  std::map<Key, std::vector<size_t>> timelines;
+  // Instance tracks keyed (run, pid, tid).
+  std::map<std::tuple<int32_t, int32_t, int32_t>, std::vector<size_t>> tracks;
+  const std::vector<Span>& spans = recorder.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (span.end < span.start) {
+      err << "span " << i << " (" << SpanKindName(span.kind) << ", req " << span.request
+          << ") has negative duration";
+      return err.str();
+    }
+    if (span.request >= 0) {
+      timelines[{span.run, span.request}].push_back(i);
+    } else {
+      tracks[{span.run, span.pid, span.tid}].push_back(i);
+    }
+  }
+  std::map<Key, const Recorder::Outcome*> outcome_by_request;
+  for (const Recorder::Outcome& outcome : recorder.outcomes()) {
+    const Key key{outcome.run, outcome.request};
+    if (outcome_by_request.count(key) > 0) {
+      err << "request " << outcome.request << " run " << outcome.run
+          << " has more than one terminal outcome";
+      return err.str();
+    }
+    outcome_by_request[key] = &outcome;
+    if (timelines.find(key) == timelines.end() && !outcome.lost) {
+      err << "request " << outcome.request << " run " << outcome.run
+          << " completed without any recorded span";
+      return err.str();
+    }
+  }
+  for (const auto& [key, indices] : timelines) {
+    const Span& head = spans[indices.front()];
+    if (head.kind != SpanKind::kPrefillQueue && head.kind != SpanKind::kRedispatch) {
+      err << "request " << key.second << " run " << key.first << " starts with "
+          << SpanKindName(head.kind) << " (want prefill_queue, or redispatch when parked)";
+      return err.str();
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < indices.size(); ++j) {
+      const Span& span = spans[indices[j]];
+      sum += span.end - span.start;
+      if (j > 0 && spans[indices[j - 1]].end != span.start) {  // bitwise: gap-free tiling
+        err << "request " << key.second << " run " << key.first << " has a gap before "
+            << SpanKindName(span.kind) << " at t=" << span.start;
+        return err.str();
+      }
+    }
+    const double extent = spans[indices.back()].end - head.start;
+    // Tiling is exact, so conservation can only drift by summation rounding.
+    const double tolerance =
+        1e-9 + 1e-12 * static_cast<double>(indices.size()) * std::max(1.0, extent);
+    if (std::abs(sum - extent) > tolerance) {
+      err << "request " << key.second << " run " << key.first
+          << " violates conservation: sum(spans)=" << sum << " end-to-end=" << extent;
+      return err.str();
+    }
+    const auto it = outcome_by_request.find(key);
+    if (it == outcome_by_request.end()) {
+      err << "request " << key.second << " run " << key.first
+          << " has spans but no terminal outcome (orphan timeline)";
+      return err.str();
+    }
+    if (it->second->at != spans[indices.back()].end) {
+      err << "request " << key.second << " run " << key.first << " outcome at "
+          << it->second->at << " does not close its last span (ends "
+          << spans[indices.back()].end << ")";
+      return err.str();
+    }
+  }
+  for (const auto& [key, indices] : tracks) {
+    for (size_t j = 1; j < indices.size(); ++j) {
+      if (spans[indices[j]].start < spans[indices[j - 1]].end) {
+        err << "instance track pid=" << std::get<1>(key) << " tid=" << std::get<2>(key)
+            << " run=" << std::get<0>(key) << " overlaps at t=" << spans[indices[j]].start;
+        return err.str();
+      }
+    }
+  }
+  if (recorder.open_count() > 0) {
+    err << recorder.open_count() << " spans still open (unterminated requests)";
+    return err.str();
+  }
+  return std::string();
+}
+
+}  // namespace distserve::trace

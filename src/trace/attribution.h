@@ -1,0 +1,71 @@
+// Latency attribution over recorded span timelines.
+//
+// Folds a Recorder's per-request spans into the five-stage breakdown of Figure 10a and the
+// transfer-time CDF of Figure 10b, replacing the hand-rolled arithmetic that used to live in
+// bench/fig10_latency_breakdown.cc. On fault-free runs the results are bitwise-identical to
+// metrics::Collector::ComputeBreakdown() / SortedTransferTimes(): stage values are extents of
+// the last contiguous run of each span kind (last_end - first_start), which reproduces the
+// collector's single timestamp subtractions exactly, and aggregation walks requests in
+// outcome order, which is the collector's record order. On faulted runs the collector reports
+// last-attempt timestamp deltas while spans report where the time actually went (fault spans
+// carry the re-routing cost), so the two legitimately differ there.
+//
+// ValidateSpans is the C++ twin of tools/validate_trace.py: gap-free tiling, monotone
+// timestamps, exactly one terminal outcome per request, and the conservation invariant
+// sum(span durations) == end-to-end latency.
+#ifndef DISTSERVE_TRACE_ATTRIBUTION_H_
+#define DISTSERVE_TRACE_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+#include "trace/recorder.h"
+
+namespace distserve::trace {
+
+// Stage extents of one request's timeline, in outcome order.
+struct RequestAttribution {
+  workload::RequestId request = 0;
+  int32_t run = 0;
+  bool lost = false;
+  double start = 0.0;  // first span start (the arrival)
+  double end = 0.0;    // outcome time (completion, or when the request was dropped)
+
+  // Extent of the last contiguous run of each lifecycle kind; 0 when the kind never occurred.
+  double prefill_queue = 0.0;
+  double prefill_exec = 0.0;
+  double decode_admit = 0.0;  // tiles the timeline; excluded from the five-stage table
+  double transfer = 0.0;
+  double decode_queue = 0.0;
+  double decode_exec = 0.0;
+  // Total time in fault spans (restart/re_prefill/redispatch/link_retry), summed.
+  double fault = 0.0;
+
+  double total() const { return end - start; }
+};
+
+std::vector<RequestAttribution> ComputeAttribution(const Recorder& recorder);
+
+// Figure 10a from spans. Bitwise-identical to Collector::ComputeBreakdown on fault-free runs.
+metrics::LatencyBreakdown ComputeLatencyBreakdown(const Recorder& recorder);
+
+// Figure 10b from spans: sorted per-request KV-transfer times over completed requests
+// (requests that never transferred contribute 0.0, matching the collector's zero-width
+// stamps). Bitwise-identical to Collector::SortedTransferTimes on fault-free runs.
+std::vector<double> TransferTimes(const Recorder& recorder);
+
+// The richer attribution artifact: per-stage totals including the decode_admit gap and fault
+// time, with mean seconds per completed request. Deterministic text.
+std::string AttributionTable(const Recorder& recorder);
+
+// Empty string when every timeline is structurally sound; otherwise a description of the
+// first violation found. Checks: monotone non-negative spans, exact gap-free tiling per
+// request, every request with spans has exactly one outcome at its last span end,
+// conservation (telescoping is exact once tiling holds), a timeline starts with
+// prefill_queue or redispatch (a parked arrival), and instance tracks never overlap.
+std::string ValidateSpans(const Recorder& recorder);
+
+}  // namespace distserve::trace
+
+#endif  // DISTSERVE_TRACE_ATTRIBUTION_H_

@@ -1,0 +1,204 @@
+#include "trace/recorder.h"
+
+#include <fstream>
+
+#include "common/float_format.h"
+#include "common/logging.h"
+
+namespace distserve::trace {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPrefillQueue:
+      return "prefill_queue";
+    case SpanKind::kPrefillExec:
+      return "prefill_exec";
+    case SpanKind::kDecodeAdmit:
+      return "decode_admit";
+    case SpanKind::kKvTransfer:
+      return "kv_transfer";
+    case SpanKind::kDecodeQueue:
+      return "decode_queue";
+    case SpanKind::kDecodeStep:
+      return "decode_step";
+    case SpanKind::kRestart:
+      return "restart";
+    case SpanKind::kRePrefill:
+      return "re_prefill";
+    case SpanKind::kRedispatch:
+      return "redispatch";
+    case SpanKind::kLinkRetry:
+      return "link_retry";
+    case SpanKind::kEngineStep:
+      return "engine_step";
+  }
+  return "unknown";
+}
+
+void Recorder::NewRun() {
+  DS_CHECK(open_.empty()) << "NewRun with " << open_.size() << " spans still open";
+  ++run_;
+}
+
+void Recorder::SetProcessName(int32_t pid, const std::string& name) {
+  for (const auto& [existing, _] : process_names_) {
+    if (existing == pid) {
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, name);
+}
+
+void Recorder::CloseOpen(workload::RequestId id, const OpenSpan& open, double now) {
+  DS_CHECK(now >= open.start) << "span for request " << id << " closes before it opens";
+  Span span;
+  span.request = id;
+  span.run = run_;
+  span.kind = open.kind;
+  span.pid = open.pid;
+  span.tid = open.tid;
+  span.start = open.start;
+  span.end = now;
+  span.detail = open.detail;
+  span.merged = open.merged;
+  spans_.push_back(span);
+}
+
+void Recorder::Transition(workload::RequestId id, double now, SpanKind kind, int32_t pid,
+                          int32_t tid, int64_t detail) {
+  auto it = open_.find(id);
+  if (it != open_.end()) {
+    OpenSpan& open = it->second;
+    if (options_.coalesce_repeats && open.kind == kind && open.pid == pid && open.tid == tid) {
+      open.detail = detail;
+      ++open.merged;
+      return;
+    }
+    CloseOpen(id, open, now);
+    open = OpenSpan{kind, pid, tid, now, detail, 1};
+    return;
+  }
+  open_.emplace(id, OpenSpan{kind, pid, tid, now, detail, 1});
+}
+
+void Recorder::Finish(workload::RequestId id, double now) {
+  auto it = open_.find(id);
+  DS_CHECK(it != open_.end()) << "Finish for request " << id << " with no open span";
+  CloseOpen(id, it->second, now);
+  open_.erase(it);
+  outcomes_.push_back(Outcome{id, run_, now, false});
+}
+
+void Recorder::Drop(workload::RequestId id, double now) {
+  auto it = open_.find(id);
+  if (it != open_.end()) {
+    CloseOpen(id, it->second, now);
+    open_.erase(it);
+  }
+  outcomes_.push_back(Outcome{id, run_, now, true});
+}
+
+void Recorder::InstanceSpan(int32_t pid, int32_t tid, SpanKind kind, double start, double end,
+                            int64_t detail) {
+  if (!options_.instance_spans) {
+    return;
+  }
+  DS_CHECK(end >= start);
+  Span span;
+  span.request = -1;
+  span.run = run_;
+  span.kind = kind;
+  span.pid = pid;
+  span.tid = tid;
+  span.start = start;
+  span.end = end;
+  span.detail = detail;
+  spans_.push_back(span);
+}
+
+void Recorder::Clear() {
+  run_ = 0;
+  open_.clear();
+  spans_.clear();
+  outcomes_.clear();
+  process_names_.clear();
+}
+
+namespace {
+
+// Chrome trace-event timestamps are microseconds. The scaled values are for the viewer; the
+// exact simulated seconds ride along in args (t0/t1) for bitwise validation.
+std::string Micros(double seconds) { return FormatDoubleExact(seconds * 1e6); }
+
+// One thread track per (run, request) inside an instance's process group, so concurrent
+// requests never overlap on a track and a multi-run export keeps runs apart.
+int64_t RequestTrack(int32_t run, workload::RequestId request) {
+  return static_cast<int64_t>(run) * 1000000 + request;
+}
+
+}  // namespace
+
+std::string Recorder::ChromeJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& event) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += event;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}}");
+  }
+  for (const Span& span : spans_) {
+    const bool request_span = span.request >= 0;
+    std::string event = "{\"name\":\"";
+    event += SpanKindName(span.kind);
+    event += "\",\"cat\":\"";
+    event += request_span ? "request" : "instance";
+    event += "\",\"ph\":\"X\",\"pid\":" + std::to_string(span.pid);
+    event += ",\"tid\":" + std::to_string(request_span ? RequestTrack(span.run, span.request)
+                                                       : static_cast<int64_t>(span.tid));
+    event += ",\"ts\":" + Micros(span.start);
+    event += ",\"dur\":" + Micros(span.end - span.start);
+    event += ",\"args\":{\"run\":" + std::to_string(span.run);
+    if (request_span) {
+      event += ",\"req\":" + std::to_string(span.request);
+      event += ",\"lane\":" + std::to_string(span.tid);
+    }
+    event += ",\"detail\":" + std::to_string(span.detail);
+    event += ",\"merged\":" + std::to_string(span.merged);
+    event += ",\"t0\":" + FormatDoubleExact(span.start);
+    event += ",\"t1\":" + FormatDoubleExact(span.end);
+    event += "}}";
+    emit(event);
+  }
+  for (const Outcome& outcome : outcomes_) {
+    std::string event = "{\"name\":\"";
+    event += outcome.lost ? "request_lost" : "request_done";
+    event += "\",\"cat\":\"outcome\",\"ph\":\"i\",\"s\":\"p\",\"pid\":" +
+             std::to_string(kControllerPid);
+    event += ",\"tid\":" + std::to_string(RequestTrack(outcome.run, outcome.request));
+    event += ",\"ts\":" + Micros(outcome.at);
+    event += ",\"args\":{\"run\":" + std::to_string(outcome.run);
+    event += ",\"req\":" + std::to_string(outcome.request);
+    event += ",\"t\":" + FormatDoubleExact(outcome.at);
+    event += "}}";
+    emit(event);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Recorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ChromeJson();
+  return out.good();
+}
+
+}  // namespace distserve::trace

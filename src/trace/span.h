@@ -1,0 +1,94 @@
+// Span taxonomy for per-request latency attribution (DESIGN.md §14).
+//
+// A request's life is a gap-free sequence of spans in simulated time:
+//
+//   arrival → prefill_queue → prefill_exec[batch i] → decode_admit → kv_transfer
+//           → decode_queue → decode_step* → done
+//
+// plus the fault-path spans `restart`, `re_prefill`, `redispatch`, and `link_retry`, which
+// splice into the sequence wherever a failure strands the request. Each span carries the
+// component it was spent on (a stable pid per instance, a tid per lane/stage), so the Chrome
+// trace export groups work by instance while the attribution layer (attribution.h) folds the
+// same spans into the Figure-10 stage breakdown.
+//
+// The `decode_admit` span (prefill done → decode-side KV reservation) exists so timelines
+// tile [arrival, completion] exactly; the classic five-stage table excludes it, matching
+// metrics::Collector::ComputeBreakdown, whose DecodeQueueTime starts at transfer_end.
+#ifndef DISTSERVE_TRACE_SPAN_H_
+#define DISTSERVE_TRACE_SPAN_H_
+
+#include <cstdint>
+
+#include "workload/request.h"
+
+namespace distserve::trace {
+
+// True when the build compiled the instrumentation call sites in (-DDISTSERVE_TRACE=ON, the
+// default). With it off, DS_TRACE sites below fold to nothing and a Recorder never sees a
+// span; tests assert on trace contents only when kCompiledIn.
+#ifdef DISTSERVE_TRACE
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+enum class SpanKind : uint8_t {
+  // Lifecycle stages.
+  kPrefillQueue = 0,  // FCFS wait in a prefill instance's queue
+  kPrefillExec,       // member of an executing prefill batch (detail: batch index / step)
+  kDecodeAdmit,       // prefill done, waiting for the decode side's KV reservation
+  kKvTransfer,        // KV pull in flight, reservation through completion (detail: attempt)
+  kDecodeQueue,       // KV resident, waiting to join a decode lane's next step
+  kDecodeStep,        // decoding (detail: steps done at entry; coalescible across steps)
+  // Fault paths (controller work: detection delay + re-routing).
+  kRestart,     // prefill instance died mid-prefill; restarting from scratch
+  kRePrefill,   // computed KV lost; re-running the prefill
+  kRedispatch,  // decode-side re-route that kept the prefill KV copy (also: parked waits)
+  kLinkRetry,   // pull reissued after a watchdog timeout (detail: tries so far)
+  // Instance-track only (never appears in a request timeline).
+  kEngineStep,  // one colocated engine iteration (mixed prefill+decode batch)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+// Process-id scheme for the Chrome export: one pid per instance, disjoint ranges per
+// component class so a Perfetto view groups tracks by instance at a glance.
+inline constexpr int32_t kControllerPid = 1;
+constexpr int32_t PrefillPid(int id) { return 1000 + id; }
+constexpr int32_t DecodePid(int id) { return 2000 + id; }
+constexpr int32_t ColocatedPid(int id) { return 3000 + id; }
+constexpr int32_t LinkPid(int id) { return 4000 + id; }
+
+struct Span {
+  workload::RequestId request = -1;  // -1: instance-track span (no owning request)
+  int32_t run = 0;                   // Recorder::NewRun epoch (ids repeat across runs)
+  SpanKind kind = SpanKind::kPrefillQueue;
+  int32_t pid = 0;     // component the time was spent on (pid scheme above)
+  int32_t tid = 0;     // lane / pipeline stage within the component
+  double start = 0.0;  // simulated seconds
+  double end = 0.0;
+  int64_t detail = 0;  // kind-specific: batch index, step index, attempt, bytes
+  int64_t merged = 1;  // transitions coalesced into this span (Recorder::Options)
+
+  double duration() const { return end - start; }
+};
+
+}  // namespace distserve::trace
+
+// DS_TRACE(recorder, Method(...)) invokes a trace::Recorder method iff tracing is compiled in
+// AND a recorder is attached. The call still type-checks when compiled out (dead-stripped
+// `if (false)`), so instrumentation sites cannot rot in DISTSERVE_TRACE=OFF builds.
+#ifdef DISTSERVE_TRACE
+#define DS_TRACE_ON(rec) ((rec) != nullptr)
+#else
+#define DS_TRACE_ON(rec) false
+#endif
+
+#define DS_TRACE(rec, call) \
+  do {                      \
+    if (DS_TRACE_ON(rec)) { \
+      (rec)->call;          \
+    }                       \
+  } while (0)
+
+#endif  // DISTSERVE_TRACE_SPAN_H_

@@ -1,0 +1,188 @@
+// Bit-identity guarantees of the tracing layer (DESIGN.md §14): attaching a Recorder must not
+// perturb the simulation by a single bit, two traced runs must export identical JSON, and the
+// span-derived attribution must reproduce the collector's aggregates exactly on fault-free
+// runs. The CI determinism job checks the same properties on full bench stdout; this test
+// pins them at the ServingSystem/VllmSystem level where a regression is easiest to localize.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/vllm_system.h"
+#include "serving/serving_system.h"
+#include "trace/attribution.h"
+#include "trace/recorder.h"
+#include "workload/generator.h"
+
+namespace distserve {
+namespace {
+
+serving::ServingConfig BasicConfig(int num_prefill = 1, int num_decode = 1) {
+  serving::ServingConfig config;
+  config.model = model::ModelSpec::Opt13B();
+  config.cluster = cluster::ClusterSpec::PaperTestbed();
+  config.plan.prefill_par = {1, 1};
+  config.plan.decode_par = {1, 1};
+  config.plan.num_prefill = num_prefill;
+  config.plan.num_decode = num_decode;
+  config.plan.intra_node_transfers = true;
+  return config;
+}
+
+workload::Trace MakeTrace(double rate, int n, uint64_t seed = 1, int input_len = 256,
+                          int output_len = 32) {
+  workload::FixedDataset dataset(input_len, output_len);
+  workload::TraceSpec spec;
+  spec.rate = rate;
+  spec.num_requests = n;
+  spec.seed = seed;
+  return workload::GenerateTrace(spec, dataset);
+}
+
+serving::FaultEvent Fail(serving::FaultDomain domain, int index, double time) {
+  return {time, domain, serving::FaultAction::kFail, index};
+}
+
+serving::FaultEvent Recover(serving::FaultDomain domain, int index, double time) {
+  return {time, domain, serving::FaultAction::kRecover, index};
+}
+
+TEST(TraceBitIdentityTest, ServingSystemUnperturbedByTracing) {
+  const workload::Trace trace = MakeTrace(4.0, 300, 7);
+  serving::ServingSystem plain(BasicConfig(2, 2));
+  trace::Recorder recorder;
+  serving::ServingConfig traced_config = BasicConfig(2, 2);
+  traced_config.recorder = &recorder;
+  serving::ServingSystem traced(std::move(traced_config));
+  const metrics::Collector ra = plain.Run(trace);
+  const metrics::Collector rb = traced.Run(trace);
+  EXPECT_TRUE(metrics::BitIdentical(ra, rb));
+  if (trace::kCompiledIn) {
+    EXPECT_FALSE(recorder.spans().empty());
+    EXPECT_EQ(recorder.outcomes().size(), trace.size());
+    EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+  } else {
+    EXPECT_TRUE(recorder.spans().empty());
+  }
+}
+
+TEST(TraceBitIdentityTest, ServingSystemUnperturbedByTracingUnderFaults) {
+  const workload::Trace trace = MakeTrace(4.0, 300, 7);
+  auto make = [] {
+    serving::ServingConfig config = BasicConfig(2, 2);
+    config.faults.events = {Fail(serving::FaultDomain::kPrefill, 0, 5.0),
+                            Recover(serving::FaultDomain::kPrefill, 0, 25.0),
+                            Fail(serving::FaultDomain::kDecode, 1, 12.0),
+                            Recover(serving::FaultDomain::kDecode, 1, 40.0),
+                            Fail(serving::FaultDomain::kLink, 0, 18.0),
+                            Recover(serving::FaultDomain::kLink, 0, 22.0)};
+    return config;
+  };
+  serving::ServingSystem plain(make());
+  trace::Recorder recorder;
+  serving::ServingConfig traced_config = make();
+  traced_config.recorder = &recorder;
+  serving::ServingSystem traced(std::move(traced_config));
+  const metrics::Collector ra = plain.Run(trace);
+  const metrics::Collector rb = traced.Run(trace);
+  EXPECT_TRUE(metrics::BitIdentical(ra, rb));
+  EXPECT_TRUE(rb.fault_stats().any());
+  if (trace::kCompiledIn) {
+    // Fault spans splice in, yet every timeline still tiles and conserves.
+    EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+  }
+}
+
+TEST(TraceBitIdentityTest, VllmSystemUnperturbedByTracing) {
+  const workload::Trace trace = MakeTrace(3.0, 200, 5);
+  auto make = [] {
+    baselines::VllmConfig config;
+    config.model = model::ModelSpec::Opt13B();
+    config.cluster = cluster::ClusterSpec::PaperTestbed();
+    config.num_instances = 2;
+    return config;
+  };
+  baselines::VllmSystem plain(make());
+  trace::Recorder recorder;
+  baselines::VllmConfig traced_config = make();
+  traced_config.recorder = &recorder;
+  baselines::VllmSystem traced(std::move(traced_config));
+  const metrics::Collector ra = plain.Run(trace);
+  const metrics::Collector rb = traced.Run(trace);
+  EXPECT_TRUE(metrics::BitIdentical(ra, rb));
+  if (trace::kCompiledIn) {
+    EXPECT_EQ(recorder.outcomes().size(), trace.size());
+    EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+  }
+}
+
+TEST(TraceBitIdentityTest, TwoTracedRunsExportIdenticalJson) {
+  const workload::Trace trace = MakeTrace(4.0, 200, 7);
+  auto run_traced = [&](trace::Recorder* recorder) {
+    serving::ServingConfig config = BasicConfig(2, 2);
+    config.faults.events = {Fail(serving::FaultDomain::kPrefill, 0, 5.0),
+                            Recover(serving::FaultDomain::kPrefill, 0, 25.0)};
+    config.recorder = recorder;
+    serving::ServingSystem system(std::move(config));
+    system.Run(trace);
+  };
+  trace::Recorder a;
+  trace::Recorder b;
+  run_traced(&a);
+  run_traced(&b);
+  const std::string ja = a.ChromeJson();
+  const std::string jb = b.ChromeJson();
+  EXPECT_EQ(ja, jb);
+  if (trace::kCompiledIn) {
+    EXPECT_NE(ja.find("\"traceEvents\""), std::string::npos);
+  }
+}
+
+TEST(TraceBitIdentityTest, AttributionMatchesCollectorBitwise) {
+  if (!trace::kCompiledIn) {
+    GTEST_SKIP() << "built with DISTSERVE_TRACE=OFF";
+  }
+  const workload::Trace trace = MakeTrace(4.0, 300, 7);
+  trace::Recorder recorder;
+  serving::ServingConfig config = BasicConfig(2, 2);
+  config.recorder = &recorder;
+  serving::ServingSystem system(std::move(config));
+  const metrics::Collector results = system.Run(trace);
+
+  const metrics::LatencyBreakdown from_collector = results.ComputeBreakdown();
+  const metrics::LatencyBreakdown from_spans = trace::ComputeLatencyBreakdown(recorder);
+  EXPECT_EQ(from_spans.prefill_queue, from_collector.prefill_queue);
+  EXPECT_EQ(from_spans.prefill_exec, from_collector.prefill_exec);
+  EXPECT_EQ(from_spans.transfer, from_collector.transfer);
+  EXPECT_EQ(from_spans.decode_queue, from_collector.decode_queue);
+  EXPECT_EQ(from_spans.decode_exec, from_collector.decode_exec);
+
+  const std::vector<double> from_span_times = trace::TransferTimes(recorder);
+  const std::vector<double> from_collector_times = results.SortedTransferTimes();
+  ASSERT_EQ(from_span_times.size(), from_collector_times.size());
+  for (size_t i = 0; i < from_span_times.size(); ++i) {
+    EXPECT_EQ(from_span_times[i], from_collector_times[i]) << "transfer time " << i;
+  }
+}
+
+TEST(TraceBitIdentityTest, SingleTokenOutputsFinishWithoutDecodeSpans) {
+  if (!trace::kCompiledIn) {
+    GTEST_SKIP() << "built with DISTSERVE_TRACE=OFF";
+  }
+  trace::Recorder recorder;
+  serving::ServingConfig config = BasicConfig();
+  config.recorder = &recorder;
+  serving::ServingSystem system(std::move(config));
+  const workload::Trace trace = MakeTrace(1.0, 50, 3, 256, /*output_len=*/1);
+  const metrics::Collector results = system.Run(trace);
+  ASSERT_EQ(results.count(), 50u);
+  EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+  for (const trace::Span& span : recorder.spans()) {
+    EXPECT_TRUE(span.kind == trace::SpanKind::kPrefillQueue ||
+                span.kind == trace::SpanKind::kPrefillExec)
+        << trace::SpanKindName(span.kind);
+  }
+}
+
+}  // namespace
+}  // namespace distserve

@@ -1,0 +1,207 @@
+#include "trace/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/attribution.h"
+
+namespace distserve::trace {
+namespace {
+
+Recorder::Options NoCoalesce() {
+  Recorder::Options options;
+  options.coalesce_repeats = false;
+  return options;
+}
+
+TEST(TraceRecorderTest, TransitionsTileGapFree) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(7, 1.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Transition(7, 1.5, SpanKind::kPrefillExec, PrefillPid(0), 0);
+  rec.Transition(7, 2.0, SpanKind::kDecodeAdmit, DecodePid(0), 0);
+  rec.Transition(7, 2.25, SpanKind::kKvTransfer, DecodePid(0), 0);
+  rec.Transition(7, 2.5, SpanKind::kDecodeQueue, DecodePid(0), 0);
+  rec.Transition(7, 3.0, SpanKind::kDecodeStep, DecodePid(0), 0);
+  rec.Finish(7, 4.0);
+  ASSERT_EQ(rec.spans().size(), 6u);
+  EXPECT_EQ(rec.open_count(), 0u);
+  for (size_t i = 1; i < rec.spans().size(); ++i) {
+    EXPECT_EQ(rec.spans()[i - 1].end, rec.spans()[i].start);  // bitwise tiling
+  }
+  EXPECT_EQ(rec.spans().front().kind, SpanKind::kPrefillQueue);
+  EXPECT_EQ(rec.spans().back().end, 4.0);
+  ASSERT_EQ(rec.outcomes().size(), 1u);
+  EXPECT_FALSE(rec.outcomes()[0].lost);
+  EXPECT_EQ(rec.outcomes()[0].at, 4.0);
+  EXPECT_TRUE(ValidateSpans(rec).empty()) << ValidateSpans(rec);
+}
+
+TEST(TraceRecorderTest, CoalesceMergesSameKindSamePlacement) {
+  Recorder rec;  // coalescing on by default
+  rec.NewRun();
+  rec.Transition(1, 0.0, SpanKind::kDecodeStep, DecodePid(0), 0, 0);
+  rec.Transition(1, 0.1, SpanKind::kDecodeStep, DecodePid(0), 0, 1);
+  rec.Transition(1, 0.2, SpanKind::kDecodeStep, DecodePid(0), 0, 2);
+  rec.Finish(1, 0.3);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].start, 0.0);
+  EXPECT_EQ(rec.spans()[0].end, 0.3);
+  EXPECT_EQ(rec.spans()[0].merged, 3);
+  EXPECT_EQ(rec.spans()[0].detail, 2);  // last detail wins
+}
+
+TEST(TraceRecorderTest, CoalesceBreaksOnLaneChange) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(1, 0.0, SpanKind::kDecodeStep, DecodePid(0), 0);
+  rec.Transition(1, 0.1, SpanKind::kDecodeStep, DecodePid(0), 1);  // moved lanes
+  rec.Finish(1, 0.2);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.spans()[0].end, rec.spans()[1].start);
+}
+
+TEST(TraceRecorderTest, NoCoalesceKeepsPerStepSpans) {
+  Recorder rec(NoCoalesce());
+  rec.NewRun();
+  rec.Transition(1, 0.0, SpanKind::kDecodeStep, DecodePid(0), 0);
+  rec.Transition(1, 0.1, SpanKind::kDecodeStep, DecodePid(0), 0);
+  rec.Finish(1, 0.2);
+  ASSERT_EQ(rec.spans().size(), 2u);
+}
+
+TEST(TraceRecorderTest, DropClosesOpenSpanAndMarksLost) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(3, 1.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Drop(3, 2.0);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].end, 2.0);
+  ASSERT_EQ(rec.outcomes().size(), 1u);
+  EXPECT_TRUE(rec.outcomes()[0].lost);
+  // Dropping a request that never opened a span is tolerated (parked arrivals can be failed
+  // fast before any instance saw them).
+  rec.Drop(4, 2.5);
+  EXPECT_EQ(rec.outcomes().size(), 2u);
+  EXPECT_TRUE(ValidateSpans(rec).empty()) << ValidateSpans(rec);
+}
+
+TEST(TraceRecorderTest, NewRunSeparatesTimelinesForSameRequestId) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(5, 0.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Finish(5, 1.0);
+  rec.NewRun();
+  rec.Transition(5, 0.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Finish(5, 2.0);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.spans()[0].run, 1);
+  EXPECT_EQ(rec.spans()[1].run, 2);
+  const auto attrs = ComputeAttribution(rec);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].total(), 1.0);
+  EXPECT_EQ(attrs[1].total(), 2.0);
+  EXPECT_TRUE(ValidateSpans(rec).empty()) << ValidateSpans(rec);
+}
+
+TEST(TraceRecorderTest, InstanceSpansAreOptIn) {
+  Recorder off;
+  off.NewRun();
+  off.InstanceSpan(PrefillPid(0), 0, SpanKind::kPrefillExec, 0.0, 1.0);
+  EXPECT_TRUE(off.spans().empty());
+
+  Recorder::Options options;
+  options.instance_spans = true;
+  Recorder on(options);
+  on.NewRun();
+  on.InstanceSpan(PrefillPid(0), 0, SpanKind::kPrefillExec, 0.0, 1.0, 42);
+  ASSERT_EQ(on.spans().size(), 1u);
+  EXPECT_EQ(on.spans()[0].request, -1);  // instance-track spans carry no owning request
+  EXPECT_EQ(on.spans()[0].pid, PrefillPid(0));
+  EXPECT_EQ(on.spans()[0].detail, 42);
+}
+
+TEST(TraceRecorderTest, AttributionFoldsStagesAndFaults) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(9, 0.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Transition(9, 1.0, SpanKind::kPrefillExec, PrefillPid(0), 0);
+  rec.Transition(9, 3.0, SpanKind::kRestart, kControllerPid, 0);  // fault interposes
+  rec.Transition(9, 3.5, SpanKind::kPrefillQueue, PrefillPid(1), 0);
+  rec.Transition(9, 4.0, SpanKind::kPrefillExec, PrefillPid(1), 0);
+  rec.Transition(9, 6.0, SpanKind::kDecodeAdmit, DecodePid(0), 0);
+  rec.Transition(9, 6.5, SpanKind::kKvTransfer, DecodePid(0), 0);
+  rec.Transition(9, 7.0, SpanKind::kDecodeQueue, DecodePid(0), 0);
+  rec.Transition(9, 7.25, SpanKind::kDecodeStep, DecodePid(0), 0);
+  rec.Finish(9, 10.0);
+  const auto attrs = ComputeAttribution(rec);
+  ASSERT_EQ(attrs.size(), 1u);
+  const RequestAttribution& a = attrs[0];
+  // Stage extents mirror the collector's last-timestamp subtractions: the post-restart
+  // prefill run replaces the pre-fault one.
+  EXPECT_EQ(a.prefill_queue, 0.5);  // 3.5 .. 4.0
+  EXPECT_EQ(a.prefill_exec, 2.0);   // 4.0 .. 6.0
+  EXPECT_EQ(a.decode_admit, 0.5);
+  EXPECT_EQ(a.transfer, 0.5);
+  EXPECT_EQ(a.decode_queue, 0.25);
+  EXPECT_EQ(a.decode_exec, 2.75);
+  EXPECT_EQ(a.fault, 0.5);  // the restart span 3.0 .. 3.5
+  EXPECT_EQ(a.total(), 10.0);
+  EXPECT_TRUE(ValidateSpans(rec).empty()) << ValidateSpans(rec);
+}
+
+TEST(TraceRecorderTest, ChromeJsonCarriesExactTimesAndMetadata) {
+  Recorder rec;
+  rec.SetProcessName(PrefillPid(0), "prefill-0");
+  rec.NewRun();
+  rec.Transition(2, 0.125, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Finish(2, 0.375);
+  const std::string json = rec.ChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"prefill-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"prefill_queue\""), std::string::npos);
+  // Exact f64 seconds ride in args so the validator can check tiling bitwise.
+  EXPECT_NE(json.find("\"t0\":0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"t1\":0.375"), std::string::npos);
+  EXPECT_NE(json.find("\"request_done\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ValidateSpansFlagsBadFirstKindAndOrphans) {
+  Recorder bad_first;
+  bad_first.NewRun();
+  bad_first.Transition(1, 0.0, SpanKind::kDecodeStep, DecodePid(0), 0);
+  bad_first.Finish(1, 1.0);
+  EXPECT_NE(ValidateSpans(bad_first).find("starts with"), std::string::npos);
+
+  Recorder orphan;
+  orphan.NewRun();
+  orphan.Transition(1, 0.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  // Never finished: the open span and missing outcome must both be caught.
+  EXPECT_FALSE(ValidateSpans(orphan).empty());
+}
+
+TEST(TraceRecorderTest, ValidateSpansFlagsOverlappingInstanceTrack) {
+  Recorder::Options options;
+  options.instance_spans = true;
+  Recorder rec(options);
+  rec.NewRun();
+  rec.InstanceSpan(DecodePid(0), 0, SpanKind::kDecodeStep, 0.0, 1.0);
+  rec.InstanceSpan(DecodePid(0), 0, SpanKind::kDecodeStep, 0.5, 1.5);
+  EXPECT_NE(ValidateSpans(rec).find("overlaps"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  Recorder rec;
+  rec.NewRun();
+  rec.Transition(1, 0.0, SpanKind::kPrefillQueue, PrefillPid(0), 0);
+  rec.Finish(1, 1.0);
+  rec.Clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_TRUE(rec.outcomes().empty());
+  EXPECT_EQ(rec.open_count(), 0u);
+}
+
+}  // namespace
+}  // namespace distserve::trace

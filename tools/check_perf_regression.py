@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gates CI on simulation-core perf regressions against the committed baseline.
+
+Reads the committed BENCH_simcore.json (the perf trajectory recorded when the fast-path PR
+landed) and one or more google-benchmark JSON result files from the current build, takes the
+per-benchmark MINIMUM across all provided result files (interleaved min-of-N is robust to
+co-tenant noise on shared CI machines, matching the protocol the baseline itself was recorded
+with), and fails when any benchmark's minimum is more than --threshold-pct slower than the
+baseline's `new_ns`.
+
+Benchmarks present in the results but absent from the baseline are reported and skipped (new
+benchmarks have no baseline yet); baseline entries missing from the results are reported and
+skipped too (the job may build a subset). Only a measured slowdown beyond the threshold fails.
+
+Exit status 0 on pass, 1 on regression, 2 on usage/format errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_baseline(path):
+    """Flattens the baseline's per-bench sections into {benchmark name: new_ns}."""
+    with open(path) as f:
+        doc = json.load(f)
+    baseline = {}
+    for section, entries in doc.items():
+        if not isinstance(entries, dict):
+            continue
+        for name, rec in entries.items():
+            if isinstance(rec, dict) and "new_ns" in rec:
+                baseline[name] = float(rec["new_ns"])
+    return baseline
+
+
+def load_results(paths):
+    """Per-benchmark minimum real_time (ns) across all google-benchmark JSON files."""
+    best = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        unit_ok = True
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            unit = bench.get("time_unit", "ns")
+            if unit != "ns":
+                print(f"check_perf_regression: ERROR: {path}: {bench['name']} reports "
+                      f"time_unit={unit!r} (want ns)")
+                unit_ok = False
+                continue
+            t = float(bench["real_time"])
+            name = bench["name"]
+            if name not in best or t < best[name]:
+                best[name] = t
+        if not unit_ok:
+            sys.exit(2)
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_simcore.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=25.0,
+        help="fail when a benchmark's interleaved minimum exceeds baseline new_ns by more "
+        "than this percentage (default 25)",
+    )
+    parser.add_argument(
+        "results", nargs="+",
+        help="google-benchmark JSON files; repeated rounds are min-reduced per benchmark")
+    args = parser.parse_args()
+
+    baseline = load_baseline(args.baseline)
+    if not baseline:
+        print(f"check_perf_regression: ERROR: no `new_ns` entries in {args.baseline}")
+        return 2
+    current = load_results(args.results)
+    if not current:
+        print("check_perf_regression: ERROR: no benchmark entries in the result files")
+        return 2
+
+    regressions = []
+    checked = 0
+    print(f"{'benchmark':<44} {'baseline ns':>12} {'current ns':>12} {'delta':>8}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<44} {baseline[name]:>12.0f} {'(not run)':>12} {'-':>8}")
+            continue
+        checked += 1
+        delta_pct = 100.0 * (current[name] / baseline[name] - 1.0)
+        flag = "  <-- REGRESSION" if delta_pct > args.threshold_pct else ""
+        print(f"{name:<44} {baseline[name]:>12.0f} {current[name]:>12.0f} "
+              f"{delta_pct:>+7.1f}%{flag}")
+        if delta_pct > args.threshold_pct:
+            regressions.append((name, delta_pct))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<44} {'(no baseline)':>12} {current[name]:>12.0f} {'-':>8}")
+
+    if checked == 0:
+        print("check_perf_regression: ERROR: result files share no benchmarks with the "
+              "baseline (name drift?)")
+        return 2
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"check_perf_regression: FAIL: {len(regressions)}/{checked} benchmarks regressed "
+              f"beyond {args.threshold_pct:.0f}% (worst: {worst[0]} at {worst[1]:+.1f}%)")
+        return 1
+    print(f"check_perf_regression: OK: {checked} benchmarks within {args.threshold_pct:.0f}% "
+          f"of baseline (interleaved min over {len(args.results)} result files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

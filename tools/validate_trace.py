@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON exported by trace::Recorder::WriteChromeJson.
+
+Checks the invariants DESIGN.md section 14 promises for every request timeline:
+
+  * spans have non-negative durations and monotone, gap-free tiling: each span starts
+    bitwise-exactly where the previous one ended (the exporter embeds the exact f64 start/end
+    seconds in args.t0/args.t1 precisely so this check needs no epsilon);
+  * the first span of a timeline is prefill_queue (or redispatch for requests that arrived
+    while every instance was dead);
+  * conservation: sum(span durations) equals the end-to-end extent (first start to last end)
+    within accumulated-rounding tolerance -- tiling is exact, so only summation order can
+    drift;
+  * every request has exactly one terminal outcome marker (request_done / request_lost) and it
+    closes the last span;
+  * no orphan timelines (spans without an outcome) and no spanless completions;
+  * per-(run, pid, tid) instance tracks never overlap.
+
+Exit status 0 with a one-line summary on success; 1 with the first violation otherwise.
+This is the scripted twin of trace::ValidateSpans (src/trace/attribution.cc), used by the CI
+trace-validate job on real bench exports.
+"""
+
+import argparse
+import json
+import math
+import sys
+from collections import defaultdict
+
+LIFECYCLE_FIRST = {"prefill_queue", "redispatch"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--min-requests",
+        type=int,
+        default=1,
+        help="fail when fewer request timelines are present (guards against a silently "
+        "empty export)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+
+    timelines = defaultdict(list)  # (run, req) -> [event]
+    outcomes = defaultdict(list)  # (run, req) -> [event]
+    tracks = defaultdict(list)  # (run, pid, tid) -> [event]
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X" and ev.get("cat") == "request":
+            a = ev["args"]
+            timelines[(a["run"], a["req"])].append(ev)
+        elif ph == "X" and ev.get("cat") == "instance":
+            a = ev["args"]
+            tracks[(a["run"], ev["pid"], ev["tid"])].append(ev)
+        elif ph == "i" and ev.get("cat") == "outcome":
+            a = ev["args"]
+            outcomes[(a["run"], a["req"])].append(ev)
+
+    if len(timelines) < args.min_requests:
+        return fail(
+            f"only {len(timelines)} request timelines present "
+            f"(--min-requests={args.min_requests}); empty or truncated export?"
+        )
+
+    for key, evs in sorted(timelines.items()):
+        run, req = key
+        where = f"request {req} run {run}"
+        prev_end = None
+        durations = []
+        for ev in evs:  # exporter emits spans in close order == chronological per request
+            t0, t1 = ev["args"]["t0"], ev["args"]["t1"]
+            if t1 < t0:
+                return fail(f"{where}: span {ev['name']} has negative duration ({t0}..{t1})")
+            if prev_end is not None and t0 != prev_end:
+                return fail(
+                    f"{where}: gap/overlap before {ev['name']}: starts at {t0!r}, "
+                    f"previous span ended at {prev_end!r}"
+                )
+            prev_end = t1
+            durations.append(t1 - t0)
+        first, last = evs[0], evs[-1]
+        if first["name"] not in LIFECYCLE_FIRST:
+            return fail(
+                f"{where}: timeline starts with {first['name']} "
+                f"(want one of {sorted(LIFECYCLE_FIRST)})"
+            )
+        extent = last["args"]["t1"] - first["args"]["t0"]
+        total = math.fsum(durations)
+        tol = 1e-9 + 1e-12 * len(durations) * max(1.0, abs(extent))
+        if abs(total - extent) > tol:
+            return fail(
+                f"{where}: conservation violated: sum(spans)={total!r} "
+                f"end-to-end={extent!r} (|delta|={abs(total - extent):.3e} > {tol:.3e})"
+            )
+        outs = outcomes.get(key, [])
+        if len(outs) != 1:
+            return fail(f"{where}: {len(outs)} terminal outcomes (want exactly 1)")
+        if outs[0]["args"]["t"] != last["args"]["t1"]:
+            return fail(
+                f"{where}: outcome at {outs[0]['args']['t']!r} does not close the last "
+                f"span (ends {last['args']['t1']!r})"
+            )
+
+    for key in sorted(outcomes):
+        if key not in timelines:
+            run, req = key
+            name = outcomes[key][0]["name"]
+            if name != "request_lost":
+                return fail(f"request {req} run {run}: {name} outcome without any span")
+
+    for (run, pid, tid), evs in sorted(tracks.items()):
+        evs.sort(key=lambda ev: ev["args"]["t0"])
+        for prev, cur in zip(evs, evs[1:]):
+            if cur["args"]["t0"] < prev["args"]["t1"]:
+                return fail(
+                    f"instance track run={run} pid={pid} tid={tid}: {cur['name']} at "
+                    f"{cur['args']['t0']!r} overlaps previous ending {prev['args']['t1']!r}"
+                )
+
+    spans = sum(len(v) for v in timelines.values())
+    lost = sum(1 for v in outcomes.values() if v[0]["name"] == "request_lost")
+    print(
+        f"validate_trace: OK: {len(timelines)} request timelines ({spans} spans, "
+        f"{lost} lost), {len(tracks)} instance tracks, conservation exact per request"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
