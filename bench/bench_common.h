@@ -143,6 +143,54 @@ class PersistentGoodputCache {
   placement::GoodputCacheStore::LoadResult load_;
 };
 
+// Accumulates planner search-cost accounting (PlannerResult's skip/probe breakdown) across a
+// bench's planning runs for its JSON artifact. Like the goodput-cache stats, these are never
+// printed to stdout — the determinism job diffs stdout across tier-on/tier-off runs.
+struct PlannerAccounting {
+  int64_t configs_evaluated = 0;
+  int64_t simulations_run = 0;
+  int64_t simulations_skipped = 0;
+  int64_t cache_hits = 0;
+  int64_t roofline_pruned = 0;
+  int64_t analytic_rejected = 0;
+  int64_t pair_unneeded = 0;
+  int64_t pairs_considered = 0;
+  int64_t pairs_pruned_roofline = 0;
+  int64_t pairs_pruned_analytic = 0;
+  int64_t probes = 0;
+  int64_t trace_cache_hits = 0;
+
+  void Add(const placement::PlannerResult& r) {
+    configs_evaluated += r.configs_evaluated;
+    simulations_run += r.simulations_run;
+    simulations_skipped += r.simulations_skipped;
+    cache_hits += r.cache_hits;
+    roofline_pruned += r.roofline_pruned;
+    analytic_rejected += r.analytic_rejected;
+    pair_unneeded += r.pair_unneeded;
+    pairs_considered += r.pairs_considered;
+    pairs_pruned_roofline += r.pairs_pruned_roofline;
+    pairs_pruned_analytic += r.pairs_pruned_analytic;
+    probes += r.probes;
+    trace_cache_hits += r.trace_cache_hits;
+  }
+
+  void AddJsonFields(BenchJson& json) const {
+    json.AddInt("planner_configs_evaluated", configs_evaluated);
+    json.AddInt("planner_simulations_run", simulations_run);
+    json.AddInt("planner_simulations_skipped", simulations_skipped);
+    json.AddInt("planner_cache_hits", cache_hits);
+    json.AddInt("planner_roofline_pruned", roofline_pruned);
+    json.AddInt("planner_analytic_rejected", analytic_rejected);
+    json.AddInt("planner_pair_unneeded", pair_unneeded);
+    json.AddInt("planner_pairs_considered", pairs_considered);
+    json.AddInt("planner_pairs_pruned_roofline", pairs_pruned_roofline);
+    json.AddInt("planner_pairs_pruned_analytic", pairs_pruned_analytic);
+    json.AddInt("planner_probes", probes);
+    json.AddInt("planner_trace_cache_hits", trace_cache_hits);
+  }
+};
+
 // One Table-1 row.
 struct Application {
   std::string name;
@@ -309,16 +357,26 @@ inline void PrintBanner(const std::string& title) {
 // attainment vs per-GPU rate and vs SLO scale, and report the 90%-attainment goodput and
 // tightest-SLO ratios. `goodput_cache` (optional) memoizes the planner's simulations; cached
 // goodputs are exact, so a warm run's stdout is byte-identical to a cold one.
+// `use_analytic_tier` toggles the tier-1 pre-filter (DESIGN.md §15) for the planning step —
+// the chosen plan, and therefore stdout, is bit-identical either way (the CI determinism job
+// diffs exactly this); only the planner's cost accounting moves, surfaced through the optional
+// `planner_out`.
 inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed,
                                   placement::GoodputCache* goodput_cache = nullptr,
-                                  trace::Recorder* recorder = nullptr) {
+                                  trace::Recorder* recorder = nullptr,
+                                  bool use_analytic_tier = true,
+                                  placement::PlannerResult* planner_out = nullptr) {
   const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
 
   // DistServe: one Algorithm-2 segment pair.
   placement::PlannerInputs inputs = MakePlannerInputs(app, cluster, dataset.get(), 1.0);
   inputs.goodput_cache = goodput_cache;
+  inputs.use_analytic_tier = use_analytic_tier;
   const placement::PlannerResult planned = placement::LowNodeAffinityPlacement(inputs);
+  if (planner_out != nullptr) {
+    *planner_out = planned;
+  }
   placement::PlacementPlan plan = planned.plan;
   plan.num_prefill = 1;
   plan.num_decode = 1;

@@ -102,6 +102,41 @@ void BM_LowAffinity13BEngineOff(benchmark::State& state) {
   state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
 }
 
+// Tiered-fidelity ablation (DESIGN.md §15): the same searches with the tier-1 analytic
+// pre-filter disabled — every roofline-surviving candidate is fully simulated and every rate
+// search walks the whole probe lattice instead of short-circuiting at the analytic cap. Plans
+// are bit-identical to the tier-on runs above (enforced by tiered_search_test); the gap to
+// BM_*Affinity* is the tier's wall-clock win, recorded in BENCH_simcore.json.
+void BM_HighAffinity13BTierOff(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                           static_cast<int>(state.range(0)));
+  inputs.use_analytic_tier = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::HighNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_LowAffinity13BTierOff(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt13B(),
+                                           static_cast<int>(state.range(0)));
+  inputs.use_analytic_tier = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
+void BM_LowAffinity66BTierOff(benchmark::State& state) {
+  placement::PlannerInputs inputs = Inputs(model::ModelSpec::Opt66B(),
+                                           static_cast<int>(state.range(0)));
+  inputs.use_analytic_tier = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::LowNodeAffinityPlacement(inputs));
+  }
+  state.SetLabel("gpus=" + std::to_string(8 * state.range(0)));
+}
+
 // Thread scaling at the largest GPU budget (arg = thread count). Plans are bit-identical to
 // the serial run at every point; only the wall clock moves (on multi-core hosts).
 void BM_HighAffinity13BThreads(benchmark::State& state) {
@@ -142,6 +177,9 @@ void BM_HighAffinity13BCachedReplan(benchmark::State& state) {
 
 BENCHMARK(BM_HighAffinity13BEngineOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LowAffinity13BEngineOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighAffinity13BTierOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowAffinity13BTierOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowAffinity66BTierOff)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HighAffinity13BThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)

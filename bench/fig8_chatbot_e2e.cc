@@ -7,9 +7,11 @@
 // (machine-readable artifact with the standard wall_ms field), --goodput-cache=PATH (env
 // DISTSERVE_GOODPUT_CACHE fallback: persist the planner's goodput cache across processes;
 // cache statistics go into the JSON artifact), --trace=PATH (export per-request spans for
-// every engine run as Chrome trace-event JSON; see DESIGN.md §14). Stdout stays byte-identical
-// across runs — warm-cached or cold, traced or not — so the CI determinism job can diff them;
-// timing and cache-hit accounting go only into the JSON artifact.
+// every engine run as Chrome trace-event JSON; see DESIGN.md §14), --no-analytic-tier (escape
+// hatch: disable the planner's tier-1 analytic pre-filter, DESIGN.md §15, and force-simulate
+// the full search). Stdout stays byte-identical across runs — warm-cached or cold, traced or
+// not, tier on or off — so the CI determinism job can diff them; timing, cache-hit, and
+// planner search-cost accounting go only into the JSON artifact.
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -17,12 +19,15 @@
 int main(int argc, char** argv) {
   using namespace distserve::bench;
   bool smoke = false;
+  bool analytic_tier = true;
   std::string json_path;
   std::string cache_flag;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--no-analytic-tier") == 0) {
+      analytic_tier = false;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
@@ -31,7 +36,8 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] [--trace=PATH]\n",
+                   "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] [--trace=PATH] "
+                   "[--no-analytic-tier]\n",
                    argv[0]);
       return 2;
     }
@@ -48,16 +54,22 @@ int main(int argc, char** argv) {
       distserve::cluster::ClusterSpec::PaperTestbed().gpu);
 
   const WallTimer timer;
+  PlannerAccounting accounting;
+  distserve::placement::PlannerResult planned;
   if (smoke) {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81, persist.cache(),
-                          rec);
+                          rec, analytic_tier, &planned);
+    accounting.Add(planned);
   } else {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81, persist.cache(),
-                          rec);
+                          rec, analytic_tier, &planned);
+    accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82, persist.cache(),
-                          rec);
+                          rec, analytic_tier, &planned);
+    accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83,
-                          persist.cache(), rec);
+                          persist.cache(), rec, analytic_tier, &planned);
+    accounting.Add(planned);
   }
   persist.Save();
   if (!trace_path.empty()) {
@@ -66,7 +78,9 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     BenchJson json("fig8_chatbot_e2e");
     json.AddBool("smoke", smoke);
+    json.AddBool("analytic_tier", analytic_tier);
     json.AddWallMs(timer);
+    accounting.AddJsonFields(json);
     if (persist.enabled()) {
       persist.AddJsonFields(json);
     }

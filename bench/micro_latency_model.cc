@@ -44,6 +44,59 @@ void BM_MixedBatchTime(benchmark::State& state) {
 }
 BENCHMARK(BM_MixedBatchTime);
 
+// Batched vs scalar lattice pricing (DESIGN.md §15). The tiered placement search prices whole
+// batch lattices through EvaluateBatch; these two benchmarks pin its throughput edge over the
+// per-point StageTime()/FullTime() loop it replaces (results are bit-identical — that is
+// latency_model_test / tiered_search_test territory; here we only time it). The CI perf gate
+// compares the pair.
+BatchWorkloadLattice MakeBenchLattice(int n) {
+  BatchWorkloadLattice lattice;
+  lattice.Reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int batch = 1 + i % 128;
+    BatchWorkload point = BatchWorkload::Decode(batch, static_cast<int64_t>(batch) * 300);
+    if (i % 4 == 0) {
+      point += BatchWorkload::PrefillSingle(64 + (i % 7) * 97);
+    }
+    lattice.PushBack(point);
+  }
+  return lattice;
+}
+
+void BM_LatticeScalar(benchmark::State& state) {
+  const LatencyModel lm(ModelSpec::Opt13B(), {1, 1}, cluster::GpuSpec::A100_80GB());
+  const BatchWorkloadLattice lattice = MakeBenchLattice(static_cast<int>(state.range(0)));
+  std::vector<double> stage(lattice.size());
+  std::vector<double> full(lattice.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < lattice.size(); ++i) {
+      const BatchWorkload point = lattice.At(i);
+      stage[i] = lm.StageTime(point);
+      full[i] = lm.FullTime(point);
+    }
+    benchmark::DoNotOptimize(stage.data());
+    benchmark::DoNotOptimize(full.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(lattice.size()));
+}
+BENCHMARK(BM_LatticeScalar)->Arg(64)->Arg(1024);
+
+void BM_LatticeBatched(benchmark::State& state) {
+  const LatencyModel lm(ModelSpec::Opt13B(), {1, 1}, cluster::GpuSpec::A100_80GB());
+  const BatchWorkloadLattice lattice = MakeBenchLattice(static_cast<int>(state.range(0)));
+  std::vector<double> stage(lattice.size());
+  std::vector<double> full(lattice.size());
+  for (auto _ : state) {
+    lm.EvaluateBatch(lattice, stage, full);
+    benchmark::DoNotOptimize(stage.data());
+    benchmark::DoNotOptimize(full.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(lattice.size()));
+}
+BENCHMARK(BM_LatticeBatched)->Arg(64)->Arg(1024);
+
 void BM_CoefficientFit(benchmark::State& state) {
   const LatencyModel truth(ModelSpec::Opt13B(), {1, 1}, cluster::GpuSpec::A100_80GB());
   Rng rng(1);

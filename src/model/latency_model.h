@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "cluster/gpu_spec.h"
 #include "model/parallelism.h"
@@ -53,6 +54,38 @@ struct BatchWorkload {
   static BatchWorkload Decode(int64_t batch, int64_t context_tokens);
 
   BatchWorkload& operator+=(const BatchWorkload& other);
+};
+
+// A structure-of-arrays lattice of BatchWorkload points for batched evaluation
+// (LatencyModel::EvaluateBatch). Each scalar column is stored contiguously — and the derived
+// double casts are materialised once at PushBack() time — so the evaluator's inner loop reads
+// only dense double arrays and auto-vectorizes. Reusable: Clear() keeps capacity.
+class BatchWorkloadLattice {
+ public:
+  void Reserve(size_t n);
+  void Clear();
+  void PushBack(const BatchWorkload& point);
+
+  size_t size() const { return prefill_tokens_.size(); }
+  bool empty() const { return prefill_tokens_.empty(); }
+  BatchWorkload At(size_t i) const;
+
+  // SoA columns (exact fields, for cache keying).
+  std::span<const int64_t> prefill_tokens() const { return prefill_tokens_; }
+  std::span<const double> prefill_sq_tokens() const { return prefill_sq_tokens_; }
+  std::span<const int64_t> decode_requests() const { return decode_requests_; }
+  std::span<const int64_t> decode_context_tokens() const { return decode_context_tokens_; }
+  // Derived double columns (for the vectorized evaluator).
+  std::span<const double> total_new_tokens_d() const { return total_new_d_; }
+  std::span<const double> decode_context_tokens_d() const { return decode_context_d_; }
+
+ private:
+  std::vector<int64_t> prefill_tokens_;
+  std::vector<double> prefill_sq_tokens_;
+  std::vector<int64_t> decode_requests_;
+  std::vector<int64_t> decode_context_tokens_;
+  std::vector<double> total_new_d_;
+  std::vector<double> decode_context_d_;
 };
 
 // The C1..C5 coefficients plus communication parameters, either derived from a GpuSpec or
@@ -93,6 +126,16 @@ class LatencyModel {
 
   // End-to-end forward latency: all pp stages in sequence plus inter-stage activation sends.
   double FullTime(const BatchWorkload& batch) const;
+
+  // Batched evaluation: prices every point of `points` in one pass over the SoA columns.
+  // Either output span may be empty (that metric is skipped); a non-empty span must have
+  // exactly points.size() entries. Bit-identical to calling StageTime()/FullTime() per point:
+  // the inner loop mirrors LayerTime()'s arithmetic expression-for-expression (only
+  // batch-independent subexpressions are hoisted, which cannot change the FP result), so it
+  // stays exact under auto-vectorization (elementwise IEEE ops, no fast-math). Built with
+  // -DDISTSERVE_SIMD=ON the loop carries explicit vectorize pragmas.
+  void EvaluateBatch(const BatchWorkloadLattice& points, std::span<double> stage_times,
+                     std::span<double> full_times) const;
 
   // Shorthands used throughout the engine.
   double PrefillFullTime(std::span<const int> input_lens) const;

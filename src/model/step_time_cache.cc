@@ -105,6 +105,68 @@ double StepTimeCache::FullTime(const BatchWorkload& batch) {
   return slots_[i].full_time;
 }
 
+void StepTimeCache::StageTimes(const BatchWorkloadLattice& points, std::span<double> out) {
+  BatchTimes(points, out, kStageValid);
+}
+
+void StepTimeCache::FullTimes(const BatchWorkloadLattice& points, std::span<double> out) {
+  BatchTimes(points, out, kFullValid);
+}
+
+void StepTimeCache::BatchTimes(const BatchWorkloadLattice& points, std::span<double> out,
+                               unsigned char bit) {
+  DS_CHECK(out.size() == points.size());
+  const bool want_stage = bit == kStageValid;
+  if (slots_ == nullptr) {
+    if (want_stage) {
+      model_->EvaluateBatch(points, out, {});
+    } else {
+      model_->EvaluateBatch(points, {}, out);
+    }
+    return;
+  }
+  miss_idx_.clear();
+  miss_points_.Clear();
+  uint64_t hits = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BatchWorkload point = points.At(i);
+    const size_t s = FindSlot(point);
+    if ((valid_[s] & bit) != 0) {
+      ++hits;
+      out[i] = want_stage ? slots_[s].stage_time : slots_[s].full_time;
+    } else {
+      miss_idx_.push_back(i);
+      miss_points_.PushBack(point);
+    }
+  }
+  stats_.hits += hits;
+  stats_.misses += miss_idx_.size();
+  DS_PROF_COUNT("step_cache.hit", static_cast<int64_t>(hits));
+  DS_PROF_COUNT("step_cache.miss", static_cast<int64_t>(miss_idx_.size()));
+  if (miss_idx_.empty()) {
+    return;
+  }
+  miss_times_.resize(miss_points_.size());
+  if (want_stage) {
+    model_->EvaluateBatch(miss_points_, miss_times_, {});
+  } else {
+    model_->EvaluateBatch(miss_points_, {}, miss_times_);
+  }
+  for (size_t j = 0; j < miss_idx_.size(); ++j) {
+    const size_t i = miss_idx_[j];
+    out[i] = miss_times_[j];
+    // Re-probe: a colliding miss earlier in this batch may have stolen the slot since the
+    // first pass installed the key.
+    const size_t s = FindSlot(points.At(i));
+    if (want_stage) {
+      slots_[s].stage_time = miss_times_[j];
+    } else {
+      slots_[s].full_time = miss_times_[j];
+    }
+    valid_[s] |= bit;
+  }
+}
+
 void StepTimeCache::Clear() {
   if (!valid_.empty()) {
     std::memset(valid_.data(), 0, valid_.size());

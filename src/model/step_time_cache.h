@@ -45,6 +45,15 @@ class StepTimeCache {
   double StageTime(const BatchWorkload& batch);
   double FullTime(const BatchWorkload& batch);
 
+  // Batched equivalents: memo hits are answered in place; all misses of the call are priced
+  // through one LatencyModel::EvaluateBatch pass and then inserted. `out` must have exactly
+  // points.size() entries. Values are bit-identical to calling the scalar accessor per point
+  // (the memo only ever returns model-exact doubles and EvaluateBatch mirrors the scalar
+  // arithmetic); only the eviction *statistics* can differ under slot collisions, because a
+  // colliding miss pair probes its slots twice.
+  void StageTimes(const BatchWorkloadLattice& points, std::span<double> out);
+  void FullTimes(const BatchWorkloadLattice& points, std::span<double> out);
+
   // Drops every memoized entry (stats survive). Call after mutating the model
   // (e.g. ScaleCollectiveCost) — cached values would be stale.
   void Clear();
@@ -82,11 +91,19 @@ class StepTimeCache {
   // collision. Returns the slot index.
   size_t FindSlot(const BatchWorkload& batch);
 
+  // Shared implementation of StageTimes/FullTimes for one validity bit.
+  void BatchTimes(const BatchWorkloadLattice& points, std::span<double> out,
+                  unsigned char bit);
+
   const LatencyModel* model_;
   std::unique_ptr<Slot[]> slots_;    // power-of-two length; null when disabled
   std::vector<unsigned char> valid_; // parallel to slots_
   size_t mask_ = 0;
   Stats stats_;
+  // Scratch buffers reused across BatchTimes calls (the decode probe loop calls per chunk).
+  std::vector<size_t> miss_idx_;
+  BatchWorkloadLattice miss_points_;
+  std::vector<double> miss_times_;
 };
 
 }  // namespace distserve::model

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "model/latency_model.h"
+#include "placement/analytic_tier.h"
 #include "placement/fast_sim.h"
 #include "workload/trace_cache.h"
 
@@ -81,10 +82,16 @@ model::ParallelismConfig SmallestFeasible(const PlannerInputs& inputs, int max_n
   return model::ParallelismConfig{gpus_per_node, max_nodes};
 }
 
+// The simulator's prefill batch cap (SimulatePrefillFinishTimes callers below); the analytic
+// tier and the roofline bound scan batch sizes up to the same cap so their idealised batching
+// never assumes a batch the simulator could not form.
+constexpr int kPrefillMaxBatch = 64;
+
 // Raw (un-derated) max rate for one phase config. Pure: depends only on (inputs, par, search),
 // so instances may run concurrently on pool workers.
 double SimulatePrefillRate(const PlannerInputs& inputs, const model::ParallelismConfig& par,
-                           const GoodputSearchOptions& search) {
+                           const GoodputSearchOptions& search,
+                           GoodputSearchStats* stats = nullptr) {
   const model::LatencyModel lm = MakeLm(inputs, par);
   const int64_t target_tokens = std::max<int64_t>(512, lm.ComputeSaturationTokens());
   // One memo across every probe of this rate search: batch signatures recur heavily between
@@ -93,7 +100,7 @@ double SimulatePrefillRate(const PlannerInputs& inputs, const model::Parallelism
   model::StepTimeCache step_cache(&lm);
   auto attainment = [&](const workload::Trace& trace) {
     const std::vector<double> finish = SimulatePrefillFinishTimes(
-        lm, trace, target_tokens, /*max_batch_size=*/64, &step_cache);
+        lm, trace, target_tokens, kPrefillMaxBatch, &step_cache);
     int64_t ok = 0;
     for (size_t i = 0; i < trace.size(); ++i) {
       if (finish[i] - trace[i].arrival_time <= inputs.slo.ttft) {
@@ -102,11 +109,12 @@ double SimulatePrefillRate(const PlannerInputs& inputs, const model::Parallelism
     }
     return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
   };
-  return FindMaxRate(attainment, *inputs.dataset, search);
+  return FindMaxRate(attainment, *inputs.dataset, search, stats);
 }
 
 double SimulateDecodeRate(const PlannerInputs& inputs, const model::ParallelismConfig& par,
-                          const GoodputSearchOptions& search) {
+                          const GoodputSearchOptions& search,
+                          GoodputSearchStats* stats = nullptr) {
   const model::LatencyModel lm = MakeLm(inputs, par);
   const int64_t kv_capacity = lm.view().KvCapacityTokens(inputs.cluster.gpu);
   if (kv_capacity <= 0) {
@@ -129,13 +137,14 @@ double SimulateDecodeRate(const PlannerInputs& inputs, const model::ParallelismC
     }
     return trace.empty() ? 0.0 : static_cast<double>(ok) / static_cast<double>(trace.size());
   };
-  return FindMaxRate(attainment, *inputs.dataset, search);
+  return FindMaxRate(attainment, *inputs.dataset, search, stats);
 }
 
 // Result of one speculative phase-simulation task.
 struct PhaseSim {
   double goodput = 0.0;  // derated
   bool cache_hit = false;
+  GoodputSearchStats stats;  // zero for cache hits: no probes were paid
 };
 
 void AppendDouble(std::string& out, double v) {
@@ -240,9 +249,41 @@ class SearchContext {
 
   ThreadPool* pool() const { return pool_; }
 
+  // The per-config rate caps shared by the prune bound, the result clamp, and the probe
+  // hint. Pure function of (inputs, par, phase): recomputing it on a pool worker and on the
+  // fold thread yields the same values, which is what keeps skip decisions sound against
+  // the clamp actually applied.
+  struct PhaseCaps {
+    double roofline_rate = 0.0;  // kRooflineSlack * RateUpperBound (PR-1 prune bound)
+    double analytic_rate = 0.0;  // raw tier-1 estimate; 0 = no feasible operating point
+    double capped_rate = 0.0;    // SanitizedAnalyticCap(analytic, margin, roofline)
+  };
+
+  PhaseCaps Caps(const model::ParallelismConfig& par, bool is_prefill) const {
+    PhaseCaps caps;
+    caps.roofline_rate = kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_);
+    const model::LatencyModel lm = MakeLm(inputs_, par);
+    if (is_prefill) {
+      caps.analytic_rate =
+          AnalyticMaxPrefillRate(lm, inputs_.slo.ttft, mean_, kPrefillMaxBatch);
+    } else {
+      caps.analytic_rate =
+          AnalyticMaxDecodeRate(lm, inputs_.slo.tpot, mean_,
+                                lm.view().KvCapacityTokens(inputs_.cluster.gpu),
+                                inputs_.decode_max_batch);
+    }
+    caps.capped_rate = SanitizedAnalyticCap(caps.analytic_rate,
+                                            inputs_.analytic_optimism_margin,
+                                            caps.roofline_rate);
+    return caps;
+  }
+
   // Simulates (or recalls) one phase config's derated goodput. Thread-safe and deterministic:
   // every task in a planner run has a distinct cache key, so hit/miss outcomes depend only on
-  // the cache's state at entry, not on evaluation order.
+  // the cache's state at entry, not on evaluation order. Note this function never reads
+  // use_analytic_tier — the tier-1 cap clamps results and seeds hints in both modes, which is
+  // precisely why skipping against that cap (the only thing the knob controls) cannot change
+  // the plan.
   PhaseSim SimulatePhase(const model::ParallelismConfig& par, bool is_prefill) const {
     const double derate =
         is_prefill ? inputs_.prefill_goodput_derate : inputs_.decode_goodput_derate;
@@ -253,44 +294,70 @@ class SearchContext {
     if (cache != nullptr) {
       value_key = value_prefix_ + ConfigSuffix(par, is_prefill);
       if (const std::optional<double> hit = cache->Lookup(value_key)) {
-        return PhaseSim{*hit, true};
+        return PhaseSim{*hit, true, {}};
       }
     }
-    const double roofline = kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_);
+    const PhaseCaps caps = Caps(par, is_prefill);
+    bool hinted = false;
     if (cache != nullptr) {
       hint_key = hint_prefix_ + ConfigSuffix(par, is_prefill);
       if (const std::optional<double> hint = cache->RateHint(hint_key)) {
         // A hint can now come off disk, where it may predate a recalibration or be outright
         // corrupt. Every in-process hint is a clamped simulation result, so a hint above the
-        // analytic roofline is stale or garbage: clamp it down (non-finite and non-positive
-        // hints are dropped) so the probe cannot start above anything this configuration can
+        // tier-1 cap is stale or garbage: clamp it down (non-finite and non-positive hints
+        // are dropped) so the probe cannot start above anything this configuration can
         // sustain. The search result is unchanged either way — the hint only picks the
         // probe's starting lattice point — so a bad hint costs probes, never the plan.
         if (std::isfinite(*hint) && *hint > 0.0) {
-          search.rate_hint = std::min(*hint, roofline);
+          search.rate_hint = std::min(*hint, caps.capped_rate);
+          hinted = true;
         }
       }
     }
-    const double raw = is_prefill ? SimulatePrefillRate(inputs_, par, search)
-                                  : SimulateDecodeRate(inputs_, par, search);
-    // Clamp to the analytic roofline (see RateUpperBound): discards finite-trial cap-out
-    // artifacts and guarantees every result stays below GoodputUpperBound.
-    const double rate = std::min(raw, roofline);
-    const double goodput = derate * rate;
+    if (!hinted && !(search.rate_hint > 0.0 && std::isfinite(search.rate_hint)) &&
+        std::isfinite(caps.analytic_rate) && caps.analytic_rate > 0.0) {
+      // Cold search: the tier-1 estimate itself is the best available guess at where the
+      // pass/fail boundary sits, so start the probe walk there instead of at rate_probe.
+      // Same contract as a cached hint — it only moves the starting lattice point.
+      search.rate_hint = std::min(caps.analytic_rate, caps.capped_rate);
+    }
+    if (inputs_.use_analytic_tier) {
+      // Cap-out short-circuit (goodput.h): the probe walk may stop at the first passing
+      // rate >= the cap we clamp the result to below — the clamped value is provably the
+      // cap either way. Gated with the tier so tier-off measures the full pre-tier walk;
+      // the recorded goodput is bit-identical in both modes.
+      search.rate_cap = caps.capped_rate;
+    }
+    PhaseSim sim;
+    const double raw = is_prefill ? SimulatePrefillRate(inputs_, par, search, &sim.stats)
+                                  : SimulateDecodeRate(inputs_, par, search, &sim.stats);
+    // Clamp to the tier-1 cap (analytic estimate * margin, itself clamped to the roofline —
+    // see RateUpperBound and analytic_tier.h): discards finite-trial cap-out artifacts and
+    // guarantees every result stays below GoodputUpperBounds().tier_goodput.
+    const double rate = std::min(raw, caps.capped_rate);
+    sim.goodput = derate * rate;
     if (cache != nullptr) {
-      cache->Insert(value_key, goodput);
+      cache->Insert(value_key, sim.goodput);
       cache->UpdateRateHint(hint_key, rate);
     }
-    return PhaseSim{goodput, false};
+    return sim;
   }
 
-  // Upper bound on the phase's derated goodput: the same roofline SimulatePhase clamps
-  // results to, so no simulated candidate can exceed it. Used to prune configs that provably
-  // cannot beat the incumbent (see Improves).
-  double GoodputUpperBound(const model::ParallelismConfig& par, bool is_prefill) const {
+  // Upper bounds on the phase's derated goodput, one per tier. tier_goodput is the same cap
+  // SimulatePhase clamps results to, so no simulated candidate can exceed it;
+  // roofline_goodput (>= tier_goodput) is the PR-1 bound alone, kept separate so skips can
+  // be attributed to the tier that produced them. Used to prune configs that provably cannot
+  // beat the incumbent (see Improves).
+  struct PhaseBounds {
+    double roofline_goodput = 0.0;
+    double tier_goodput = 0.0;
+  };
+
+  PhaseBounds GoodputUpperBounds(const model::ParallelismConfig& par, bool is_prefill) const {
     const double derate =
         is_prefill ? inputs_.prefill_goodput_derate : inputs_.decode_goodput_derate;
-    return derate * kRooflineSlack * RateUpperBound(inputs_, par, is_prefill, mean_);
+    const PhaseCaps caps = Caps(par, is_prefill);
+    return PhaseBounds{derate * caps.roofline_rate, derate * caps.capped_rate};
   }
 
  private:
@@ -327,8 +394,15 @@ class SearchContext {
     AppendDouble(s, inputs_.slo.tpot);
     AppendDouble(s, search_.attainment_target);
     // The hint prefix stops here: it identifies the configuration and its SLO regime but not
-    // the workload, so a re-search after traffic drift still finds a warm start.
+    // the workload, so a re-search after traffic drift still finds a warm start. (The
+    // optimism margin is deliberately absent too — hints are advisory, so a margin change
+    // costs at most probes.)
     hint_prefix_ = s + "hint|";
+    // The margin enters the value a simulation stores (rates are clamped to margin-scaled
+    // analytic caps), so it must be part of the value key: a margin change silently
+    // invalidates every persisted goodput rather than replaying values computed under a
+    // different clamp — which would break tier-on/off bit-identity.
+    AppendDouble(s, inputs_.analytic_optimism_margin);
     AppendDouble(s, inputs_.prefill_goodput_derate);
     AppendDouble(s, inputs_.decode_goodput_derate);
     AppendInt(s, inputs_.decode_max_batch);
@@ -363,8 +437,20 @@ double SimulatePrefillGoodput(const PlannerInputs& inputs, const model::Parallel
   search.attainment_target = inputs.attainment_target;
   Rng rng(search.seed ^ kMeanLengthStream);
   const workload::LengthSample mean = inputs.dataset->MeanLengths(rng);
-  const double rate = std::min(SimulatePrefillRate(inputs, par, search),
-                               kRooflineSlack * RateUpperBound(inputs, par, true, mean));
+  // Same cap-and-hint treatment as the planner's internal SimulatePhase, so this helper and
+  // a (cache-free) planner run agree bit-for-bit on a config's goodput.
+  const double roofline = kRooflineSlack * RateUpperBound(inputs, par, true, mean);
+  const double analytic =
+      AnalyticMaxPrefillRate(MakeLm(inputs, par), inputs.slo.ttft, mean, kPrefillMaxBatch);
+  const double cap = SanitizedAnalyticCap(analytic, inputs.analytic_optimism_margin, roofline);
+  if (!(search.rate_hint > 0.0 && std::isfinite(search.rate_hint)) &&
+      std::isfinite(analytic) && analytic > 0.0) {
+    search.rate_hint = std::min(analytic, cap);
+  }
+  if (inputs.use_analytic_tier) {
+    search.rate_cap = cap;  // cap-out short-circuit; result clamped to cap either way
+  }
+  const double rate = std::min(SimulatePrefillRate(inputs, par, search), cap);
   return inputs.prefill_goodput_derate * rate;
 }
 
@@ -374,8 +460,21 @@ double SimulateDecodeGoodput(const PlannerInputs& inputs, const model::Paralleli
   search.attainment_target = inputs.attainment_target;
   Rng rng(search.seed ^ kMeanLengthStream);
   const workload::LengthSample mean = inputs.dataset->MeanLengths(rng);
-  const double rate = std::min(SimulateDecodeRate(inputs, par, search),
-                               kRooflineSlack * RateUpperBound(inputs, par, false, mean));
+  const double roofline = kRooflineSlack * RateUpperBound(inputs, par, false, mean);
+  const model::LatencyModel lm = MakeLm(inputs, par);
+  const double analytic =
+      AnalyticMaxDecodeRate(lm, inputs.slo.tpot, mean,
+                            lm.view().KvCapacityTokens(inputs.cluster.gpu),
+                            inputs.decode_max_batch);
+  const double cap = SanitizedAnalyticCap(analytic, inputs.analytic_optimism_margin, roofline);
+  if (!(search.rate_hint > 0.0 && std::isfinite(search.rate_hint)) &&
+      std::isfinite(analytic) && analytic > 0.0) {
+    search.rate_hint = std::min(analytic, cap);
+  }
+  if (inputs.use_analytic_tier) {
+    search.rate_cap = cap;  // cap-out short-circuit; result clamped to cap either way
+  }
+  const double rate = std::min(SimulateDecodeRate(inputs, par, search), cap);
   return inputs.decode_goodput_derate * rate;
 }
 
@@ -419,16 +518,34 @@ PlannerResult HighNodeAffinityPlacement(const PlannerInputs& inputs) {
     const auto consider = [&](bool is_prefill, size_t task, CandidateResult& best,
                               int& best_gpus, std::vector<CandidateResult>& kept) {
       if (inputs.prune_search_space) {
-        const double bound = ctx.GoodputUpperBound(par, is_prefill);
-        const CandidateResult at_bound{par, bound, bound / gpus, 0, 0};
-        if (!Improves(at_bound, gpus, best, best_gpus)) {
+        // Two-tier prune with attribution. Skipping is sound against either bound —
+        // SimulatePhase clamps every result to tier_goodput <= roofline_goodput — and
+        // Improves is monotone in the candidate's goodput, so a config whose *over*-estimate
+        // cannot beat the live incumbent cannot beat it when simulated either.
+        const SearchContext::PhaseBounds bounds = ctx.GoodputUpperBounds(par, is_prefill);
+        const CandidateResult at_roofline{par, bounds.roofline_goodput,
+                                          bounds.roofline_goodput / gpus, 0, 0};
+        if (!Improves(at_roofline, gpus, best, best_gpus)) {
           sims.Cancel(task);
           ++result.simulations_skipped;
+          ++result.roofline_pruned;
           return;
+        }
+        if (inputs.use_analytic_tier) {
+          const CandidateResult at_tier{par, bounds.tier_goodput, bounds.tier_goodput / gpus,
+                                        0, 0};
+          if (!Improves(at_tier, gpus, best, best_gpus)) {
+            sims.Cancel(task);
+            ++result.simulations_skipped;
+            ++result.analytic_rejected;
+            return;
+          }
         }
       }
       const PhaseSim sim = sims.Force(task);
       ++result.simulations_run;
+      result.probes += sim.stats.probes;
+      result.trace_cache_hits += sim.stats.trace_cache_hits;
       if (sim.cache_hit) {
         ++result.cache_hits;
       }
@@ -476,7 +593,7 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
   struct PhaseConfig {
     bool feasible = false;
     int task = -1;
-    double upper_bound = 0.0;
+    SearchContext::PhaseBounds bounds;
   };
   const int max_inter = std::min(num_nodes, inputs.model.num_layers);
   const size_t tp_slots = static_cast<size_t>(gpus_per_node);
@@ -497,7 +614,7 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
         }
         PhaseConfig& pc = slot(inter, is_prefill, tp);
         pc.feasible = true;
-        pc.upper_bound = ctx.GoodputUpperBound(par, is_prefill);
+        pc.bounds = ctx.GoodputUpperBounds(par, is_prefill);
         pc.task = static_cast<int>(tasks.size());
         tasks.push_back([&ctx, par, is_prefill] { return ctx.SimulatePhase(par, is_prefill); });
       }
@@ -511,6 +628,8 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
     if (!forced[static_cast<size_t>(pc.task)]) {
       forced[static_cast<size_t>(pc.task)] = 1;
       ++result.simulations_run;
+      result.probes += sim.stats.probes;
+      result.trace_cache_hits += sim.stats.trace_cache_hits;
       if (sim.cache_hit) {
         ++result.cache_hits;
       }
@@ -534,12 +653,28 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
           continue;
         }
         const int pair_gpus = inter * (tp_p + tp_d);
+        ++result.pairs_considered;
         if (inputs.prune_search_space) {
-          const double pair_bound = std::min(pf.upper_bound, df.upper_bound);
-          const CandidateResult at_bound{model::ParallelismConfig{0, inter}, pair_bound,
-                                         pair_bound / pair_gpus, tp_p, tp_d};
-          if (!Improves(at_bound, pair_gpus, best_pair, best_pair_gpus)) {
-            continue;  // the phase sims may still be forced by another pair
+          // Pair bound = min of the phase bounds (the pair serves at the weaker phase's
+          // rate), tier by tier for attribution; skipping a pair is sound for the same
+          // reason as in Algorithm 1, and the phase sims may still be forced by another
+          // pair.
+          const double pair_roofline = std::min(pf.bounds.roofline_goodput,
+                                                df.bounds.roofline_goodput);
+          const CandidateResult at_roofline{model::ParallelismConfig{0, inter}, pair_roofline,
+                                            pair_roofline / pair_gpus, tp_p, tp_d};
+          if (!Improves(at_roofline, pair_gpus, best_pair, best_pair_gpus)) {
+            ++result.pairs_pruned_roofline;
+            continue;
+          }
+          if (inputs.use_analytic_tier) {
+            const double pair_tier = std::min(pf.bounds.tier_goodput, df.bounds.tier_goodput);
+            const CandidateResult at_tier{model::ParallelismConfig{0, inter}, pair_tier,
+                                          pair_tier / pair_gpus, tp_p, tp_d};
+            if (!Improves(at_tier, pair_gpus, best_pair, best_pair_gpus)) {
+              ++result.pairs_pruned_analytic;
+              continue;
+            }
           }
         }
         const double pg = force(pf);
@@ -559,11 +694,14 @@ PlannerResult LowNodeAffinityPlacement(const PlannerInputs& inputs) {
       }
     }
   }
-  // Feasible phase configs that no surviving pair needed were never simulated.
+  // Feasible phase configs that no surviving pair needed were never simulated. (Pair-level
+  // attribution of *why* pairs were pruned is in pairs_pruned_*; a phase config can back
+  // many pairs, so per-config reasons are not well defined here.)
   for (size_t t = 0; t < forced.size(); ++t) {
     if (!forced[t]) {
       sims.Cancel(t);
       ++result.simulations_skipped;
+      ++result.pair_unneeded;
     }
   }
 

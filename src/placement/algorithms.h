@@ -19,6 +19,15 @@
 // goodputs are memoized across invocations in a placement::GoodputCache (replanning
 // re-searches only simulate configs whose inputs changed), and an analytic roofline upper
 // bound prunes configs that provably cannot beat the incumbent.
+//
+// Tiered fidelity (this PR's extension; see DESIGN.md §15): tier 1 prices every candidate
+// with a closed-form M/D/1 + Appendix-A estimate (placement/analytic_tier.h), batched
+// through LatencyModel::EvaluateBatch; tier 2 — the full trace simulation — runs only for
+// candidates the tier-1 bound cannot exclude. The tier boundary follows the roofline-prune
+// contract: simulated rates are clamped to the tier-1 cap in *every* mode, so the cap is an
+// upper bound on any simulated goodput by construction and skipping against it can never
+// change the chosen plan (bit-identity tier-on vs tier-off is enforced by
+// tiered_search_test and the CI determinism diff).
 #ifndef DISTSERVE_PLACEMENT_ALGORITHMS_H_
 #define DISTSERVE_PLACEMENT_ALGORITHMS_H_
 
@@ -85,6 +94,33 @@ struct PlannerInputs {
   // traces are bit-identical to fresh generation; off regenerates every probe trace — the
   // pre-engine behavior, kept for cost ablations (Figure 12).
   bool share_probe_traces = true;
+
+  // Tier-1 analytic pre-filter (DESIGN.md §15). When on: (a) a config whose sanitized
+  // analytic cap — margin * analytic estimate, clamped to the roofline bound — cannot beat
+  // the live incumbent is skipped without simulating, and (b) surviving configs' rate
+  // searches short-circuit once a passing probe reaches the cap (the cap-out exit,
+  // goodput.h — exact because the result is clamped to the same cap). The cap clamps
+  // simulated rates and seeds the probe's starting hint in BOTH modes, so this knob only
+  // controls cost and the chosen plan is bit-identical either way; off force-simulates
+  // everything the roofline prune keeps with the full probe walk (the pre-tier behavior,
+  // kept as escape hatch and for the fig12 ablation).
+  bool use_analytic_tier = true;
+
+  // Multiplier lifting the (structurally optimistic but uncalibrated) tier-1 estimate to a
+  // trustworthy upper bound before the roofline clamp. Two calibration constraints pin the
+  // default at kRooflineSlack = 1.5. Upper: margin * estimate should undercut
+  // kRooflineSlack * roofline somewhere, or the cap degenerates to the roofline and the
+  // tier skips nothing. Lower: the cap must stay above every raw simulated rate that is NOT
+  // a roofline cap-out — across the calibration battery the prefill simulator never exceeds
+  // 0.83x its analytic estimate (1.8x headroom at 1.5), while decode sims always cap out,
+  // and at 1.5 the decode cap coincides exactly with the PR-1 roofline clamp (the decode
+  // analytic estimate equals the un-slacked roofline when the TPOT SLO is slack), so
+  // recorded goodputs match the pre-tier search bit for bit. Raising the margin only
+  // forfeits skips; it can never corrupt the plan relative to tier-off, because both modes
+  // share the clamp (tiered_search_test pins plans at the default against margin = 1e300).
+  // Part of the goodput-cache value key, so cached entries computed under a different
+  // margin are never reused.
+  double analytic_optimism_margin = 1.5;
 };
 
 // One evaluated candidate (kept for reporting / Figure 12 cost accounting).
@@ -98,19 +134,41 @@ struct CandidateResult {
 
 struct PlannerResult {
   PlacementPlan plan;
-  // Candidates that were actually simulated (pruned configs do not appear).
+  // Candidates that were actually simulated. Skipped configs do not appear here — their
+  // counts (and why they were skipped) are in the accounting fields below.
   std::vector<CandidateResult> prefill_candidates;
   std::vector<CandidateResult> decode_candidates;
   std::vector<CandidateResult> pair_candidates;  // Algorithm 2
 
   // Search-cost accounting. configs_evaluated counts feasible phase configurations the
   // enumeration considered; each was either simulated (simulations_run, of which cache_hits
-  // were answered by the goodput cache without simulating) or skipped (simulations_skipped:
-  // pruned by the upper bound, or — Algorithm 2 — needed by no surviving pair).
+  // were answered by the goodput cache without simulating) or skipped. The invariant
+  //   configs_evaluated == simulations_run + simulations_skipped
+  // always holds, and simulations_skipped breaks down exactly as
+  //   simulations_skipped == roofline_pruned + analytic_rejected + pair_unneeded.
   int configs_evaluated = 0;
   int simulations_run = 0;
   int simulations_skipped = 0;
   int cache_hits = 0;
+
+  // Why each skipped config was skipped (Algorithm 1 attributes per phase config; Algorithm
+  // 2 prunes at pair granularity, so its unforced phase configs all land in pair_unneeded
+  // and the pair-level attribution lives in the pairs_* fields below).
+  int roofline_pruned = 0;    // the PR-1 roofline bound alone cannot beat the incumbent
+  int analytic_rejected = 0;  // survived the roofline bound, excluded by the tier-1 cap
+  int pair_unneeded = 0;      // Algorithm 2: feasible phase config no surviving pair forced
+
+  // Algorithm 2 pair-fold attribution (units are candidate pairs, not phase configs).
+  int pairs_considered = 0;
+  int pairs_pruned_roofline = 0;
+  int pairs_pruned_analytic = 0;
+
+  // Tier-2 cost actually paid: FindMaxRate attainment probes summed over the simulations
+  // that ran (cache hits contribute zero), and how many of those probes reused a cached
+  // trace. The speedup story of the tiered search is visible right here: tier-on runs fewer
+  // simulations and therefore fewer probes for the same plan.
+  int64_t probes = 0;
+  int64_t trace_cache_hits = 0;
 };
 
 // Per-phase goodput of one parallelism config, measured with the fast simulator against the

@@ -1,0 +1,95 @@
+#include "placement/analytic_tier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "queueing/md1.h"
+
+namespace distserve::placement {
+
+double AnalyticMaxPrefillRate(const model::LatencyModel& lm, double ttft_slo,
+                              const workload::LengthSample& mean, int max_batch) {
+  const int64_t input_len = std::max(1, mean.input_len);
+  const double sq_per_prompt = static_cast<double>(input_len) * static_cast<double>(input_len);
+
+  model::BatchWorkloadLattice lattice;
+  std::vector<int> batches;
+  for (int batch = 1; batch <= max_batch; batch *= 2) {
+    batches.push_back(batch);
+    model::BatchWorkload point;
+    point.prefill_tokens = static_cast<int64_t>(batch) * input_len;
+    point.prefill_sq_tokens = static_cast<double>(batch) * sq_per_prompt;
+    lattice.PushBack(point);
+  }
+  std::vector<double> stage(lattice.size());
+  std::vector<double> full(lattice.size());
+  lm.EvaluateBatch(lattice, stage, full);
+
+  double best = 0.0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    // TTFT = queueing wait + full forward latency; the wait budget is what is left of the
+    // SLO after the forward pass. Batches too slow to ever meet the SLO contribute nothing.
+    const double wait_budget = ttft_slo - full[i];
+    if (!(wait_budget > 0.0) || stage[i] <= 0.0) {
+      continue;
+    }
+    // Pipelined cadence: one batch of b every stage time, i.e. a per-request service
+    // interval of stage / b. Ideal batching (every arrival instantly grouped at the best
+    // size) makes this optimistic, as does bounding the *mean* wait by the budget.
+    const double service = stage[i] / static_cast<double>(batches[i]);
+    best = std::max(best, queueing::Md1MaxRateForQueueingDelay(service, wait_budget));
+  }
+  return best;
+}
+
+double AnalyticMaxDecodeRate(const model::LatencyModel& lm, double tpot_slo,
+                             const workload::LengthSample& mean, int64_t kv_capacity_tokens,
+                             int max_batch) {
+  if (kv_capacity_tokens <= 0) {
+    return 0.0;
+  }
+  const int64_t input_len = std::max(1, mean.input_len);
+  const int64_t output_len = std::max(1, mean.output_len);
+  const int64_t tokens_per_req =
+      std::max<int64_t>(1, static_cast<int64_t>(mean.input_len) + mean.output_len);
+  const int64_t max_feasible = std::min<int64_t>(max_batch, kv_capacity_tokens / tokens_per_req);
+  if (max_feasible < 1) {
+    return 0.0;
+  }
+
+  // The whole operating curve — every admissible batch size — priced in one batched call.
+  model::BatchWorkloadLattice lattice;
+  lattice.Reserve(static_cast<size_t>(max_feasible));
+  for (int64_t batch = 1; batch <= max_feasible; ++batch) {
+    lattice.PushBack(model::BatchWorkload::Decode(batch, batch * input_len));
+  }
+  std::vector<double> stage(lattice.size());
+  lm.EvaluateBatch(lattice, stage, {});
+
+  double best = 0.0;
+  for (int64_t batch = 1; batch <= max_feasible; ++batch) {
+    const double cadence = stage[static_cast<size_t>(batch - 1)];
+    // Every resident request emits one token per step cadence, so the cadence itself must
+    // meet the TPOT SLO; past that, throughput is batch tokens per cadence.
+    if (cadence <= 0.0 || cadence > tpot_slo) {
+      continue;
+    }
+    const double token_rate = static_cast<double>(batch) / cadence;
+    best = std::max(best, token_rate / static_cast<double>(output_len));
+  }
+  return best;
+}
+
+double SanitizedAnalyticCap(double estimate, double margin, double roofline_cap) {
+  if (!std::isfinite(estimate) || estimate <= 0.0) {
+    return roofline_cap;
+  }
+  const double scaled = margin * estimate;
+  if (!std::isfinite(scaled)) {
+    return roofline_cap;  // absurd margins (calibration probes use 1e300) carry no bound
+  }
+  return std::min(scaled, roofline_cap);
+}
+
+}  // namespace distserve::placement

@@ -1,0 +1,58 @@
+// Tier-1 analytic goodput estimator for the tiered-fidelity placement search (DESIGN.md §15).
+//
+// The placement algorithms evaluate hundreds of candidate parallelism configs, each via a
+// FindMaxRate binary search over discrete-event trace simulations (tier 2). Most candidates
+// lose; pricing them with full simulations is where fig8-style runs spend their time. This
+// module prices a candidate analytically instead: Appendix-A service times (batched through
+// LatencyModel::EvaluateBatch, one call per config) combined with the closed-form M/D/1
+// inverse from queueing/md1.h give an estimated max rate at which the config still meets its
+// SLO. The estimate is *structurally optimistic* — mean-length requests (Jensen-favourable
+// for the quadratic attention term), ideal batch formation, a mean-wait (not tail) SLO
+// criterion, and zero decode-side queueing — so multiplying it by a calibrated optimism
+// margin and clamping to the existing roofline yields an upper bound the search can both
+// prune against and clamp simulated results to. See SanitizedAnalyticCap and the tier
+// contract in placement/algorithms.h: the analytic tier may only skip configs it can prove
+// cannot beat the incumbent, never change a simulated verdict.
+#ifndef DISTSERVE_PLACEMENT_ANALYTIC_TIER_H_
+#define DISTSERVE_PLACEMENT_ANALYTIC_TIER_H_
+
+#include <cstdint>
+
+#include "model/latency_model.h"
+#include "workload/dataset.h"
+
+namespace distserve::placement {
+
+// Estimated max sustainable request rate of a prefill instance under a TTFT SLO. For each
+// power-of-two batch size b up to `max_batch` (the simulator's batch cap) at the mean prompt
+// length: the queueing budget is ttft_slo minus the batch's full forward latency, the
+// per-request service interval is the pipelined batch cadence divided by b, and the M/D/1
+// waiting-time inverse turns the budget into a rate. The best batch size wins. All (stage,
+// full) pairs are priced in one EvaluateBatch call. Returns 0 when no batch size leaves a
+// positive queueing budget — "no feasible operating point", which callers must treat as
+// no-information, not as a bound (see SanitizedAnalyticCap).
+double AnalyticMaxPrefillRate(const model::LatencyModel& lm, double ttft_slo,
+                              const workload::LengthSample& mean, int max_batch);
+
+// Estimated max sustainable request rate of a decode instance under a TPOT SLO. Scans every
+// batch size b up to min(max_batch, kv_capacity / mean request footprint) — priced densely in
+// one EvaluateBatch call over Decode(b, b * mean_input) points — keeps those whose step
+// cadence meets the TPOT SLO, and converts the best one's token rate to a request rate via
+// the mean output length. Context is under-estimated at the prompt length only (decoded
+// tokens grow it), matching the optimism of the roofline bound in algorithms.cc. Returns 0
+// when no batch size meets the SLO (no-information, as above).
+double AnalyticMaxDecodeRate(const model::LatencyModel& lm, double tpot_slo,
+                             const workload::LengthSample& mean, int64_t kv_capacity_tokens,
+                             int max_batch);
+
+// Turns a tier-1 estimate into a trustworthy rate cap: margin * estimate, clamped to
+// `roofline_cap` (the PR-1 prune bound, an upper bound by construction). A non-finite or
+// non-positive estimate — including the 0 "no feasible operating point" sentinel — carries no
+// information and degenerates to the roofline alone, so a miscalibrated or broken estimator
+// can cost probes but never tighten a bound incorrectly. Mirrors how algorithms.cc sanitizes
+// goodput-cache rate hints.
+double SanitizedAnalyticCap(double estimate, double margin, double roofline_cap);
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_ANALYTIC_TIER_H_

@@ -54,6 +54,16 @@ class CachedLm {
   double FullTime(const BatchWorkload& b) {
     return cache_ != nullptr ? cache_->FullTime(b) : lm_->FullTime(b);
   }
+  // Batched FullTime over a lattice: through the memo's batched interop when one is
+  // supplied, straight to the model's EvaluateBatch otherwise. Values are bit-identical to
+  // per-point FullTime either way (see step_time_cache.h / latency_model.h).
+  void FullTimes(const model::BatchWorkloadLattice& points, std::span<double> out) {
+    if (cache_ != nullptr) {
+      cache_->FullTimes(points, out);
+    } else {
+      lm_->EvaluateBatch(points, {}, out);
+    }
+  }
 
  private:
   const model::LatencyModel* lm_;
@@ -119,9 +129,14 @@ std::vector<double> PrefillFinishTimesView(CachedLm lm, const TraceView& trace,
   return finish;
 }
 
+// Steps priced per batched lattice call in the run-batched decode loop. Bounds the evaluation
+// wasted when an admission cuts a run short, while amortizing the call overhead for long
+// uninterrupted runs (mean output lengths are hundreds of tokens).
+constexpr int kDecodeStepChunk = 32;
+
 std::vector<double> DecodeTpotsView(CachedLm lm, int64_t kv_capacity_tokens,
                                     const TraceView& trace, std::span<const double> ready_times,
-                                    int max_batch_size) {
+                                    int max_batch_size, bool batched_steps) {
   DS_PROF_ZONE("fast_sim.decode");
   DS_CHECK_EQ(trace.size(), ready_times.size());
   DS_CHECK_GT(max_batch_size, 0);
@@ -160,6 +175,10 @@ std::vector<double> DecodeTpotsView(CachedLm lm, int64_t kv_capacity_tokens,
   int64_t used_tokens = 0;
   int64_t ctx_sum = 0;  // invariant: sum of ctx over `active` (exact: integer adds)
 
+  // Scratch for the run-batched path, reused across runs.
+  model::BatchWorkloadLattice lattice;
+  std::vector<double> step_times;
+
   while (next < order.size() || !active.empty()) {
     if (active.empty()) {
       now = std::max(now, ready_times[order[next]]);
@@ -183,18 +202,78 @@ std::vector<double> DecodeTpotsView(CachedLm lm, int64_t kv_capacity_tokens,
     if (active.empty()) {
       continue;  // jump to the next ready time at loop head
     }
-    // One decode step at the micro-batch lane cadence.
     const int64_t batch = static_cast<int64_t>(active.size());
     const int64_t lane_batch = (batch + pp - 1) / pp;
-    const int64_t lane_ctx = ctx_sum / pp;
-    now += lm.FullTime(BatchWorkload::Decode(lane_batch, std::max<int64_t>(lane_ctx, 1)));
-    // Survivors compact in place; the running context sum tracks the +1 per stepped request
-    // and the departure of completers.
+
+    if (!batched_steps) {
+      // Scalar reference path: one decode step at the micro-batch lane cadence per
+      // iteration. Kept verbatim as the ground truth the run-batched path is equivalence-
+      // tested against (tiered_search_test) and for the micro-benchmark ablation.
+      const int64_t lane_ctx = ctx_sum / pp;
+      now += lm.FullTime(BatchWorkload::Decode(lane_batch, std::max<int64_t>(lane_ctx, 1)));
+      size_t write = 0;
+      for (Active& a : active) {
+        --a.remaining;
+        ++a.ctx;
+        ++ctx_sum;
+        if (a.remaining <= 0) {
+          ctx_sum -= a.ctx;
+          tpot[a.idx] = (now - a.join) / static_cast<double>(trace[a.idx].output_len - 1);
+          used_tokens -= trace[a.idx].total_len();
+        } else {
+          active[write++] = a;
+        }
+      }
+      active.resize(write);
+      continue;
+    }
+
+    // Run-batched stepping. Between membership changes the batch is fixed and the context
+    // sum grows by exactly `batch` per step, so the next `run` step workloads form a known
+    // lattice: price them chunk-wise through one batched call each (step-cache interop
+    // included) instead of `run` scalar calls. Equivalence with the scalar path: the step
+    // times are bit-identical (EvaluateBatch mirrors FullTime), `now` accumulates them in
+    // the same order, and the loop stops stepping exactly where the scalar loop's admission
+    // check would fire — membership can only change at a completion (bounded by the
+    // smallest remaining count) or when `now` reaches the next admissible request's ready
+    // time (nothing else in the admission condition moves during a run).
+    int run = active[0].remaining;
+    for (const Active& a : active) {
+      run = std::min(run, a.remaining);
+    }
+    const bool admit_pending =
+        next < order.size() && static_cast<int>(active.size()) < max_batch_size &&
+        used_tokens + trace[order[next]].total_len() <= kv_capacity_tokens;
+    const double next_ready = admit_pending ? ready_times[order[next]] : 0.0;
+    int stepped = 0;
+    bool cut = false;
+    while (stepped < run && !cut) {
+      const int chunk = std::min(run - stepped, kDecodeStepChunk);
+      lattice.Clear();
+      for (int s = 0; s < chunk; ++s) {
+        const int64_t lane_ctx = (ctx_sum + static_cast<int64_t>(stepped + s) * batch) / pp;
+        lattice.PushBack(BatchWorkload::Decode(lane_batch, std::max<int64_t>(lane_ctx, 1)));
+      }
+      step_times.resize(static_cast<size_t>(chunk));
+      lm.FullTimes(lattice, step_times);
+      for (int s = 0; s < chunk; ++s) {
+        now += step_times[static_cast<size_t>(s)];
+        ++stepped;
+        if (admit_pending && next_ready <= now) {
+          cut = true;  // the scalar loop would admit before the next step; back to the head
+          break;
+        }
+      }
+    }
+    // Apply the whole run at once. Completions can only happen when the run ran to its
+    // completion bound (stepped == run == min remaining); an admission cut leaves everyone
+    // with tokens to go, and the same code handles both.
+    const int64_t delta = stepped;
+    ctx_sum += delta * batch;
     size_t write = 0;
     for (Active& a : active) {
-      --a.remaining;
-      ++a.ctx;
-      ++ctx_sum;
+      a.remaining -= stepped;
+      a.ctx += delta;
       if (a.remaining <= 0) {
         ctx_sum -= a.ctx;
         tpot[a.idx] = (now - a.join) / static_cast<double>(trace[a.idx].output_len - 1);
@@ -378,9 +457,10 @@ std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
                                         const workload::Trace& trace,
                                         const std::vector<double>& ready_times,
                                         int max_batch_size,
-                                        model::StepTimeCache* step_cache) {
+                                        model::StepTimeCache* step_cache,
+                                        bool batched_steps) {
   return DecodeTpotsView(CachedLm(lm, step_cache), kv_capacity_tokens, TraceView(trace),
-                         ready_times, max_batch_size);
+                         ready_times, max_batch_size, batched_steps);
 }
 
 std::vector<FastRecord> SimulateDisaggregated(const model::LatencyModel& prefill_lm,
@@ -415,7 +495,7 @@ std::vector<FastRecord> SimulateDisaggregated(const model::LatencyModel& prefill
     }
     const std::vector<double> tpots = DecodeTpotsView(
         CachedLm(decode_lm, config.decode_step_cache), config.decode_kv_capacity_tokens,
-        TraceView(trace, idx), ready, config.decode_max_batch);
+        TraceView(trace, idx), ready, config.decode_max_batch, /*batched_steps=*/true);
     for (size_t k = 0; k < idx.size(); ++k) {
       records[idx[k]].tpot = tpots[k];
     }

@@ -49,12 +49,21 @@ std::vector<double> SimulatePrefillFinishTimes(const model::LatencyModel& lm,
 // Decode-only instance: requests arrive at `ready_times` (first token already produced),
 // admission reserves the full final context against `kv_capacity_tokens`, and the batch steps
 // at the micro-batch lane cadence. Returns per-request TPOT (0 for single-token outputs).
+//
+// `batched_steps` selects the probe-loop implementation: true (default) prices whole
+// constant-membership runs of steps through LatencyModel::EvaluateBatch (one batched call
+// per chunk instead of one scalar call per step); false keeps the original per-step scalar
+// loop. Results are bit-identical — the batched evaluator mirrors the scalar arithmetic and
+// the run decomposition stops exactly at the scalar loop's membership changes — which
+// tiered_search_test asserts; the flag exists for that test and the micro-benchmark
+// ablation, not for behavior.
 std::vector<double> SimulateDecodeTpots(const model::LatencyModel& lm,
                                         int64_t kv_capacity_tokens,
                                         const workload::Trace& trace,
                                         const std::vector<double>& ready_times,
                                         int max_batch_size,
-                                        model::StepTimeCache* step_cache = nullptr);
+                                        model::StepTimeCache* step_cache = nullptr,
+                                        bool batched_steps = true);
 
 struct DisaggregatedFastConfig {
   int num_prefill = 1;

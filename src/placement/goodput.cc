@@ -44,6 +44,13 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
   // warm-started or not — is what lets the trace cache share probe traces across configs and
   // keeps hinted searches on the same pass/fail boundary as cold ones.
   auto lattice = [&](int k) { return options.rate_probe * std::ldexp(1.0, k); };
+  // Cap-out short-circuit (see GoodputSearchOptions::rate_cap): `capped(r)` is checked
+  // exactly when r has just been established as a passing rate, i.e. whenever the running
+  // result `lo` is raised. Since the uncut search can only return a value >= any passing
+  // probe, exiting with r here is indistinguishable from the full walk to a caller that
+  // clamps the result to the cap.
+  const bool has_cap = options.rate_cap > 0.0 && std::isfinite(options.rate_cap);
+  auto capped = [&](double passing_rate) { return has_cap && passing_rate >= options.rate_cap; };
 
   double lo;
   int first_fail_k;  // hi = lattice(first_fail_k)
@@ -58,6 +65,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
     if (attainment_at_rate(lattice(k0)) >= options.attainment_target) {
       // Walk up to the first failing lattice point (identical to the cold walk from k0).
       lo = lattice(k0);
+      if (capped(lo)) {
+        return lo;
+      }
       int k = k0 + 1;
       while (true) {
         if (lattice(k) > kRateCeiling) {
@@ -67,6 +77,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
           break;
         }
         lo = lattice(k);
+        if (capped(lo)) {
+          return lo;
+        }
         ++k;
       }
       first_fail_k = k;
@@ -84,6 +97,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
         first_fail_k = 0;
       } else {
         lo = lattice(k);
+        if (capped(lo)) {
+          return lo;
+        }
         first_fail_k = k + 1;
       }
     }
@@ -96,6 +112,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
     int k = 0;
     while (attainment_at_rate(lattice(k)) >= options.attainment_target) {
       lo = lattice(k);
+      if (capped(lo)) {
+        return lo;
+      }
       ++k;
       if (lattice(k) > kRateCeiling) {
         return lo;  // effectively unbounded for this trial size
@@ -109,6 +128,9 @@ double FindMaxRate(const std::function<double(const workload::Trace&)>& attainme
     const double mid = 0.5 * (lo + hi);
     if (attainment_at_rate(mid) >= options.attainment_target) {
       lo = mid;
+      if (capped(lo)) {
+        return lo;
+      }
     } else {
       hi = mid;
     }

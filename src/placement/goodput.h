@@ -44,10 +44,24 @@ struct GoodputSearchOptions {
   workload::TraceCache* trace_cache = nullptr;
 
   // When > 0 (and finite; anything else is ignored), start the exponential probe at the
-  // lattice point nearest this rate instead of at rate_probe (typically the previous search's
-  // result for the same config). Callers with an analytic rate bound should clamp the hint to
-  // it first — a hint loaded from disk can predate a recalibration (see algorithms.cc).
+  // lattice point nearest this rate instead of at rate_probe. Two sources today: the
+  // previous search's result for the same config (replanning after traffic drift), and —
+  // on cold searches — the tier-1 analytic estimate of the config's max rate
+  // (placement/analytic_tier.h). Callers with an analytic rate bound should clamp the hint
+  // to it first — a hint loaded from disk can predate a recalibration (see algorithms.cc).
   double rate_hint = 0.0;
+
+  // When > 0 (and finite), the search short-circuits as soon as a PASSING probe's rate
+  // reaches this cap, returning that probe's rate. Exact for any caller that clamps the
+  // result to the same cap: the search's running result only ever increases and is always a
+  // passing rate, so the uncut search would have returned some R >= the passing probe >=
+  // cap, and min(R, cap) == cap == min(early_exit_rate, cap) — bit for bit, with no
+  // monotonicity assumption on the attainment function. This is what collapses "cap-out"
+  // searches (decode configs whose attainment never fails at any probe rate) from a full
+  // exponential walk to the rate ceiling into one or two probes. The placement search sets
+  // it to the tier-1 analytic cap it already clamps results to (see algorithms.cc); leave 0
+  // to resolve the raw rate fully.
+  double rate_cap = 0.0;
 };
 
 // Cost accounting for one search (Figure 12 / PlannerResult reporting).

@@ -46,6 +46,17 @@ double IntraOp2AvgTtft(double rate, double service_time, double speedup_k) {
              (2.0 * speedup_k * (speedup_k - rate * service_time));
 }
 
+double Md1MaxRateForQueueingDelay(double service_time, double max_wait) {
+  DS_CHECK_GT(service_time, 0.0);
+  if (!(max_wait > 0.0)) {
+    return 0.0;  // also catches NaN
+  }
+  if (max_wait == kInf) {
+    return 1.0 / service_time;  // stability limit
+  }
+  return 2.0 * max_wait / (service_time * service_time + 2.0 * service_time * max_wait);
+}
+
 double Md1MaxStableRate(double service_time) { return 1.0 / service_time; }
 
 double InterOp2MaxStableRate(double service_time) { return 2.0 / service_time; }

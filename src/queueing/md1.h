@@ -25,6 +25,14 @@ double InterOp2AvgTtft(double rate, double service_time);
 // Avg_TTFT = D/K + R*D^2 / (2*K*(K - R*D)).
 double IntraOp2AvgTtft(double rate, double service_time, double speedup_k);
 
+// Inverse of Eq. 1's waiting-time term: the largest arrival rate R at which an M/D/1 queue
+// with deterministic service time D keeps the average wait-in-queue at or below `max_wait`.
+// Solving W = R*D^2 / (2*(1 - R*D)) for R gives R = 2W / (D^2 + 2*D*W), which is always
+// strictly below the stability limit 1/D. Returns 0 for max_wait <= 0 (or NaN) and 1/D for
+// max_wait = +infinity. This is the analytic tier-1 goodput estimator's workhorse
+// (see placement/analytic_tier.h).
+double Md1MaxRateForQueueingDelay(double service_time, double max_wait);
+
 // Maximum stable rate of each variant (utilization < 1).
 double Md1MaxStableRate(double service_time);
 double InterOp2MaxStableRate(double service_time);
