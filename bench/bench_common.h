@@ -105,9 +105,18 @@ class BenchJson {
 class PersistentGoodputCache {
  public:
   PersistentGoodputCache(std::string path, const cluster::GpuSpec& gpu)
+      : PersistentGoodputCache(std::move(path),
+                               std::vector<model::LatencyCoefficients>{
+                                   model::LatencyCoefficients::FromGpu(gpu)}) {}
+
+  // Fleet variant: the calibration hash spans every pool's coefficients (a one-pool fleet
+  // hashes identically to the single-GPU constructor, so the same cache file serves both).
+  PersistentGoodputCache(std::string path, const cluster::HeteroClusterSpec& fleet)
+      : PersistentGoodputCache(std::move(path), FleetCoefficients(fleet)) {}
+
+  PersistentGoodputCache(std::string path, const std::vector<model::LatencyCoefficients>& coeffs)
       : path_(std::move(path)),
-        hash_(placement::GoodputCacheStore::CalibrationHash(
-            model::LatencyCoefficients::FromGpu(gpu))) {
+        hash_(placement::GoodputCacheStore::CalibrationHash(coeffs)) {
     if (!path_.empty()) {
       load_ = placement::GoodputCacheStore::Load(path_, hash_, &cache_);
     }
@@ -137,6 +146,16 @@ class PersistentGoodputCache {
   }
 
  private:
+  static std::vector<model::LatencyCoefficients> FleetCoefficients(
+      const cluster::HeteroClusterSpec& fleet) {
+    std::vector<model::LatencyCoefficients> coeffs;
+    coeffs.reserve(fleet.pools.size());
+    for (const cluster::GpuPool& pool : fleet.pools) {
+      coeffs.push_back(model::LatencyCoefficients::FromGpu(pool.gpu));
+    }
+    return coeffs;
+  }
+
   std::string path_;
   uint64_t hash_;
   placement::GoodputCache cache_;
@@ -361,12 +380,16 @@ inline void PrintBanner(const std::string& title) {
 // the chosen plan, and therefore stdout, is bit-identical either way (the CI determinism job
 // diffs exactly this); only the planner's cost accounting moves, surfaced through the optional
 // `planner_out`.
+// `cluster` defaults to the paper testbed; a bench's --cluster flag may substitute any
+// homogeneous cluster (e.g. one pool of a parsed fleet) — the default produces stdout
+// byte-identical to the pre-flag behavior.
 inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed,
                                   placement::GoodputCache* goodput_cache = nullptr,
                                   trace::Recorder* recorder = nullptr,
                                   bool use_analytic_tier = true,
-                                  placement::PlannerResult* planner_out = nullptr) {
-  const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
+                                  placement::PlannerResult* planner_out = nullptr,
+                                  const cluster::ClusterSpec& cluster =
+                                      cluster::ClusterSpec::PaperTestbed()) {
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
 
   // DistServe: one Algorithm-2 segment pair.

@@ -12,9 +12,15 @@
 // the full search). Stdout stays byte-identical across runs — warm-cached or cold, traced or
 // not, tier on or off — so the CI determinism job can diff them; timing, cache-hit, and
 // planner search-cost accounting go only into the JSON artifact.
+//
+// --cluster=SPEC (cluster/spec_parse.h grammar) substitutes a different homogeneous cluster
+// for the paper testbed; multi-pool fleets are fig_hetero's job and are rejected here. When
+// the flag is absent nothing is printed about the cluster, so default stdout is byte-identical
+// to the pre-flag output.
 #include <cstring>
 
 #include "bench/bench_common.h"
+#include "cluster/spec_parse.h"
 
 int main(int argc, char** argv) {
   using namespace distserve::bench;
@@ -23,6 +29,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string cache_flag;
   std::string trace_path;
+  std::string cluster_spec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -34,13 +41,35 @@ int main(int argc, char** argv) {
       cache_flag = argv[i] + 16;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--cluster=", 10) == 0) {
+      cluster_spec = argv[i] + 10;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] [--trace=PATH] "
-                   "[--no-analytic-tier]\n",
+                   "[--no-analytic-tier] [--cluster=SPEC]\n",
                    argv[0]);
       return 2;
     }
+  }
+  distserve::cluster::ClusterSpec cluster = distserve::cluster::ClusterSpec::PaperTestbed();
+  if (!cluster_spec.empty()) {
+    std::string error;
+    const auto fleet = distserve::cluster::ParseClusterSpec(cluster_spec, &error);
+    if (!fleet) {
+      std::fprintf(stderr, "--cluster=%s: %s\n", cluster_spec.c_str(), error.c_str());
+      return 2;
+    }
+    if (fleet->pools.size() != 1) {
+      std::fprintf(stderr,
+                   "--cluster=%s: fig8 plans homogeneous clusters; use fig_hetero for "
+                   "multi-pool fleets\n",
+                   cluster_spec.c_str());
+      return 2;
+    }
+    cluster = fleet->PoolCluster(0);
+    std::printf("# cluster: %s (%s)\n",
+                distserve::cluster::FleetToString(*fleet).c_str(),
+                cluster.gpu.name.c_str());
   }
   if (!trace_path.empty() && !distserve::trace::kCompiledIn) {
     std::fprintf(stderr,
@@ -50,25 +79,24 @@ int main(int argc, char** argv) {
   distserve::trace::Recorder* rec = trace_path.empty() ? nullptr : &recorder;
 
   PersistentGoodputCache persist(
-      distserve::placement::GoodputCacheStore::ResolvePath(cache_flag),
-      distserve::cluster::ClusterSpec::PaperTestbed().gpu);
+      distserve::placement::GoodputCacheStore::ResolvePath(cache_flag), cluster.gpu);
 
   const WallTimer timer;
   PlannerAccounting accounting;
   distserve::placement::PlannerResult planned;
   if (smoke) {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81, persist.cache(),
-                          rec, analytic_tier, &planned);
+                          rec, analytic_tier, &planned, cluster);
     accounting.Add(planned);
   } else {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81, persist.cache(),
-                          rec, analytic_tier, &planned);
+                          rec, analytic_tier, &planned, cluster);
     accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82, persist.cache(),
-                          rec, analytic_tier, &planned);
+                          rec, analytic_tier, &planned, cluster);
     accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83,
-                          persist.cache(), rec, analytic_tier, &planned);
+                          persist.cache(), rec, analytic_tier, &planned, cluster);
     accounting.Add(planned);
   }
   persist.Save();

@@ -18,6 +18,7 @@ GpuSpec GpuSpec::A100_80GB() {
   spec.memory_efficiency = 0.55;
   spec.nvlink_bandwidth = 300.0 * kGiga;
   spec.allreduce_latency = 8e-6;
+  spec.hourly_cost_usd = 2.00;
   return spec;
 }
 
@@ -25,6 +26,40 @@ GpuSpec GpuSpec::A100_40GB() {
   GpuSpec spec = A100_80GB();
   spec.name = "A100-SXM4-40GB";
   spec.memory_bytes = 40 * kGiB;
+  spec.hourly_cost_usd = 1.50;
+  return spec;
+}
+
+GpuSpec GpuSpec::H100_80GB() {
+  GpuSpec spec;
+  spec.name = "H100-SXM5-80GB";
+  spec.peak_fp16_flops = 989.0 * kTera;
+  spec.hbm_bandwidth = 3350.0 * kGiga;
+  spec.memory_bytes = 80 * kGiB;
+  // The achievable-efficiency derates are kept at the A100's calibrated values: the serving
+  // engine's MFU and bandwidth utilisation are dominated by kernel shape and runtime
+  // overheads, not by the SKU, and no per-SKU profile exists to calibrate finer.
+  spec.compute_efficiency = 0.30;
+  spec.memory_efficiency = 0.55;
+  spec.nvlink_bandwidth = 450.0 * kGiga;
+  spec.allreduce_latency = 8e-6;
+  spec.hourly_cost_usd = 4.10;
+  return spec;
+}
+
+GpuSpec GpuSpec::L4_24GB() {
+  GpuSpec spec;
+  spec.name = "L4-24GB";
+  spec.peak_fp16_flops = 121.0 * kTera;
+  spec.hbm_bandwidth = 300.0 * kGiga;
+  spec.memory_bytes = 24 * kGiB;
+  spec.compute_efficiency = 0.30;
+  spec.memory_efficiency = 0.55;
+  // No NVLink: tensor-parallel collectives ride PCIe Gen4 (~25 GB/s usable per direction)
+  // with a noticeably higher launch latency.
+  spec.nvlink_bandwidth = 25.0 * kGiga;
+  spec.allreduce_latency = 15e-6;
+  spec.hourly_cost_usd = 0.80;
   return spec;
 }
 

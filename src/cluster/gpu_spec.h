@@ -5,6 +5,12 @@
 // coefficients C1..C5. Keeping the spec separate from the coefficients lets tests swap in
 // hypothetical hardware (e.g. halved HBM bandwidth) and check that conclusions shift the way
 // the paper's analysis predicts.
+//
+// Beyond the paper's uniform A100 fleet, additional SKUs (H100-class, L4-class) and an $/hr
+// price tag back the heterogeneous-pool extension (cluster/topology.h, DESIGN.md §16): each
+// pool of a mixed fleet carries one of these specs, so per-pool Appendix-A coefficients and
+// the MinCost placement objective fall out of the existing GpuSpec -> LatencyCoefficients
+// derivation with no extra machinery.
 #ifndef DISTSERVE_CLUSTER_GPU_SPEC_H_
 #define DISTSERVE_CLUSTER_GPU_SPEC_H_
 
@@ -42,6 +48,11 @@ struct GpuSpec {
   // Per-collective launch latency for NCCL-style all-reduce, seconds.
   double allreduce_latency = 8e-6;
 
+  // On-demand price, US dollars per GPU-hour (representative 2024 cloud list prices). Feeds
+  // the MinCost placement objective and the cost-per-million-requests metric; it never enters
+  // the latency model, so two specs differing only in price simulate identically.
+  double hourly_cost_usd = 0.0;
+
   // Effective FLOP/s and bytes/s after derating.
   double effective_flops() const { return peak_fp16_flops * compute_efficiency; }
   double effective_bandwidth() const { return hbm_bandwidth * memory_efficiency; }
@@ -52,6 +63,18 @@ struct GpuSpec {
 
   // NVIDIA A100-SXM4-40GB: same compute/bandwidth, half the memory. Used in capacity tests.
   static GpuSpec A100_40GB();
+
+  // NVIDIA H100-SXM5-80GB: 989 TFLOPS dense FP16 tensor, 3350 GB/s HBM3, 900 GB/s NVLink
+  // (aggregate bidirectional; ~450 GB/s per direction). The compute-matched pool for
+  // prefill-heavy phases: ~3.2x the A100's FLOPs at ~2x the price.
+  static GpuSpec H100_80GB();
+
+  // NVIDIA L4-24GB: 121 TFLOPS dense FP16 tensor, 300 GB/s GDDR6, no NVLink (PCIe Gen4 at
+  // ~25 GB/s usable per direction, higher collective launch latency). A cheap capacity-class
+  // SKU: per dollar it buys more FLOPs than an A100 but far less bandwidth, so it suits
+  // neither phase of a large model well — the planner should route around it, and tests use
+  // it to check that it does.
+  static GpuSpec L4_24GB();
 };
 
 }  // namespace distserve::cluster

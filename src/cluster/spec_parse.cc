@@ -1,0 +1,134 @@
+#include "cluster/spec_parse.h"
+
+#include <sstream>
+#include <vector>
+
+namespace distserve::cluster {
+
+namespace {
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+// Parses a strictly positive decimal integer; rejects empty, signs, and trailing junk.
+bool ParsePositiveInt(const std::string& text, int* out) {
+  if (text.empty() || text.size() > 6) {
+    return false;
+  }
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value <= 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool LookupSku(const std::string& token, GpuSpec* out) {
+  if (token == "a100") {
+    *out = GpuSpec::A100_80GB();
+  } else if (token == "a100-40") {
+    *out = GpuSpec::A100_40GB();
+  } else if (token == "h100") {
+    *out = GpuSpec::H100_80GB();
+  } else if (token == "l4") {
+    *out = GpuSpec::L4_24GB();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParsePool(const std::string& token, GpuPool* out, std::string* error) {
+  const std::vector<std::string> parts = Split(token, ':');
+  if (parts.size() > 2) {
+    return SetError(error, "bad pool '" + token + "': expected SKU[:NODESxGPUS]");
+  }
+  GpuPool pool;
+  if (!LookupSku(parts[0], &pool.gpu)) {
+    return SetError(error, "unknown SKU '" + parts[0] +
+                               "' (known: a100, a100-40, h100, l4; presets: paper, "
+                               "infiniband, mixed)");
+  }
+  pool.name = parts[0];
+  pool.num_nodes = 4;
+  pool.gpus_per_node = 8;
+  if (parts.size() == 2) {
+    const std::vector<std::string> shape = Split(parts[1], 'x');
+    if (shape.size() != 2 || !ParsePositiveInt(shape[0], &pool.num_nodes) ||
+        !ParsePositiveInt(shape[1], &pool.gpus_per_node)) {
+      return SetError(error, "bad shape '" + parts[1] + "' in pool '" + token +
+                                 "': expected NODESxGPUS with both positive");
+    }
+  }
+  *out = std::move(pool);
+  return true;
+}
+
+}  // namespace
+
+std::optional<HeteroClusterSpec> ParseClusterSpec(const std::string& spec, std::string* error) {
+  if (spec.empty()) {
+    SetError(error, "empty cluster spec");
+    return std::nullopt;
+  }
+  if (spec == "paper") {
+    return HeteroClusterSpec::Uniform(ClusterSpec::PaperTestbed());
+  }
+  if (spec == "infiniband") {
+    return HeteroClusterSpec::Uniform(ClusterSpec::InfinibandCluster());
+  }
+  if (spec == "mixed") {
+    return HeteroClusterSpec::MixedFleet();
+  }
+  HeteroClusterSpec fleet;  // pool lists use the default (paper-testbed) fabric constants
+  for (const std::string& token : Split(spec, ',')) {
+    GpuPool pool;
+    if (!ParsePool(token, &pool, error)) {
+      return std::nullopt;
+    }
+    if (fleet.FindPool(pool.name) >= 0) {
+      SetError(error, "duplicate pool '" + pool.name + "': each SKU may appear at most once");
+      return std::nullopt;
+    }
+    fleet.pools.push_back(std::move(pool));
+  }
+  return fleet;
+}
+
+std::string FleetToString(const HeteroClusterSpec& fleet) {
+  std::ostringstream out;
+  for (size_t i = 0; i < fleet.pools.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    const GpuPool& pool = fleet.pools[i];
+    out << pool.name << ":" << pool.num_nodes << "x" << pool.gpus_per_node;
+  }
+  return out.str();
+}
+
+}  // namespace distserve::cluster

@@ -1,0 +1,39 @@
+// Textual cluster-spec grammar for bench `--cluster=SPEC` flags.
+//
+// SPEC is either a preset name or a comma-separated pool list:
+//
+//   SPEC  := PRESET | POOL ("," POOL)*
+//   POOL  := SKU [":" NODES "x" GPUS]
+//   PRESET:= "paper" (4x8 A100, 25 Gbps) | "infiniband" (same, 800 Gbps)
+//          | "mixed" (HeteroClusterSpec::MixedFleet: h100:2x8,a100:4x8,l4:2x8)
+//   SKU   := "a100" | "a100-40" | "h100" | "l4"
+//
+// A SKU without an explicit shape defaults to 4 nodes x 8 GPUs. Pool names in the resulting
+// fleet are the SKU tokens, so every SKU may appear at most once. Examples:
+//
+//   --cluster=paper                  the paper testbed, byte-identical to the default
+//   --cluster=h100:2x8,a100:4x8     a two-pool mixed fleet
+//   --cluster=mixed                  the fig_hetero demo fleet
+#ifndef DISTSERVE_CLUSTER_SPEC_PARSE_H_
+#define DISTSERVE_CLUSTER_SPEC_PARSE_H_
+
+#include <optional>
+#include <string>
+
+#include "cluster/topology.h"
+
+namespace distserve::cluster {
+
+// Parses `spec` per the grammar above. Returns std::nullopt on any syntax error, unknown
+// SKU/preset, duplicate pool name, or non-positive shape; when `error` is non-null it
+// receives a one-line diagnostic.
+std::optional<HeteroClusterSpec> ParseClusterSpec(const std::string& spec,
+                                                  std::string* error = nullptr);
+
+// Renders a fleet back into the pool-list form of the grammar ("h100:2x8,a100:4x8").
+// Round-trips through ParseClusterSpec for fleets built from known SKUs.
+std::string FleetToString(const HeteroClusterSpec& fleet);
+
+}  // namespace distserve::cluster
+
+#endif  // DISTSERVE_CLUSTER_SPEC_PARSE_H_

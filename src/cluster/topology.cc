@@ -46,6 +46,85 @@ ClusterSpec ClusterSpec::Degraded(int failed_gpus) const {
   return spec;
 }
 
+int HeteroClusterSpec::total_gpus() const {
+  int total = 0;
+  for (const GpuPool& pool : pools) {
+    total += pool.total_gpus();
+  }
+  return total;
+}
+
+double HeteroClusterSpec::hourly_cost() const {
+  double cost = 0.0;
+  for (const GpuPool& pool : pools) {
+    cost += pool.hourly_cost();
+  }
+  return cost;
+}
+
+int HeteroClusterSpec::FindPool(const std::string& name) const {
+  for (size_t i = 0; i < pools.size(); ++i) {
+    if (pools[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+ClusterSpec HeteroClusterSpec::PoolCluster(size_t i) const {
+  DS_CHECK_LT(i, pools.size());
+  ClusterSpec spec;
+  spec.gpu = pools[i].gpu;
+  spec.num_nodes = pools[i].num_nodes;
+  spec.gpus_per_node = pools[i].gpus_per_node;
+  spec.cross_node_bandwidth = cross_node_bandwidth;
+  spec.cross_node_latency = cross_node_latency;
+  spec.intra_node_latency = intra_node_latency;
+  return spec;
+}
+
+HeteroClusterSpec HeteroClusterSpec::Degraded(const std::vector<int>& failed_per_pool) const {
+  DS_CHECK_EQ(failed_per_pool.size(), pools.size());
+  HeteroClusterSpec out = *this;
+  out.pools.clear();
+  for (size_t i = 0; i < pools.size(); ++i) {
+    const int failed = failed_per_pool[i];
+    DS_CHECK_GE(failed, 0);
+    DS_CHECK_LE(failed, pools[i].total_gpus());
+    if (failed == pools[i].total_gpus()) {
+      continue;  // no survivors in this pool: drop it, replans fall back to the others
+    }
+    GpuPool pool = pools[i];
+    if (failed > 0) {
+      const ClusterSpec degraded = PoolCluster(i).Degraded(failed);
+      pool.num_nodes = degraded.num_nodes;
+      pool.gpus_per_node = degraded.gpus_per_node;
+    }
+    out.pools.push_back(std::move(pool));
+  }
+  DS_CHECK(!out.pools.empty()) << "no survivors: the fleet is fully dead";
+  return out;
+}
+
+HeteroClusterSpec HeteroClusterSpec::Uniform(const ClusterSpec& spec, std::string name) {
+  HeteroClusterSpec fleet;
+  fleet.cross_node_bandwidth = spec.cross_node_bandwidth;
+  fleet.cross_node_latency = spec.cross_node_latency;
+  fleet.intra_node_latency = spec.intra_node_latency;
+  fleet.pools.push_back(
+      GpuPool{std::move(name), spec.gpu, spec.num_nodes, spec.gpus_per_node});
+  return fleet;
+}
+
+HeteroClusterSpec HeteroClusterSpec::MixedFleet() {
+  HeteroClusterSpec fleet;
+  fleet.cross_node_bandwidth = 25.0e9 / 8.0;  // paper testbed's 25 Gbps cross-node network
+  fleet.pools.push_back(GpuPool{"h100", GpuSpec::H100_80GB(), 2, 8});
+  fleet.pools.push_back(GpuPool{"a100", GpuSpec::A100_80GB(), 4, 8});
+  fleet.pools.push_back(GpuPool{"l4", GpuSpec::L4_24GB(), 2, 8});
+  return fleet;
+}
+
 GpuAllocator::GpuAllocator(const ClusterSpec& spec)
     : spec_(spec),
       busy_(static_cast<size_t>(spec.num_nodes),
@@ -125,6 +204,80 @@ void GpuAllocator::Free(const std::vector<GpuId>& gpus) {
     busy_[static_cast<size_t>(id.node)][static_cast<size_t>(id.index)] = false;
     ++free_count_;
   }
+}
+
+HeteroGpuAllocator::HeteroGpuAllocator(const HeteroClusterSpec& fleet) {
+  per_pool_.reserve(fleet.pools.size());
+  for (size_t i = 0; i < fleet.pools.size(); ++i) {
+    per_pool_.emplace_back(fleet.PoolCluster(i));
+  }
+}
+
+std::optional<std::vector<PoolGpuId>> HeteroGpuAllocator::Allocate(int pool, int count,
+                                                                   int per_node) {
+  DS_CHECK_GE(pool, 0);
+  DS_CHECK_LT(static_cast<size_t>(pool), per_pool_.size());
+  auto gpus = per_pool_[static_cast<size_t>(pool)].Allocate(count, per_node);
+  if (!gpus) {
+    return std::nullopt;
+  }
+  std::vector<PoolGpuId> result;
+  result.reserve(gpus->size());
+  for (const GpuId& id : *gpus) {
+    result.push_back(PoolGpuId{pool, id});
+  }
+  return result;
+}
+
+void HeteroGpuAllocator::Free(const std::vector<PoolGpuId>& gpus) {
+  for (const PoolGpuId& id : gpus) {
+    DS_CHECK_GE(id.pool, 0);
+    DS_CHECK_LT(static_cast<size_t>(id.pool), per_pool_.size());
+    per_pool_[static_cast<size_t>(id.pool)].Free({id.gpu});
+  }
+}
+
+void HeteroGpuAllocator::MarkFailed(const PoolGpuId& gpu) {
+  DS_CHECK_GE(gpu.pool, 0);
+  DS_CHECK_LT(static_cast<size_t>(gpu.pool), per_pool_.size());
+  per_pool_[static_cast<size_t>(gpu.pool)].MarkFailed(gpu.gpu);
+}
+
+int HeteroGpuAllocator::free_gpus(int pool) const {
+  DS_CHECK_GE(pool, 0);
+  DS_CHECK_LT(static_cast<size_t>(pool), per_pool_.size());
+  return per_pool_[static_cast<size_t>(pool)].free_gpus();
+}
+
+int HeteroGpuAllocator::failed_gpus(int pool) const {
+  DS_CHECK_GE(pool, 0);
+  DS_CHECK_LT(static_cast<size_t>(pool), per_pool_.size());
+  return per_pool_[static_cast<size_t>(pool)].failed_gpus();
+}
+
+int HeteroGpuAllocator::free_gpus() const {
+  int total = 0;
+  for (const GpuAllocator& alloc : per_pool_) {
+    total += alloc.free_gpus();
+  }
+  return total;
+}
+
+int HeteroGpuAllocator::failed_gpus() const {
+  int total = 0;
+  for (const GpuAllocator& alloc : per_pool_) {
+    total += alloc.failed_gpus();
+  }
+  return total;
+}
+
+std::vector<int> HeteroGpuAllocator::FailedPerPool() const {
+  std::vector<int> failed;
+  failed.reserve(per_pool_.size());
+  for (const GpuAllocator& alloc : per_pool_) {
+    failed.push_back(alloc.failed_gpus());
+  }
+  return failed;
 }
 
 }  // namespace distserve::cluster

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/gpu_spec.h"
@@ -59,6 +60,55 @@ struct ClusterSpec {
   static ClusterSpec InfinibandCluster();
 };
 
+// One homogeneous slice of a heterogeneous fleet: a named block of nodes sharing a GpuSpec.
+// Pools never share nodes, so an instance lives entirely inside one pool and KV transfers
+// between pools always ride the cross-node network.
+struct GpuPool {
+  std::string name;  // short stable id ("a100", "h100", "l4"); keys plans and bench output
+  GpuSpec gpu;
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+
+  int total_gpus() const { return num_nodes * gpus_per_node; }
+  double hourly_cost() const { return total_gpus() * gpu.hourly_cost_usd; }
+};
+
+// A fleet of named heterogeneous pools behind one cross-node fabric (DESIGN.md §16). Each
+// pool is a homogeneous ClusterSpec in its own right — PoolCluster(i) materialises that view,
+// which is what the per-pool placement searches and latency models consume, so every existing
+// single-SKU code path works unchanged inside a pool.
+struct HeteroClusterSpec {
+  std::vector<GpuPool> pools;
+
+  // Fabric constants shared by every pool (same roles as in ClusterSpec).
+  double cross_node_bandwidth = 25.0e9 / 8.0;
+  double cross_node_latency = 10e-6;
+  double intra_node_latency = 2e-6;
+
+  int total_gpus() const;
+  double hourly_cost() const;
+
+  // Index of the pool named `name`, or -1.
+  int FindPool(const std::string& name) const;
+
+  // Pool `i` viewed as a homogeneous cluster (the fleet's fabric constants carried over).
+  ClusterSpec PoolCluster(size_t i) const;
+
+  // The surviving fleet after `failed_per_pool[i]` GPUs die in pool i (size must match
+  // pools.size()). Each pool degrades with ClusterSpec::Degraded's packed-failure semantics;
+  // a pool with no survivors is dropped outright, so a replan on the result automatically
+  // falls back to the surviving pools.
+  HeteroClusterSpec Degraded(const std::vector<int>& failed_per_pool) const;
+
+  // A single-pool fleet wrapping a homogeneous cluster (`name` labels the pool). Plans and
+  // searches on it match the plain ClusterSpec paths.
+  static HeteroClusterSpec Uniform(const ClusterSpec& spec, std::string name = "a100");
+
+  // The demo mixed fleet used by fig_hetero and tests: 2x8 H100 + 4x8 A100 + 2x8 L4 behind
+  // the paper testbed's 25 Gbps cross-node network.
+  static HeteroClusterSpec MixedFleet();
+};
+
 // First-fit allocator of physical GPUs. An instance's GPUs are allocated node-contiguously:
 // a request for `count` GPUs with `max_per_node` spread returns GPUs grouped so that each
 // node-group holds `per_node` consecutive GPUs (per_node = count / num_groups).
@@ -89,6 +139,42 @@ class GpuAllocator {
   std::vector<std::vector<bool>> failed_;  // [node][gpu index]; failed implies busy
   int free_count_ = 0;
   int failed_count_ = 0;
+};
+
+// Identifies one physical GPU in a heterogeneous fleet: (pool, node-within-pool, index).
+struct PoolGpuId {
+  int pool = 0;
+  GpuId gpu;
+
+  friend bool operator==(const PoolGpuId&, const PoolGpuId&) = default;
+};
+
+// Per-pool first-fit bookkeeping for a heterogeneous fleet: one GpuAllocator per pool, with
+// pool-qualified ids. Instances never span pools (pools differ in SKU), so allocation is
+// always directed at a single named pool.
+class HeteroGpuAllocator {
+ public:
+  explicit HeteroGpuAllocator(const HeteroClusterSpec& fleet);
+
+  // Allocates `count` GPUs inside pool `pool`, packed as GpuAllocator::Allocate does.
+  std::optional<std::vector<PoolGpuId>> Allocate(int pool, int count, int per_node);
+
+  void Free(const std::vector<PoolGpuId>& gpus);
+
+  // Takes one GPU out of service permanently; same semantics as GpuAllocator::MarkFailed.
+  void MarkFailed(const PoolGpuId& gpu);
+
+  int free_gpus(int pool) const;
+  int failed_gpus(int pool) const;
+  int free_gpus() const;    // across all pools
+  int failed_gpus() const;  // across all pools
+
+  // Failed-GPU counts per pool, in pool order — the shape HeteroClusterSpec::Degraded takes,
+  // so a replan on `fleet.Degraded(alloc.FailedPerPool())` sees exactly the surviving fleet.
+  std::vector<int> FailedPerPool() const;
+
+ private:
+  std::vector<GpuAllocator> per_pool_;
 };
 
 }  // namespace distserve::cluster

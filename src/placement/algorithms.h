@@ -45,6 +45,19 @@
 
 namespace distserve::placement {
 
+// What the planner optimizes (consumed by the heterogeneous fleet search in
+// placement/hetero.h; the homogeneous planners below are MaxGoodput by construction).
+//
+//   MaxGoodput — the paper's objective: maximize per-GPU goodput, replicate to the traffic
+//                rate. Uses every pool it helps on.
+//   MinGpus    — smallest total GPU count whose plan serves `traffic_rate` at the attainment
+//                target (SLO-aware allocation; ties broken by cost, then by goodput).
+//   MinCost    — cheapest $/hr fleet slice that serves `traffic_rate` at the attainment
+//                target (ties broken by GPU count, then by goodput). With per-pool $/hr
+//                prices this is the objective that routes each phase to the SKU it is
+//                compute/bandwidth-matched to.
+enum class PlannerObjective { kMaxGoodput, kMinGpus, kMinCost };
+
 struct PlannerInputs {
   model::ModelSpec model;
   cluster::ClusterSpec cluster;
@@ -60,6 +73,11 @@ struct PlannerInputs {
 
   // Decode batching cap.
   int decode_max_batch = 512;
+
+  // Objective for the heterogeneous fleet search (placement/hetero.h). The homogeneous
+  // planners ignore it — they implement the paper's MaxGoodput objective directly — so
+  // setting it never perturbs existing plans.
+  PlannerObjective objective = PlannerObjective::kMaxGoodput;
 
   // Safety derates applied to simulated phase goodputs before scoring and replication. The
   // decode-only simulator is optimistic: it sees smooth trace arrivals where the real decode

@@ -221,6 +221,24 @@ uint64_t GoodputCacheStore::CalibrationHash(const model::LatencyCoefficients& co
   return hash;
 }
 
+uint64_t GoodputCacheStore::CalibrationHash(
+    const std::vector<model::LatencyCoefficients>& coeffs) {
+  DS_CHECK(!coeffs.empty());
+  if (coeffs.size() == 1) {
+    return CalibrationHash(coeffs[0]);  // one-pool fleets share homogeneous cache files
+  }
+  // FNV-1a over the per-pool hashes, in pool order.
+  uint64_t hash = 14695981039346656037ull;
+  for (const model::LatencyCoefficients& c : coeffs) {
+    const uint64_t bits = CalibrationHash(c);
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
 GoodputCacheStore::LoadResult GoodputCacheStore::Load(const std::string& path,
                                                       uint64_t calibration_hash,
                                                       GoodputCache* cache) {

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/latency_model.h"
 #include "placement/goodput_cache.h"
@@ -52,6 +53,13 @@ class GoodputCacheStore {
   // patterns: flipping any single coefficient — e.g. a recalibration via FitCoefficients —
   // changes the hash and invalidates every persisted entry.
   static uint64_t CalibrationHash(const model::LatencyCoefficients& coeffs);
+
+  // Fleet variant for heterogeneous pools: the calibration of a multi-pool cache file is the
+  // ordered set of every pool's coefficients — recalibrating any pool (or reordering /
+  // resizing the fleet's pool list) invalidates the file. A single-element fleet hashes
+  // identically to the scalar overload, so cache files written by homogeneous runs stay
+  // readable when the same cluster is later expressed as a one-pool fleet, and vice versa.
+  static uint64_t CalibrationHash(const std::vector<model::LatencyCoefficients>& coeffs);
 
   enum class LoadStatus {
     kLoaded,               // entries merged into the cache

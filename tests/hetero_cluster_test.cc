@@ -1,0 +1,162 @@
+// Heterogeneous fleet topology (DESIGN.md §16): GpuPool/HeteroClusterSpec arithmetic, the
+// spec-string grammar, per-pool degradation (fail one pool wholesale, fail part of each), and
+// HeteroGpuAllocator's pool-qualified bookkeeping feeding Degraded for replans.
+#include <gtest/gtest.h>
+
+#include "cluster/spec_parse.h"
+#include "cluster/topology.h"
+
+namespace distserve::cluster {
+namespace {
+
+TEST(HeteroClusterSpecTest, MixedFleetShapeAndCost) {
+  const HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  ASSERT_EQ(fleet.pools.size(), 3u);
+  EXPECT_EQ(fleet.pools[0].name, "h100");
+  EXPECT_EQ(fleet.pools[1].name, "a100");
+  EXPECT_EQ(fleet.pools[2].name, "l4");
+  EXPECT_EQ(fleet.total_gpus(), 64);
+  // 16 x $4.10 + 32 x $2.00 + 16 x $0.80.
+  EXPECT_DOUBLE_EQ(fleet.hourly_cost(), 16 * 4.10 + 32 * 2.00 + 16 * 0.80);
+  EXPECT_EQ(fleet.FindPool("a100"), 1);
+  EXPECT_EQ(fleet.FindPool("tpu"), -1);
+}
+
+TEST(HeteroClusterSpecTest, PoolClusterCarriesFabricAndSku) {
+  HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  fleet.cross_node_bandwidth = 800e9 / 8.0;
+  const ClusterSpec pool = fleet.PoolCluster(2);
+  EXPECT_EQ(pool.gpu.name, fleet.pools[2].gpu.name);
+  EXPECT_EQ(pool.num_nodes, fleet.pools[2].num_nodes);
+  EXPECT_EQ(pool.gpus_per_node, fleet.pools[2].gpus_per_node);
+  EXPECT_DOUBLE_EQ(pool.cross_node_bandwidth, fleet.cross_node_bandwidth);
+}
+
+TEST(HeteroClusterSpecTest, UniformWrapsHomogeneousClusterExactly) {
+  const ClusterSpec paper = ClusterSpec::PaperTestbed();
+  const HeteroClusterSpec fleet = HeteroClusterSpec::Uniform(paper);
+  ASSERT_EQ(fleet.pools.size(), 1u);
+  EXPECT_EQ(fleet.pools[0].name, "a100");
+  EXPECT_EQ(fleet.total_gpus(), paper.total_gpus());
+  const ClusterSpec round = fleet.PoolCluster(0);
+  EXPECT_EQ(round.gpu.name, paper.gpu.name);
+  EXPECT_EQ(round.num_nodes, paper.num_nodes);
+  EXPECT_EQ(round.gpus_per_node, paper.gpus_per_node);
+  EXPECT_DOUBLE_EQ(round.cross_node_bandwidth, paper.cross_node_bandwidth);
+}
+
+TEST(HeteroClusterSpecTest, DegradedPartOfEachPool) {
+  const HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  // One node of h100 and one node of a100 die; l4 untouched. Pool order is preserved.
+  const HeteroClusterSpec degraded = fleet.Degraded({8, 8, 0});
+  ASSERT_EQ(degraded.pools.size(), 3u);
+  EXPECT_EQ(degraded.pools[0].name, "h100");
+  EXPECT_EQ(degraded.pools[0].total_gpus(), 8);
+  EXPECT_EQ(degraded.pools[1].total_gpus(), 24);
+  EXPECT_EQ(degraded.pools[2].total_gpus(), 16);
+}
+
+TEST(HeteroClusterSpecTest, DegradedDropsFullyFailedPool) {
+  const HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  const HeteroClusterSpec degraded = fleet.Degraded({16, 0, 0});
+  ASSERT_EQ(degraded.pools.size(), 2u);
+  EXPECT_EQ(degraded.pools[0].name, "a100");
+  EXPECT_EQ(degraded.pools[1].name, "l4");
+  EXPECT_EQ(degraded.total_gpus(), 48);
+}
+
+TEST(SpecParseTest, PresetsAndRoundTrip) {
+  std::string error;
+  const auto mixed = ParseClusterSpec("mixed", &error);
+  ASSERT_TRUE(mixed.has_value()) << error;
+  EXPECT_EQ(FleetToString(*mixed), FleetToString(HeteroClusterSpec::MixedFleet()));
+
+  const auto paper = ParseClusterSpec("paper", &error);
+  ASSERT_TRUE(paper.has_value()) << error;
+  ASSERT_EQ(paper->pools.size(), 1u);
+  EXPECT_EQ(paper->total_gpus(), ClusterSpec::PaperTestbed().total_gpus());
+
+  const auto fleet = ParseClusterSpec("h100:1x4,l4:2x8", &error);
+  ASSERT_TRUE(fleet.has_value()) << error;
+  EXPECT_EQ(FleetToString(*fleet), "h100:1x4,l4:2x8");
+  EXPECT_EQ(fleet->pools[0].total_gpus(), 4);
+  EXPECT_DOUBLE_EQ(fleet->pools[1].gpu.hourly_cost_usd, 0.80);
+}
+
+TEST(SpecParseTest, DefaultShapeAndErrors) {
+  std::string error;
+  const auto bare = ParseClusterSpec("a100", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->pools[0].num_nodes, 4);
+  EXPECT_EQ(bare->pools[0].gpus_per_node, 8);
+
+  EXPECT_FALSE(ParseClusterSpec("", &error).has_value());
+  EXPECT_FALSE(ParseClusterSpec("tpu:1x8", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseClusterSpec("a100:0x8", &error).has_value());
+  EXPECT_FALSE(ParseClusterSpec("a100:4", &error).has_value());
+  EXPECT_FALSE(ParseClusterSpec("a100:4x8,a100:1x8", &error).has_value());  // duplicate SKU
+}
+
+TEST(HeteroGpuAllocatorTest, AllocatesWithinOnePool) {
+  HeteroGpuAllocator alloc(HeteroClusterSpec::MixedFleet());
+  EXPECT_EQ(alloc.free_gpus(), 64);
+  const auto got = alloc.Allocate(/*pool=*/1, /*count=*/4, /*per_node=*/4);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 4u);
+  for (const PoolGpuId& id : *got) {
+    EXPECT_EQ(id.pool, 1);
+  }
+  EXPECT_EQ(alloc.free_gpus(1), 28);
+  EXPECT_EQ(alloc.free_gpus(0), 16);
+  alloc.Free(*got);
+  EXPECT_EQ(alloc.free_gpus(), 64);
+}
+
+TEST(HeteroGpuAllocatorTest, PoolExhaustionDoesNotSpill) {
+  HeteroGpuAllocator alloc(HeteroClusterSpec::MixedFleet());
+  // The l4 pool has 16 GPUs; a 17th must fail even though other pools are empty.
+  ASSERT_TRUE(alloc.Allocate(2, 16, 8).has_value());
+  EXPECT_FALSE(alloc.Allocate(2, 1, 8).has_value());
+  EXPECT_EQ(alloc.free_gpus(0), 16);
+}
+
+TEST(HeteroGpuAllocatorTest, FailWholePoolFeedsDegradedFallback) {
+  const HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  HeteroGpuAllocator alloc(fleet);
+  for (int node = 0; node < fleet.pools[0].num_nodes; ++node) {
+    for (int index = 0; index < fleet.pools[0].gpus_per_node; ++index) {
+      alloc.MarkFailed({0, {node, index}});
+    }
+  }
+  EXPECT_EQ(alloc.failed_gpus(0), 16);
+  EXPECT_EQ(alloc.failed_gpus(), 16);
+  EXPECT_EQ(alloc.FailedPerPool(), (std::vector<int>{16, 0, 0}));
+  EXPECT_FALSE(alloc.Allocate(0, 1, 8).has_value());
+
+  const HeteroClusterSpec degraded = fleet.Degraded(alloc.FailedPerPool());
+  ASSERT_EQ(degraded.pools.size(), 2u);
+  EXPECT_EQ(degraded.pools[0].name, "a100");
+}
+
+TEST(HeteroGpuAllocatorTest, FailPartOfEachPool) {
+  const HeteroClusterSpec fleet = HeteroClusterSpec::MixedFleet();
+  HeteroGpuAllocator alloc(fleet);
+  alloc.MarkFailed({0, {0, 0}});
+  alloc.MarkFailed({1, {2, 3}});
+  alloc.MarkFailed({1, {2, 4}});
+  alloc.MarkFailed({2, {1, 7}});
+  alloc.MarkFailed({2, {1, 7}});  // idempotent
+  EXPECT_EQ(alloc.FailedPerPool(), (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(alloc.free_gpus(), 64 - 4);
+
+  const HeteroClusterSpec degraded = fleet.Degraded(alloc.FailedPerPool());
+  ASSERT_EQ(degraded.pools.size(), 3u);
+  // ClusterSpec::Degraded's packed semantics drop the partially failed node of each pool.
+  EXPECT_EQ(degraded.pools[0].total_gpus(), 8);
+  EXPECT_EQ(degraded.pools[1].total_gpus(), 24);
+  EXPECT_EQ(degraded.pools[2].total_gpus(), 8);
+}
+
+}  // namespace
+}  // namespace distserve::cluster

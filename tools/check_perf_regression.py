@@ -20,10 +20,30 @@ import json
 import sys
 
 
+def load_json_object(path):
+    """Loads a JSON file that must parse and hold a top-level object, or exits 2 cleanly.
+
+    A malformed, truncated, or empty artifact must read as a tooling failure, not a Python
+    traceback: the CI failure-path step asserts exactly this exit.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_perf_regression: ERROR: {path}: {e.strerror or e}")
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"check_perf_regression: ERROR: {path}: malformed JSON: {e}")
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"check_perf_regression: ERROR: {path}: top-level JSON is not an object")
+        sys.exit(2)
+    return doc
+
+
 def load_baseline(path):
     """Flattens the baseline's per-bench sections into {benchmark name: new_ns}."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json_object(path)
     baseline = {}
     for section, entries in doc.items():
         if not isinstance(entries, dict):
@@ -38,19 +58,34 @@ def load_results(paths):
     """Per-benchmark minimum real_time (ns) across all google-benchmark JSON files."""
     best = {}
     for path in paths:
-        with open(path) as f:
-            doc = json.load(f)
+        doc = load_json_object(path)
+        benchmarks = doc.get("benchmarks", [])
+        if not isinstance(benchmarks, list):
+            print(f"check_perf_regression: ERROR: {path}: `benchmarks` is not a list")
+            sys.exit(2)
         unit_ok = True
-        for bench in doc.get("benchmarks", []):
+        for bench in benchmarks:
+            if not isinstance(bench, dict) or "name" not in bench or "real_time" not in bench:
+                print(f"check_perf_regression: ERROR: {path}: malformed benchmark entry "
+                      f"{bench!r}")
+                sys.exit(2)
             if bench.get("run_type") == "aggregate":
                 continue
+            # google-benchmark reports real_time in the bench's display unit; normalise to
+            # ns so baselines stay in one unit regardless of ->Unit() choices.
             unit = bench.get("time_unit", "ns")
-            if unit != "ns":
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None:
                 print(f"check_perf_regression: ERROR: {path}: {bench['name']} reports "
-                      f"time_unit={unit!r} (want ns)")
+                      f"unknown time_unit={unit!r}")
                 unit_ok = False
                 continue
-            t = float(bench["real_time"])
+            try:
+                t = float(bench["real_time"]) * scale
+            except (TypeError, ValueError):
+                print(f"check_perf_regression: ERROR: {path}: {bench['name']} has "
+                      f"non-numeric real_time {bench['real_time']!r}")
+                sys.exit(2)
             name = bench["name"]
             if name not in best or t < best[name]:
                 best[name] = t

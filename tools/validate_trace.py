@@ -47,9 +47,24 @@ def main():
     )
     args = parser.parse_args()
 
-    with open(args.trace) as f:
-        doc = json.load(f)
+    # A malformed or empty export must read as a validation failure with a clean message,
+    # never a Python traceback (the CI failure-path step asserts the non-zero exit).
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"validate_trace: ERROR: {args.trace}: {e.strerror or e}")
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"validate_trace: ERROR: {args.trace}: malformed JSON: {e}")
+        return 2
+    if not isinstance(doc, dict):
+        print(f"validate_trace: ERROR: {args.trace}: top-level JSON is not an object")
+        return 2
     events = doc.get("traceEvents", [])
+    if not isinstance(events, list):
+        print(f"validate_trace: ERROR: {args.trace}: traceEvents is not a list")
+        return 2
 
     timelines = defaultdict(list)  # (run, req) -> [event]
     outcomes = defaultdict(list)  # (run, req) -> [event]
