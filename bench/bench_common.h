@@ -8,6 +8,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -16,16 +18,153 @@
 #include <vector>
 
 #include "baselines/vllm_system.h"
+#include "cluster/spec_parse.h"
 #include "common/float_format.h"
+#include "common/thread_pool.h"
 #include "metrics/collector.h"
 #include "placement/algorithms.h"
 #include "placement/goodput_cache_store.h"
+#include "placement/sweep.h"
 #include "serving/serving_system.h"
 #include "trace/recorder.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
 namespace distserve::bench {
+
+// --- Common flag parsing (one table shared by every bench main) -------------------------
+//
+// Each bench accepts a subset of the standard flags; the subset is a bitmask and both the
+// parser and the usage line are driven by the same table, so a new common flag is one table
+// row, not N copies of a strcmp chain.
+
+struct CommonFlags {
+  bool smoke = false;          // --smoke: reduced sizes for CI
+  bool analytic_tier = true;   // --no-analytic-tier clears it (DESIGN.md §15 escape hatch)
+  int shards = 1;              // --shards=N / DISTSERVE_SHARDS: simulation shards + sweep
+                               // workers (N-1 pool threads); 1 = the sequential path
+  std::string json_path;       // --json=PATH
+  std::string goodput_cache;   // --goodput-cache=PATH (DISTSERVE_GOODPUT_CACHE fallback)
+  std::string trace_path;      // --trace=PATH
+  std::string cluster_spec;    // --cluster=SPEC (caller may preset a default)
+};
+
+enum CommonFlagBits : unsigned {
+  kFlagSmoke = 1u << 0,
+  kFlagJson = 1u << 1,
+  kFlagGoodputCache = 1u << 2,
+  kFlagTrace = 1u << 3,
+  kFlagCluster = 1u << 4,
+  kFlagNoAnalyticTier = 1u << 5,
+  kFlagShards = 1u << 6,
+};
+
+// Parses argv against the accepted subset. DISTSERVE_SHARDS seeds `shards` before parsing, so
+// an explicit --shards=N wins over the environment. Returns false (after printing a usage
+// line built from the same table) on any unknown flag or bad value.
+inline bool ParseCommonFlags(int argc, char** argv, unsigned accepted, CommonFlags* flags) {
+  struct FlagEntry {
+    unsigned bit;
+    const char* name;  // without the "=VALUE" suffix
+    bool takes_value;
+    const char* usage;
+    void (*apply)(CommonFlags*, const char*);
+  };
+  static const FlagEntry kTable[] = {
+      {kFlagSmoke, "--smoke", false, "[--smoke]",
+       [](CommonFlags* f, const char*) { f->smoke = true; }},
+      {kFlagJson, "--json", true, "[--json=PATH]",
+       [](CommonFlags* f, const char* v) { f->json_path = v; }},
+      {kFlagGoodputCache, "--goodput-cache", true, "[--goodput-cache=PATH]",
+       [](CommonFlags* f, const char* v) { f->goodput_cache = v; }},
+      {kFlagTrace, "--trace", true, "[--trace=PATH]",
+       [](CommonFlags* f, const char* v) { f->trace_path = v; }},
+      {kFlagNoAnalyticTier, "--no-analytic-tier", false, "[--no-analytic-tier]",
+       [](CommonFlags* f, const char*) { f->analytic_tier = false; }},
+      {kFlagCluster, "--cluster", true, "[--cluster=SPEC]",
+       [](CommonFlags* f, const char* v) { f->cluster_spec = v; }},
+      {kFlagShards, "--shards", true, "[--shards=N]",
+       [](CommonFlags* f, const char* v) { f->shards = std::atoi(v); }},
+  };
+  if ((accepted & kFlagShards) != 0) {
+    if (const char* env = std::getenv("DISTSERVE_SHARDS")) {
+      flags->shards = std::atoi(env);
+    }
+  }
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    const char* arg = argv[i];
+    bool matched = false;
+    for (const FlagEntry& entry : kTable) {
+      if ((accepted & entry.bit) == 0) {
+        continue;
+      }
+      const size_t len = std::strlen(entry.name);
+      if (entry.takes_value) {
+        if (std::strncmp(arg, entry.name, len) == 0 && arg[len] == '=') {
+          entry.apply(flags, arg + len + 1);
+          matched = true;
+          break;
+        }
+      } else if (std::strcmp(arg, entry.name) == 0) {
+        entry.apply(flags, nullptr);
+        matched = true;
+        break;
+      }
+    }
+    ok = matched;
+  }
+  if (ok && flags->shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    ok = false;
+  }
+  if (!ok) {
+    std::string usage = "usage: ";
+    usage += argv[0];
+    for (const FlagEntry& entry : kTable) {
+      if ((accepted & entry.bit) != 0) {
+        usage += " ";
+        usage += entry.usage;
+      }
+    }
+    std::fprintf(stderr, "%s\n", usage.c_str());
+  }
+  return ok;
+}
+
+// Resolves --cluster for benches that plan homogeneous clusters: empty spec keeps the paper
+// testbed (and prints nothing, so default stdout stays byte-identical); a one-pool spec
+// substitutes that pool and prints the banner; multi-pool specs are rejected toward
+// fig_hetero. Returns false on error.
+inline bool ResolveSinglePoolCluster(const CommonFlags& flags, const char* bench_name,
+                                     cluster::ClusterSpec* out) {
+  if (flags.cluster_spec.empty()) {
+    return true;
+  }
+  std::string error;
+  const auto fleet = cluster::ParseClusterSpec(flags.cluster_spec, &error);
+  if (!fleet) {
+    std::fprintf(stderr, "--cluster=%s: %s\n", flags.cluster_spec.c_str(), error.c_str());
+    return false;
+  }
+  if (fleet->pools.size() != 1) {
+    std::fprintf(stderr,
+                 "--cluster=%s: %s plans homogeneous clusters; use fig_hetero for "
+                 "multi-pool fleets\n",
+                 flags.cluster_spec.c_str(), bench_name);
+    return false;
+  }
+  *out = fleet->PoolCluster(0);
+  std::printf("# cluster: %s (%s)\n", cluster::FleetToString(*fleet).c_str(),
+              out->gpu.name.c_str());
+  return true;
+}
+
+// The worker pool implied by --shards=N: N-1 threads plus the calling thread, null (serial
+// everywhere, no pool construction) for N=1. Handed to sweeps and the planner alike.
+inline std::unique_ptr<ThreadPool> MakeSweepPool(int shards) {
+  return shards > 1 ? std::make_unique<ThreadPool>(shards - 1) : nullptr;
+}
 
 // Wall-clock timer for the standard `wall_ms` bench field.
 class WallTimer {
@@ -297,21 +436,27 @@ struct SweepPoint {
 };
 
 // Attainment vs per-GPU rate (Figure 8/9 top rows). `total_gpus` converts the per-GPU axis to
-// an offered rate.
+// an offered rate. Points are independent simulations, fanned across `pool` work-queue style
+// (placement/sweep.h) and collected in rate order — results and all downstream printing are
+// byte-identical at any worker count; null pool is the serial reference.
 inline std::vector<SweepPoint> RateSweep(const RunFn& run, const workload::Dataset& dataset,
                                          const metrics::SloSpec& slo, int total_gpus,
                                          const std::vector<double>& per_gpu_rates,
-                                         int num_requests, uint64_t seed) {
-  std::vector<SweepPoint> points;
+                                         int num_requests, uint64_t seed,
+                                         ThreadPool* pool = nullptr) {
+  std::vector<std::function<SweepPoint()>> tasks;
+  tasks.reserve(per_gpu_rates.size());
   for (double per_gpu : per_gpu_rates) {
-    workload::TraceSpec spec;
-    spec.rate = per_gpu * total_gpus;
-    spec.num_requests = num_requests;
-    spec.seed = seed;
-    const metrics::Collector results = run(workload::GenerateTrace(spec, dataset));
-    points.push_back({per_gpu, results.ComputeAttainment(slo)});
+    tasks.push_back([&run, &dataset, &slo, total_gpus, num_requests, seed, per_gpu] {
+      workload::TraceSpec spec;
+      spec.rate = per_gpu * total_gpus;
+      spec.num_requests = num_requests;
+      spec.seed = seed;
+      const metrics::Collector results = run(workload::GenerateTrace(spec, dataset));
+      return SweepPoint{per_gpu, results.ComputeAttainment(slo)};
+    });
   }
-  return points;
+  return placement::RunSweepTasks<SweepPoint>(pool, std::move(tasks));
 }
 
 // Attainment vs SLO scale at a fixed rate (Figure 8/9 bottom rows). Scale < 1 tightens.
@@ -383,19 +528,24 @@ inline void PrintBanner(const std::string& title) {
 // `cluster` defaults to the paper testbed; a bench's --cluster flag may substitute any
 // homogeneous cluster (e.g. one pool of a parsed fleet) — the default produces stdout
 // byte-identical to the pre-flag behavior.
+// `pool` (from --shards=N) speculates planner candidates and fans the rate sweeps across
+// workers; results and stdout are byte-identical at any worker count. Sweeps fall back to
+// serial while a recorder is attached (spans from concurrent runs would interleave).
 inline void RunEndToEndComparison(const Application& app, int num_requests, uint64_t seed,
                                   placement::GoodputCache* goodput_cache = nullptr,
                                   trace::Recorder* recorder = nullptr,
                                   bool use_analytic_tier = true,
                                   placement::PlannerResult* planner_out = nullptr,
                                   const cluster::ClusterSpec& cluster =
-                                      cluster::ClusterSpec::PaperTestbed()) {
+                                      cluster::ClusterSpec::PaperTestbed(),
+                                  ThreadPool* pool = nullptr) {
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
 
   // DistServe: one Algorithm-2 segment pair.
   placement::PlannerInputs inputs = MakePlannerInputs(app, cluster, dataset.get(), 1.0);
   inputs.goodput_cache = goodput_cache;
   inputs.use_analytic_tier = use_analytic_tier;
+  inputs.pool = pool;
   const placement::PlannerResult planned = placement::LowNodeAffinityPlacement(inputs);
   if (planner_out != nullptr) {
     *planner_out = planned;
@@ -427,12 +577,15 @@ inline void RunEndToEndComparison(const Application& app, int num_requests, uint
   for (double frac : {0.1, 0.25, 0.5, 0.7, 0.85, 1.0, 1.15, 1.3}) {
     rates.push_back(est_per_gpu * frac);
   }
+  // Serial while tracing: a shared recorder must see runs one at a time, in order.
+  ThreadPool* sweep_pool = recorder == nullptr ? pool : nullptr;
   std::printf("\n-- SLO attainment vs per-GPU rate (req/s/GPU) --\n");
   PrintSweepHeader("rate/gpu");
-  const auto ds_rate = RateSweep(ds_run, *dataset, app.slo, ds_gpus, rates, num_requests, seed);
+  const auto ds_rate =
+      RateSweep(ds_run, *dataset, app.slo, ds_gpus, rates, num_requests, seed, sweep_pool);
   PrintSweep("DistServe", ds_rate);
   const auto vllm_rate =
-      RateSweep(vllm_run, *dataset, app.slo, vllm_gpus, rates, num_requests, seed);
+      RateSweep(vllm_run, *dataset, app.slo, vllm_gpus, rates, num_requests, seed, sweep_pool);
   PrintSweep("vLLM", vllm_rate);
   const double ds_goodput = LargestMeeting(ds_rate, 0.9);
   const double vllm_goodput = LargestMeeting(vllm_rate, 0.9);

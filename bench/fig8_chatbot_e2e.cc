@@ -17,103 +17,71 @@
 // for the paper testbed; multi-pool fleets are fig_hetero's job and are rejected here. When
 // the flag is absent nothing is printed about the cluster, so default stdout is byte-identical
 // to the pre-flag output.
-#include <cstring>
-
+//
+// --shards=N (env DISTSERVE_SHARDS) fans the rate sweeps and the planner's candidate
+// simulations across N-1 worker threads (DESIGN.md §17 sweep driver); stdout is byte-identical
+// at any N, so the determinism job diffs --shards=4 against the default.
 #include "bench/bench_common.h"
-#include "cluster/spec_parse.h"
 
 int main(int argc, char** argv) {
   using namespace distserve::bench;
-  bool smoke = false;
-  bool analytic_tier = true;
-  std::string json_path;
-  std::string cache_flag;
-  std::string trace_path;
-  std::string cluster_spec;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--no-analytic-tier") == 0) {
-      analytic_tier = false;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
-      cache_flag = argv[i] + 16;
-    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--cluster=", 10) == 0) {
-      cluster_spec = argv[i] + 10;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] [--trace=PATH] "
-                   "[--no-analytic-tier] [--cluster=SPEC]\n",
-                   argv[0]);
-      return 2;
-    }
+  CommonFlags flags;
+  if (!ParseCommonFlags(argc, argv,
+                        kFlagSmoke | kFlagJson | kFlagGoodputCache | kFlagTrace |
+                            kFlagNoAnalyticTier | kFlagCluster | kFlagShards,
+                        &flags)) {
+    return 2;
   }
   distserve::cluster::ClusterSpec cluster = distserve::cluster::ClusterSpec::PaperTestbed();
-  if (!cluster_spec.empty()) {
-    std::string error;
-    const auto fleet = distserve::cluster::ParseClusterSpec(cluster_spec, &error);
-    if (!fleet) {
-      std::fprintf(stderr, "--cluster=%s: %s\n", cluster_spec.c_str(), error.c_str());
-      return 2;
-    }
-    if (fleet->pools.size() != 1) {
-      std::fprintf(stderr,
-                   "--cluster=%s: fig8 plans homogeneous clusters; use fig_hetero for "
-                   "multi-pool fleets\n",
-                   cluster_spec.c_str());
-      return 2;
-    }
-    cluster = fleet->PoolCluster(0);
-    std::printf("# cluster: %s (%s)\n",
-                distserve::cluster::FleetToString(*fleet).c_str(),
-                cluster.gpu.name.c_str());
+  if (!ResolveSinglePoolCluster(flags, "fig8", &cluster)) {
+    return 2;
   }
-  if (!trace_path.empty() && !distserve::trace::kCompiledIn) {
+  if (!flags.trace_path.empty() && !distserve::trace::kCompiledIn) {
     std::fprintf(stderr,
                  "warning: built with -DDISTSERVE_TRACE=OFF; no spans will be exported\n");
   }
   distserve::trace::Recorder recorder;
-  distserve::trace::Recorder* rec = trace_path.empty() ? nullptr : &recorder;
+  distserve::trace::Recorder* rec = flags.trace_path.empty() ? nullptr : &recorder;
+  const std::unique_ptr<distserve::ThreadPool> pool = MakeSweepPool(flags.shards);
 
   PersistentGoodputCache persist(
-      distserve::placement::GoodputCacheStore::ResolvePath(cache_flag), cluster.gpu);
+      distserve::placement::GoodputCacheStore::ResolvePath(flags.goodput_cache), cluster.gpu);
 
   const WallTimer timer;
   PlannerAccounting accounting;
   distserve::placement::PlannerResult planned;
-  if (smoke) {
+  if (flags.smoke) {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/400, /*seed=*/81, persist.cache(),
-                          rec, analytic_tier, &planned, cluster);
+                          rec, flags.analytic_tier, &planned, cluster, pool.get());
     accounting.Add(planned);
   } else {
     RunEndToEndComparison(ChatbotOpt13B(), /*num_requests=*/2500, /*seed=*/81, persist.cache(),
-                          rec, analytic_tier, &planned, cluster);
+                          rec, flags.analytic_tier, &planned, cluster, pool.get());
     accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt66B(), /*num_requests=*/1500, /*seed=*/82, persist.cache(),
-                          rec, analytic_tier, &planned, cluster);
+                          rec, flags.analytic_tier, &planned, cluster, pool.get());
     accounting.Add(planned);
     RunEndToEndComparison(ChatbotOpt175B(), /*num_requests=*/1000, /*seed=*/83,
-                          persist.cache(), rec, analytic_tier, &planned, cluster);
+                          persist.cache(), rec, flags.analytic_tier, &planned, cluster,
+                          pool.get());
     accounting.Add(planned);
   }
   persist.Save();
-  if (!trace_path.empty()) {
-    recorder.WriteChromeJson(trace_path);
+  if (!flags.trace_path.empty()) {
+    recorder.WriteChromeJson(flags.trace_path);
   }
-  if (!json_path.empty()) {
+  if (!flags.json_path.empty()) {
     BenchJson json("fig8_chatbot_e2e");
-    json.AddBool("smoke", smoke);
-    json.AddBool("analytic_tier", analytic_tier);
+    json.AddBool("smoke", flags.smoke);
+    json.AddBool("analytic_tier", flags.analytic_tier);
+    json.AddInt("shards", flags.shards);
     json.AddWallMs(timer);
     accounting.AddJsonFields(json);
     if (persist.enabled()) {
       persist.AddJsonFields(json);
     }
-    if (!json.WriteTo(json_path)) {
-      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    if (!json.WriteTo(flags.json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", flags.json_path.c_str());
       return 1;
     }
   }

@@ -15,12 +15,13 @@
 // goodput-per-dollar, cost-per-million-requests, planner accounting, cache stats),
 // --goodput-cache=PATH (env DISTSERVE_GOODPUT_CACHE fallback), --cluster=SPEC
 // (cluster/spec_parse.h grammar; default the mixed demo fleet), --no-analytic-tier (escape
-// hatch, DESIGN.md §15). Stdout is byte-identical across runs — cache cold or warm, tier on
-// or off (the CI determinism job diffs exactly this); search-cost accounting and cache
-// statistics go only into the JSON artifact.
+// hatch, DESIGN.md §15), --shards=N (env DISTSERVE_SHARDS: run the planner's candidate
+// simulations on N-1 worker threads; DESIGN.md §17). Stdout is byte-identical across runs —
+// cache cold or warm, tier on or off, any shard count (the CI determinism job diffs exactly
+// this); search-cost accounting and cache statistics go only into the JSON artifact.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,36 +95,23 @@ std::string ResultJson(const placement::HeteroPlannerResult& r, double traffic_r
 
 int Main(int argc, char** argv) {
   const WallTimer timer;
-  bool smoke = false;
-  bool analytic_tier = true;
-  std::string json_path;
-  std::string cache_flag;
-  std::string cluster_spec = "mixed";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--no-analytic-tier") == 0) {
-      analytic_tier = false;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else if (std::strncmp(argv[i], "--goodput-cache=", 16) == 0) {
-      cache_flag = argv[i] + 16;
-    } else if (std::strncmp(argv[i], "--cluster=", 10) == 0) {
-      cluster_spec = argv[i] + 10;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json=PATH] [--goodput-cache=PATH] "
-                   "[--no-analytic-tier] [--cluster=SPEC]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  std::string error;
-  const auto fleet = cluster::ParseClusterSpec(cluster_spec, &error);
-  if (!fleet) {
-    std::fprintf(stderr, "--cluster=%s: %s\n", cluster_spec.c_str(), error.c_str());
+  CommonFlags flags;
+  flags.cluster_spec = "mixed";  // default demo fleet; --cluster=SPEC overrides
+  if (!ParseCommonFlags(argc, argv,
+                        kFlagSmoke | kFlagJson | kFlagGoodputCache | kFlagNoAnalyticTier |
+                            kFlagCluster | kFlagShards,
+                        &flags)) {
     return 2;
   }
+  const bool smoke = flags.smoke;
+  const bool analytic_tier = flags.analytic_tier;
+  std::string error;
+  const auto fleet = cluster::ParseClusterSpec(flags.cluster_spec, &error);
+  if (!fleet) {
+    std::fprintf(stderr, "--cluster=%s: %s\n", flags.cluster_spec.c_str(), error.c_str());
+    return 2;
+  }
+  const std::unique_ptr<ThreadPool> sweep_pool = MakeSweepPool(flags.shards);
 
   const Application app = ChatbotOpt13B();
   const auto dataset = workload::MakeDatasetByName(app.dataset_name);
@@ -135,14 +123,15 @@ int Main(int argc, char** argv) {
   placement::PlannerInputs inputs =
       MakePlannerInputs(app, fleet->PoolCluster(0), dataset.get(), traffic_rate);
   inputs.use_analytic_tier = analytic_tier;
+  inputs.pool = sweep_pool.get();
   if (smoke) {
     inputs.search.num_requests = 150;
     inputs.search.min_trace_duration = 20.0;
     inputs.search.max_requests = 1500;
     inputs.search.bisection_iters = 5;
   }
-  PersistentGoodputCache persist(placement::GoodputCacheStore::ResolvePath(cache_flag),
-                                 *fleet);
+  PersistentGoodputCache persist(
+      placement::GoodputCacheStore::ResolvePath(flags.goodput_cache), *fleet);
   inputs.goodput_cache = persist.cache();
 
   std::printf("fig_hetero: per-phase pool allocation (%s, %.1f req/s, TTFT<=%.3gs "
@@ -226,10 +215,11 @@ int Main(int argc, char** argv) {
               replan_ok ? "PASS" : "FAIL",
               replanned.chosen.system_goodput > 0.0 ? "yes" : "no", avoided ? "yes" : "no");
 
-  if (!json_path.empty()) {
+  if (!flags.json_path.empty()) {
     BenchJson json("fig_hetero");
     json.AddBool("smoke", smoke);
     json.AddBool("analytic_tier", analytic_tier);
+    json.AddInt("shards", flags.shards);
     json.AddString("fleet", cluster::FleetToString(*fleet));
     json.AddDouble("traffic_rate", traffic_rate);
     json.AddDouble("fleet_cost_per_hour", fleet->hourly_cost());
@@ -245,8 +235,8 @@ int Main(int argc, char** argv) {
     if (persist.enabled()) {
       persist.AddJsonFields(json);
     }
-    if (!json.WriteTo(json_path)) {
-      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    if (!json.WriteTo(flags.json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", flags.json_path.c_str());
       return 1;
     }
   }

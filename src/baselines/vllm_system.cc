@@ -11,6 +11,12 @@ namespace distserve::baselines {
 
 VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
   DS_CHECK_GE(config_.num_instances, 1);
+  if (config_.sim != nullptr) {
+    sim_ = config_.sim;
+  } else {
+    owned_sim_ = std::make_unique<simcore::Simulator>();
+    sim_ = owned_sim_.get();
+  }
   if (config_.engine_options.cpu_overhead_per_step == 0.0) {
     config_.engine_options.cpu_overhead_per_step = kVllmStepCpuOverhead;
   }
@@ -22,10 +28,13 @@ VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
   const int64_t kv_tokens = lm.view().KvCapacityTokens(config_.cluster.gpu);
   for (int i = 0; i < config_.num_instances; ++i) {
     instances_.push_back(std::make_unique<engine::ColocatedInstance>(
-        &sim_, lm, kv_tokens, config_.engine_options, i));
+        sim_, lm, kv_tokens, config_.engine_options, i));
     instances_.back()->set_on_complete([this](engine::RequestState* r) {
       collector_.Record(r->record);
       ++completed_;
+      if (on_request_done_) {
+        on_request_done_(*r);
+      }
     });
   }
   if (DS_TRACE_ON(config_.recorder)) {
@@ -39,33 +48,44 @@ VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
 
 VllmSystem::~VllmSystem() = default;
 
-metrics::Collector VllmSystem::Run(const workload::Trace& trace) {
+void VllmSystem::BeginStream(size_t expected_requests) {
   DS_TRACE(config_.recorder, NewRun());
   collector_ = metrics::Collector();
-  collector_.Reserve(trace.size());
+  collector_.Reserve(expected_requests);
   states_.clear();
-  states_.reserve(trace.size());
+  states_.reserve(expected_requests);
   completed_ = 0;
-  for (const workload::Request& req : trace) {
-    states_.push_back(std::make_unique<engine::RequestState>(req));
-    engine::RequestState* state = states_.back().get();
-    sim_.ScheduleAt(req.arrival_time, [this, state] {
-      // Least-loaded dispatch across replicas.
-      engine::ColocatedInstance* best = instances_.front().get();
-      int64_t best_load = std::numeric_limits<int64_t>::max();
-      for (const auto& inst : instances_) {
-        if (inst->load() < best_load) {
-          best_load = inst->load();
-          best = inst.get();
-        }
-      }
-      best->Enqueue(state);
-    });
+}
+
+engine::RequestState* VllmSystem::Submit(const workload::Request& request) {
+  states_.push_back(std::make_unique<engine::RequestState>(request));
+  engine::RequestState* state = states_.back().get();
+  // Least-loaded dispatch across replicas.
+  engine::ColocatedInstance* best = instances_.front().get();
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (const auto& inst : instances_) {
+    if (inst->load() < best_load) {
+      best_load = inst->load();
+      best = inst.get();
+    }
   }
-  sim_.Run();
-  DS_CHECK_EQ(completed_, static_cast<int64_t>(trace.size()))
+  best->Enqueue(state);
+  return state;
+}
+
+metrics::Collector VllmSystem::FinishStream(double /*end_time*/) {
+  DS_CHECK_EQ(completed_, static_cast<int64_t>(states_.size()))
       << "requests lost in flight: the vLLM simulation deadlocked";
   return std::move(collector_);
+}
+
+metrics::Collector VllmSystem::Run(const workload::Trace& trace) {
+  BeginStream(trace.size());
+  for (const workload::Request& req : trace) {
+    sim_->ScheduleAt(req.arrival_time, [this, req] { Submit(req); });
+  }
+  sim_->Run();
+  return FinishStream(sim_->now());
 }
 
 double SimulateColocatedGoodput(const placement::PlannerInputs& inputs,

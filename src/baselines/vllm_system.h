@@ -9,6 +9,7 @@
 #ifndef DISTSERVE_BASELINES_VLLM_SYSTEM_H_
 #define DISTSERVE_BASELINES_VLLM_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -44,6 +45,11 @@ struct VllmConfig {
   // Optional per-request span recorder (trace/recorder.h, DESIGN.md §14); null records
   // nothing. Must outlive the system.
   trace::Recorder* recorder = nullptr;
+
+  // Optional external simulator (DESIGN.md §17): null gives the system its own private clock;
+  // a fleet run passes one shard of a simcore::ShardedSimulator instead. Must outlive the
+  // system; with an external simulator the caller drives it (Run() is standalone-only).
+  simcore::Simulator* sim = nullptr;
 };
 
 // Engine-level DES run of one or more colocated instances with least-loaded dispatch.
@@ -57,6 +63,30 @@ class VllmSystem {
 
   metrics::Collector Run(const workload::Trace& trace);
 
+  // --- Streaming interface (fleet runs over an external simulator; serving/fleet.h) ---
+  // Mirrors serving::ServingSystem's: Run() is exactly BeginStream + one arrival event per
+  // request + drive the simulator + FinishStream.
+
+  // Resets per-stream state; call before scheduling arrivals of a new stream.
+  void BeginStream(size_t expected_requests);
+
+  // Admits one request at the simulator's current time with least-loaded dispatch across
+  // replicas. Returns the state owned by this system (stable until the next BeginStream).
+  engine::RequestState* Submit(const workload::Request& request);
+
+  // Completes the stream, verifies nothing was dropped, and yields the records. The baseline
+  // has no fault plan, so `end_time` is unused beyond the interface symmetry.
+  metrics::Collector FinishStream(double end_time);
+
+  // Fired when a request completes, from within the simulation. Fleet routers use this to
+  // post completion notifications across shards.
+  void set_on_request_done(std::function<void(const engine::RequestState&)> fn) {
+    on_request_done_ = std::move(fn);
+  }
+
+  // Interface symmetry with ServingSystem: the fault-free baseline is always serviceable.
+  bool Serviceable() const { return true; }
+
   const std::vector<std::unique_ptr<engine::ColocatedInstance>>& instances() const {
     return instances_;
   }
@@ -64,10 +94,12 @@ class VllmSystem {
 
  private:
   VllmConfig config_;
-  simcore::Simulator sim_;
+  std::unique_ptr<simcore::Simulator> owned_sim_;  // standalone mode only
+  simcore::Simulator* sim_ = nullptr;              // owned_sim_ or config_.sim
   std::vector<std::unique_ptr<engine::ColocatedInstance>> instances_;
   std::vector<std::unique_ptr<engine::RequestState>> states_;
   metrics::Collector collector_;
+  std::function<void(const engine::RequestState&)> on_request_done_;
   int64_t completed_ = 0;
 };
 

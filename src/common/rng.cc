@@ -31,6 +31,42 @@ Rng Rng::Fork(uint64_t stream_id) const {
   return Rng(SplitMix64(sm));
 }
 
+void Rng::Jump() {
+  // The xoshiro256 jump polynomial (public domain, Blackman & Vigna): equivalent to 2^128
+  // calls to NextU64.
+  static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  uint64_t s3 = 0;
+  for (const uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (1ULL << bit)) != 0) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      NextU64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  // A jump starts a fresh stream; a half-consumed Box–Muller pair must not leak into it.
+  has_cached_normal_ = false;
+}
+
+Rng Rng::Jumped(uint64_t n) const {
+  Rng out = *this;
+  for (uint64_t i = 0; i < n; ++i) {
+    out.Jump();
+  }
+  return out;
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

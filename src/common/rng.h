@@ -26,6 +26,18 @@ class Rng {
   // one does not perturb the other.
   Rng Fork(uint64_t stream_id) const;
 
+  // Advances the state by exactly 2^128 draws without generating them (the standard
+  // xoshiro256 jump polynomial). Unlike Fork's rehash, jumping partitions one generator's
+  // orbit into provably non-overlapping subsequences of 2^128 draws each.
+  void Jump();
+
+  // Splittable substream derivation: a copy of this generator advanced by n * 2^128 draws.
+  // Jumped(0) is an exact copy; Jumped(a) and Jumped(b) for a != b never overlap within
+  // 2^128 draws. The fleet workload generator gives source k the streams Jumped(k), so each
+  // source's arrival/length sequence is a fixed function of (seed, k) — independent of how
+  // many sources exist or how the simulation is sharded (DESIGN.md §17).
+  Rng Jumped(uint64_t n) const;
+
   // Uniform on [0, 2^64).
   uint64_t NextU64();
 

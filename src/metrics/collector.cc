@@ -38,6 +38,29 @@ void Collector::RecordLost(const RequestRecord& record) {
   ++fault_stats_.requests_lost;
 }
 
+void Collector::Merge(const Collector& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+  // Straight append, not RecordLost: other's fault_stats_.requests_lost already counts these
+  // and is summed below.
+  lost_.insert(lost_.end(), other.lost_.begin(), other.lost_.end());
+  fault_stats_.instance_failures += other.fault_stats_.instance_failures;
+  fault_stats_.instance_recoveries += other.fault_stats_.instance_recoveries;
+  fault_stats_.link_failures += other.fault_stats_.link_failures;
+  fault_stats_.link_recoveries += other.fault_stats_.link_recoveries;
+  fault_stats_.prefill_restarts += other.fault_stats_.prefill_restarts;
+  fault_stats_.kv_reprefills += other.fault_stats_.kv_reprefills;
+  fault_stats_.decode_redispatches += other.fault_stats_.decode_redispatches;
+  fault_stats_.transfer_retries += other.fault_stats_.transfer_retries;
+  fault_stats_.requests_lost += other.fault_stats_.requests_lost;
+  fault_stats_.downtime_seconds += other.fault_stats_.downtime_seconds;
+}
+
+void Collector::SortById() {
+  const auto by_id = [](const RequestRecord& a, const RequestRecord& b) { return a.id < b.id; };
+  std::sort(records_.begin(), records_.end(), by_id);
+  std::sort(lost_.begin(), lost_.end(), by_id);
+}
+
 double Collector::CompletionRate() const {
   const size_t offered = records_.size() + lost_.size();
   return offered == 0 ? 1.0 : static_cast<double>(records_.size()) / offered;

@@ -111,6 +111,17 @@ class Collector {
   size_t count() const { return records_.size(); }
   const std::vector<RequestRecord>& records() const { return records_; }
   size_t lost_count() const { return lost_.size(); }
+  const std::vector<RequestRecord>& lost_records() const { return lost_; }
+
+  // Folds `other` into this collector: appends its completed and lost records and sums its
+  // fault counters. The fleet merge (serving/fleet.cc) re-sorts by request id afterwards; call
+  // order therefore only affects FaultStats summation order, which callers keep fixed (group
+  // index order) for bit-identical totals.
+  void Merge(const Collector& other);
+
+  // Re-sorts completed and lost records by request id — the canonical order after a Merge,
+  // independent of how requests were partitioned across groups or shards.
+  void SortById();
 
   // Fault counters, populated by the serving system during a faulted run.
   FaultStats& fault_stats() { return fault_stats_; }

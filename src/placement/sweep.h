@@ -1,0 +1,52 @@
+// The embarrassingly-parallel sweep driver (DESIGN.md §17).
+//
+// Benchmarks and planners sweep independent points — rate points, SLO scales, fault
+// severities, cluster specs — where each point is a pure simulation. This driver fans the
+// points across a ThreadPool in the classic work-queue manager/worker shape: workers pull the
+// next unclaimed point in index order, while the manager (the calling thread) collects values
+// strictly in enumeration order. Collection order — and therefore every downstream fold,
+// printout, and JSON row — is identical at any worker count; a null pool (or ThreadPool(0))
+// is the serial reference path. Shared warm-start state (workload::TraceCache,
+// placement::GoodputCache) must be pre-warmed or internally synchronized before being handed
+// to concurrent points; the bench mains warm sequentially on the first sweep and share
+// read-only after.
+#ifndef DISTSERVE_PLACEMENT_SWEEP_H_
+#define DISTSERVE_PLACEMENT_SWEEP_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace distserve::placement {
+
+// Runs every task (each pure and independent) and returns their values in task order.
+// Built on SpeculativeTaskSet with no cancellation: every task's value is consumed, so this
+// is plain work-queue parallelism — the speculation machinery only supplies the
+// claim-each-task-once discipline and the ordered fold.
+template <typename R>
+std::vector<R> RunSweepTasks(ThreadPool* pool, std::vector<std::function<R()>> tasks) {
+  SpeculativeTaskSet<R> set(pool, std::move(tasks));
+  std::vector<R> results;
+  results.reserve(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    results.push_back(set.Force(i));
+  }
+  return results;
+}
+
+// Index-based convenience: results[i] = fn(i) for i in [0, n).
+template <typename R>
+std::vector<R> RunSweep(ThreadPool* pool, size_t n, const std::function<R(size_t)>& fn) {
+  std::vector<std::function<R()>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks.push_back([&fn, i] { return fn(i); });
+  }
+  return RunSweepTasks<R>(pool, std::move(tasks));
+}
+
+}  // namespace distserve::placement
+
+#endif  // DISTSERVE_PLACEMENT_SWEEP_H_

@@ -1,0 +1,15 @@
+#include "serving/fleet_probe.h"
+
+namespace distserve::serving {
+
+double FindMaxFleetRate(const FleetProbeConfig& config, const workload::Dataset& dataset,
+                        placement::GoodputSearchStats* stats) {
+  const auto attainment_at = [&config](const workload::Trace& trace) {
+    FleetSystem fleet(config.fleet);
+    const FleetResult result = fleet.Run(trace);
+    return result.collector.ComputeAttainment(config.slo).both;
+  };
+  return placement::FindMaxRate(attainment_at, dataset, config.search, stats);
+}
+
+}  // namespace distserve::serving

@@ -1,0 +1,36 @@
+// Fleet goodput probing: the placement search's rate-probe machinery applied to the
+// engine-level fleet (DESIGN.md §17).
+//
+// The placement planner normally probes candidate configurations with the fast analytic
+// simulators. A fleet probe opts the full FleetSystem in instead: each candidate trace is
+// routed and executed by the real sharded engine, so the measured maximum rate includes
+// router staleness, dispatch/notify hops, and cross-group imbalance that the fast simulators
+// abstract away. Probes reuse the same exponential-probe-plus-bisection search (and the same
+// TraceCache lattice) as placement::FindMaxRate, and every probe is bit-identical at any
+// shard or worker-thread count, so the resolved rate is too.
+#ifndef DISTSERVE_SERVING_FLEET_PROBE_H_
+#define DISTSERVE_SERVING_FLEET_PROBE_H_
+
+#include "metrics/collector.h"
+#include "placement/goodput.h"
+#include "serving/fleet.h"
+#include "workload/dataset.h"
+
+namespace distserve::serving {
+
+struct FleetProbeConfig {
+  // Template for the per-probe fleet; each probe constructs a fresh FleetSystem from it
+  // (faulted fleets are single-use). Probe rates are aggregate, fleet-wide rates.
+  FleetConfig fleet;
+  metrics::SloSpec slo;
+  placement::GoodputSearchOptions search;
+};
+
+// Largest aggregate request rate (requests/second across the whole fleet) whose joint SLO
+// attainment meets search.attainment_target, or 0 when even the floor fails.
+double FindMaxFleetRate(const FleetProbeConfig& config, const workload::Dataset& dataset,
+                        placement::GoodputSearchStats* stats = nullptr);
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_FLEET_PROBE_H_

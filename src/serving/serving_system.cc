@@ -23,6 +23,12 @@ model::LatencyCoefficients ResolveCoefficients(const ServingConfig& config) {
 }  // namespace
 
 ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) {
+  if (config_.sim != nullptr) {
+    sim_ = config_.sim;
+  } else {
+    owned_sim_ = std::make_unique<simcore::Simulator>();
+    sim_ = owned_sim_.get();
+  }
   const model::LatencyCoefficients coeffs = ResolveCoefficients(config_);
   const placement::PlacementPlan& plan = config_.plan;
   DS_CHECK_GE(plan.num_prefill, 1);
@@ -45,7 +51,7 @@ ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) 
       prefill_model.view().KvCapacityTokens(config_.cluster.gpu);
   for (int i = 0; i < plan.num_prefill; ++i) {
     prefills_.push_back(std::make_unique<engine::PrefillInstance>(
-        &sim_, prefill_model, prefill_kv_tokens, prefill_opts, i));
+        sim_, prefill_model, prefill_kv_tokens, prefill_opts, i));
     prefills_.back()->set_on_complete(
         [this](engine::RequestState* r) { OnPrefillDone(r); });
   }
@@ -62,8 +68,8 @@ ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) 
                                                     : config_.cluster.cross_node_latency;
   for (int i = 0; i < plan.num_decode; ++i) {
     decodes_.push_back(std::make_unique<engine::DecodeInstance>(
-        &sim_, decode_model, decode_kv_tokens, config_.decode_options, i));
-    links_.push_back(std::make_unique<Link>(&sim_, link_bw, link_lat,
+        sim_, decode_model, decode_kv_tokens, config_.decode_options, i));
+    links_.push_back(std::make_unique<Link>(sim_, link_bw, link_lat,
                                             "decode-" + std::to_string(i) + "-ingress"));
     engine::DecodeInstance* decode = decodes_.back().get();
     const size_t link_idx = links_.size() - 1;
@@ -147,7 +153,7 @@ void ServingSystem::DispatchToDecode(engine::RequestState* request) {
 void ServingSystem::OnPrefillDone(engine::RequestState* request) {
   if (request->request.output_len <= 1) {
     // Single-token output: the request completes at prefill; no transfer, no decode.
-    const double now = sim_.now();
+    const double now = sim_->now();
     request->record.transfer_start = now;
     request->record.transfer_end = now;
     request->record.decode_start = now;
@@ -164,6 +170,21 @@ void ServingSystem::OnDecodeDone(engine::RequestState* request) {
   request->phase = engine::RequestPhase::kDone;
   collector_.Record(request->record);
   ++completed_;
+  if (on_request_done_) {
+    on_request_done_(*request);
+  }
+}
+
+bool ServingSystem::Serviceable() const {
+  bool prefill_alive = false;
+  for (const auto& p : prefills_) {
+    prefill_alive = prefill_alive || p->alive();
+  }
+  bool decode_alive = false;
+  for (const auto& d : decodes_) {
+    decode_alive = decode_alive || d->alive();
+  }
+  return prefill_alive && decode_alive;
 }
 
 // --- KV pull with watchdog/retry ---------------------------------------------------------
@@ -194,14 +215,14 @@ void ServingSystem::StartKvPull(size_t link_idx, engine::RequestState* request,
     // The FIFO pipe serializes pulls; an upper bound on queueing is every currently-admitted
     // resident request pulling ahead of us. Cheaper and exact enough: expected completion is
     // busy_until + service, but busy_until is private — bound it with timeout growth instead.
-    fire_at = sim_.now() + service * (1.0 + static_cast<double>(decodes_[link_idx]->load())) +
+    fire_at = sim_->now() + service * (1.0 + static_cast<double>(decodes_[link_idx]->load())) +
               config_.fault_options.transfer_timeout *
                   std::pow(2.0, static_cast<double>(request->transfer_tries));
   } else {
-    fire_at = sim_.now() + config_.fault_options.transfer_backoff *
+    fire_at = sim_->now() + config_.fault_options.transfer_backoff *
                                std::pow(2.0, static_cast<double>(request->transfer_tries));
   }
-  *watchdog = sim_.ScheduleAt(
+  *watchdog = sim_->ScheduleAt(
       fire_at, [this, link_idx, request, attempt, seq, done = std::move(done)] {
         if (request->attempt != attempt || request->transfer_seq != seq) {
           return;
@@ -216,7 +237,7 @@ void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* reque
   ++request->transfer_tries;
   if (request->transfer_tries <= config_.fault_options.max_transfer_retries) {
     DS_TRACE(config_.recorder,
-             Transition(request->request.id, sim_.now(), trace::SpanKind::kLinkRetry,
+             Transition(request->request.id, sim_->now(), trace::SpanKind::kLinkRetry,
                         trace::kControllerPid, 0, request->transfer_tries));
     StartKvPull(link_idx, request, std::move(done));
     return;
@@ -244,7 +265,7 @@ void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* reque
   ++fault_stats().decode_redispatches;
   request->phase = engine::RequestPhase::kDecodePending;
   request->decode_instance = -1;
-  DS_TRACE(config_.recorder, Transition(request->request.id, sim_.now(),
+  DS_TRACE(config_.recorder, Transition(request->request.id, sim_->now(),
                                         trace::SpanKind::kRedispatch, trace::kControllerPid, 0,
                                         request->attempt));
   ScheduleReroute(request);
@@ -254,7 +275,7 @@ void ServingSystem::OnKvPullTimeout(size_t link_idx, engine::RequestState* reque
 
 void ServingSystem::ApplyFault(const FaultEvent& event) {
   const size_t index = static_cast<size_t>(event.index);
-  const double now = sim_.now();
+  const double now = sim_->now();
   switch (event.domain) {
     case FaultDomain::kPrefill: {
       DS_CHECK(index < prefills_.size()) << "fault plan indexes prefill-" << event.index;
@@ -331,7 +352,7 @@ void ServingSystem::OnPrefillFailure(int index) {
         ++fault_stats().prefill_restarts;
         r->phase = engine::RequestPhase::kPending;
         DS_TRACE(config_.recorder,
-                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRestart,
+                 Transition(r->request.id, sim_->now(), trace::SpanKind::kRestart,
                             trace::kControllerPid, 0, r->prefill_restarts));
         if (!r->parked) {
           ScheduleReroute(r);
@@ -350,7 +371,7 @@ void ServingSystem::OnPrefillFailure(int index) {
         ++fault_stats().kv_reprefills;
         r->phase = engine::RequestPhase::kPending;
         DS_TRACE(config_.recorder,
-                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRePrefill,
+                 Transition(r->request.id, sim_->now(), trace::SpanKind::kRePrefill,
                             trace::kControllerPid, 0, r->kv_reprefills));
         if (!r->parked) {
           ScheduleReroute(r);
@@ -379,7 +400,7 @@ void ServingSystem::OnDecodeFailure(int index) {
         r->phase = engine::RequestPhase::kDecodePending;
         r->decode_instance = -1;
         DS_TRACE(config_.recorder,
-                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRedispatch,
+                 Transition(r->request.id, sim_->now(), trace::SpanKind::kRedispatch,
                             trace::kControllerPid, 0, r->attempt));
         if (!r->parked) {
           ScheduleReroute(r);
@@ -395,7 +416,7 @@ void ServingSystem::OnDecodeFailure(int index) {
         r->phase = engine::RequestPhase::kPending;
         r->decode_instance = -1;
         DS_TRACE(config_.recorder,
-                 Transition(r->request.id, sim_.now(), trace::SpanKind::kRePrefill,
+                 Transition(r->request.id, sim_->now(), trace::SpanKind::kRePrefill,
                             trace::kControllerPid, 0, r->kv_reprefills));
         if (!r->parked) {
           ScheduleReroute(r);
@@ -409,7 +430,7 @@ void ServingSystem::OnDecodeFailure(int index) {
 
 void ServingSystem::ScheduleReroute(engine::RequestState* request) {
   const int attempt = request->attempt;
-  sim_.ScheduleAfter(config_.fault_options.redispatch_delay, [this, request, attempt] {
+  sim_->ScheduleAfter(config_.fault_options.redispatch_delay, [this, request, attempt] {
     if (request->attempt != attempt || request->parked) {
       return;  // a newer fault re-routed (or parked) it first
     }
@@ -435,7 +456,7 @@ void ServingSystem::Park(engine::RequestState* request) {
   request->parked = true;
   // Parked time is controller-held: the open redispatch span absorbs it (and starts the
   // timeline for arrivals that find every instance dead).
-  DS_TRACE(config_.recorder, Transition(request->request.id, sim_.now(),
+  DS_TRACE(config_.recorder, Transition(request->request.id, sim_->now(),
                                         trace::SpanKind::kRedispatch, trace::kControllerPid, 0,
                                         request->attempt));
   parked_.push_back(request);
@@ -460,36 +481,59 @@ void ServingSystem::FailFast(engine::RequestState* request) {
     prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
   }
   request->phase = engine::RequestPhase::kLost;
-  DS_TRACE(config_.recorder, Drop(request->request.id, sim_.now()));
+  DS_TRACE(config_.recorder, Drop(request->request.id, sim_->now()));
   collector_.RecordLost(request->record);
+  if (on_request_done_ && !finishing_) {
+    on_request_done_(*request);
+  }
+}
+
+void ServingSystem::BeginStream(size_t expected_requests) {
+  DS_TRACE(config_.recorder, NewRun());
+  collector_ = metrics::Collector();
+  collector_.Reserve(expected_requests);
+  states_.clear();
+  states_.reserve(expected_requests);
+  parked_.clear();
+  completed_ = 0;
+}
+
+engine::RequestState* ServingSystem::Submit(const workload::Request& request) {
+  states_.push_back(std::make_unique<engine::RequestState>(request));
+  engine::RequestState* state = states_.back().get();
+  DispatchArrival(state);
+  return state;
+}
+
+void ServingSystem::ScheduleFaults() {
+  for (const FaultEvent& event : config_.faults.events) {
+    DS_CHECK_GE(event.time, 0.0);
+    sim_->ScheduleAt(event.time, [this, event] { ApplyFault(event); });
+  }
 }
 
 metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
-  DS_TRACE(config_.recorder, NewRun());
-  collector_ = metrics::Collector();
-  collector_.Reserve(trace.size());
-  states_.clear();
-  states_.reserve(trace.size());
-  parked_.clear();
-  completed_ = 0;
+  BeginStream(trace.size());
   for (const workload::Request& req : trace) {
-    states_.push_back(std::make_unique<engine::RequestState>(req));
-    engine::RequestState* state = states_.back().get();
-    sim_.ScheduleAt(req.arrival_time, [this, state] { DispatchArrival(state); });
+    sim_->ScheduleAt(req.arrival_time, [this, req] { Submit(req); });
   }
-  for (const FaultEvent& event : config_.faults.events) {
-    DS_CHECK_GE(event.time, 0.0);
-    sim_.ScheduleAt(event.time, [this, event] { ApplyFault(event); });
-  }
-  sim_.Run();
-  // Requests stranded with no recovery in the plan are lost, not deadlocked.
+  ScheduleFaults();
+  sim_->Run();
+  return FinishStream(sim_->now());
+}
+
+metrics::Collector ServingSystem::FinishStream(double end_time) {
+  // Requests stranded with no recovery in the plan are lost, not deadlocked. The stream is
+  // over, so the done-callback stays quiet for these.
+  finishing_ = true;
   for (engine::RequestState* r : parked_) {
     r->parked = false;
     FailFast(r);
   }
   parked_.clear();
+  finishing_ = false;
   // Close downtime intervals still open at the end of the run.
-  const double end = sim_.now();
+  const double end = end_time;
   for (auto& since : prefill_down_since_) {
     if (since.has_value()) {
       fault_stats().downtime_seconds += end - *since;
@@ -509,14 +553,14 @@ metrics::Collector ServingSystem::Run(const workload::Trace& trace) {
     }
   }
   if (completed_ + static_cast<int64_t>(collector_.lost_count()) !=
-      static_cast<int64_t>(trace.size())) {
+      static_cast<int64_t>(states_.size())) {
     std::array<int, 9> by_phase{};
     for (const auto& state : states_) {
       by_phase[static_cast<size_t>(state->phase)]++;
     }
     DS_CHECK(false) << "requests lost in flight: the simulation deadlocked (completed="
                     << completed_ << " lost=" << collector_.lost_count() << " of "
-                    << trace.size() << "; phases: pending=" << by_phase[0]
+                    << states_.size() << "; phases: pending=" << by_phase[0]
                     << " prefill_queued=" << by_phase[1] << " prefilling=" << by_phase[2]
                     << " decode_pending=" << by_phase[3] << " transferring=" << by_phase[4]
                     << " decoding=" << by_phase[5] << " done=" << by_phase[6]

@@ -82,6 +82,12 @@ struct ServingConfig {
   // records nothing and costs one pointer check per call site; results are bit-identical
   // either way. The recorder must outlive the system.
   trace::Recorder* recorder = nullptr;
+
+  // Optional external simulator (DESIGN.md §17). Null (the default) gives the system its own
+  // private clock, the classic standalone mode. A fleet run passes one shard of a
+  // simcore::ShardedSimulator instead, so several groups share (or split) virtual time; the
+  // simulator must outlive the system, and the caller drives it (Run() is standalone-only).
+  simcore::Simulator* sim = nullptr;
 };
 
 class ServingSystem {
@@ -98,6 +104,40 @@ class ServingSystem {
   // single-use: permanently failed instances stay dead across runs.
   metrics::Collector Run(const workload::Trace& trace);
 
+  // --- Streaming interface (fleet runs over an external simulator; serving/fleet.h) ---
+  // The Run() above is exactly BeginStream + one arrival event per request + ScheduleFaults +
+  // drive the simulator + FinishStream(now), so the two modes share every code path.
+
+  // Resets per-stream state (collector, request states, parked list) and starts a new trace
+  // recorder run. Call before scheduling any arrivals of a new stream.
+  void BeginStream(size_t expected_requests);
+
+  // Admits one request at the simulator's current time (call from within an event). The
+  // request's recorded arrival stays request.arrival_time — admission later than that models
+  // controller dispatch latency and is charged to TTFT. Returns the state owned by this
+  // system (stable address until the next BeginStream).
+  engine::RequestState* Submit(const workload::Request& request);
+
+  // Schedules the config's fault plan as simulator events. Run() does this itself; streaming
+  // callers do it once, after BeginStream.
+  void ScheduleFaults();
+
+  // Completes the stream: fails-fast any still-parked requests, closes fault downtime
+  // intervals at `end_time` (a fleet passes the canonical fleet-wide end so accounting is
+  // shard-count independent), verifies nothing was silently dropped, and yields the records.
+  metrics::Collector FinishStream(double end_time);
+
+  // Fired when a request leaves the system — completed (phase kDone) or lost (kLost) — from
+  // within the simulation. Not fired for the FinishStream fail-fast sweep: the stream is
+  // already over. Fleet routers use this to post completion notifications across shards.
+  void set_on_request_done(std::function<void(const engine::RequestState&)> fn) {
+    on_request_done_ = std::move(fn);
+  }
+
+  // True while the system can make progress on new arrivals: at least one live prefill and
+  // one live decode instance. The fleet router's dispatch filter.
+  bool Serviceable() const;
+
   // Fired after each fault-plan event is applied (failure-driven replanning hooks in here).
   void set_fault_callback(std::function<void(const FaultEvent&)> fn) {
     fault_callback_ = std::move(fn);
@@ -111,7 +151,7 @@ class ServingSystem {
     return decodes_;
   }
   const std::vector<std::unique_ptr<Link>>& ingress_links() const { return links_; }
-  const simcore::Simulator& simulator() const { return sim_; }
+  const simcore::Simulator& simulator() const { return *sim_; }
 
   // The auto-derived prefill batch token target actually in effect.
   int64_t prefill_token_target() const { return prefill_token_target_; }
@@ -139,13 +179,16 @@ class ServingSystem {
   metrics::FaultStats& fault_stats() { return collector_.fault_stats(); }
 
   ServingConfig config_;
-  simcore::Simulator sim_;
+  std::unique_ptr<simcore::Simulator> owned_sim_;  // standalone mode only
+  simcore::Simulator* sim_ = nullptr;              // owned_sim_ or config_.sim
   std::vector<std::unique_ptr<engine::PrefillInstance>> prefills_;
   std::vector<std::unique_ptr<engine::DecodeInstance>> decodes_;
   std::vector<std::unique_ptr<Link>> links_;  // one ingress link per decode instance
   std::vector<std::unique_ptr<engine::RequestState>> states_;
   metrics::Collector collector_;
   std::function<void(const FaultEvent&)> fault_callback_;
+  std::function<void(const engine::RequestState&)> on_request_done_;
+  bool finishing_ = false;  // suppresses on_request_done_ during FinishStream's sweep
 
   // Requests with no live target, re-routed when a component recovers.
   std::deque<engine::RequestState*> parked_;

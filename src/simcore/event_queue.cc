@@ -20,7 +20,7 @@ bool EventHandle::pending() const {
   return queue_ != nullptr && queue_->HandlePending(node_, generation_);
 }
 
-uint32_t EventQueue::AcquireNode(EventCallback fn) {
+uint32_t EventQueue::AcquireNode(EventCallback&& fn) {
   uint32_t index;
   if (free_head_ != kNilNode) {
     index = free_head_;
@@ -49,7 +49,7 @@ void EventQueue::CancelNode(uint32_t node, uint32_t generation) {
   }
 }
 
-EventHandle EventQueue::Schedule(SimTime when, EventCallback fn) {
+EventHandle EventQueue::Schedule(SimTime when, EventCallback&& fn) {
   DS_DCHECK(when >= 0.0);
   DS_PROF_COUNT("event_queue.schedule", 1);
   const uint32_t node = AcquireNode(std::move(fn));

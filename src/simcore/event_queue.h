@@ -66,7 +66,10 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `fn` at absolute time `when`. Ordering among equal times is insertion order.
-  EventHandle Schedule(SimTime when, EventCallback fn);
+  // Takes the callback by rvalue reference so it relocates exactly once, caller straight into
+  // the slab node — InlineFunction moves are indirect manage calls, and a by-value chain
+  // through ScheduleAt/Schedule/AcquireNode was three of them per event.
+  EventHandle Schedule(SimTime when, EventCallback&& fn);
 
   // True when no live (uncancelled) event remains.
   bool empty() const;
@@ -122,7 +125,7 @@ class EventQueue {
   }
   void CancelNode(uint32_t node, uint32_t generation);
 
-  uint32_t AcquireNode(EventCallback fn);
+  uint32_t AcquireNode(EventCallback&& fn);
   void ReleaseNode(uint32_t index);  // bumps generation, frees the callback, links free-list
 
   // Removes dead entries from the heap top.

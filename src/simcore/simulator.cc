@@ -4,22 +4,13 @@
 
 namespace distserve::simcore {
 
-EventHandle Simulator::ScheduleAt(SimTime when, EventCallback fn) {
-  DS_DCHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
-  return queue_.Schedule(when, std::move(fn));
-}
-
-EventHandle Simulator::ScheduleAfter(SimTime delay, EventCallback fn) {
-  DS_DCHECK(delay >= 0.0);
-  return queue_.Schedule(now_ + delay, std::move(fn));
-}
-
 int64_t Simulator::Run(SimTime until) {
   int64_t processed = 0;
   while (!queue_.empty() && queue_.NextTime() <= until) {
     EventQueue::Fired fired = queue_.Pop();
     DS_DCHECK(fired.time >= now_);
     now_ = fired.time;
+    last_event_time_ = fired.time;
     fired.fn();
     ++processed;
     ++events_processed_;
@@ -28,6 +19,23 @@ int64_t Simulator::Run(SimTime until) {
   // even when later events remain pending.
   if (until != std::numeric_limits<SimTime>::infinity() && now_ < until) {
     now_ = until;
+  }
+  return processed;
+}
+
+int64_t Simulator::RunBefore(SimTime bound) {
+  int64_t processed = 0;
+  while (!queue_.empty() && queue_.NextTime() < bound) {
+    EventQueue::Fired fired = queue_.Pop();
+    DS_DCHECK(fired.time >= now_);
+    now_ = fired.time;
+    last_event_time_ = fired.time;
+    fired.fn();
+    ++processed;
+    ++events_processed_;
+  }
+  if (now_ < bound) {
+    now_ = bound;
   }
   return processed;
 }

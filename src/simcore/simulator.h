@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 
+#include "common/logging.h"
 #include "simcore/event_queue.h"
 
 namespace distserve::simcore {
@@ -24,22 +26,47 @@ class Simulator {
   SimTime now() const { return now_; }
   int64_t events_processed() const { return events_processed_; }
 
-  // Schedules `fn` at absolute virtual time `when` (must be >= now()).
-  EventHandle ScheduleAt(SimTime when, EventCallback fn);
+  // Timestamp of the last event actually fired (0.0 before any event fires). Unlike now(),
+  // which a finite Run horizon or RunBefore window pins to the bound, this tracks real work —
+  // the sharded simulator uses the maximum across shards as the canonical, shard-count-
+  // independent end of a run (e.g. for closing fault downtime intervals).
+  SimTime last_event_time() const { return last_event_time_; }
+
+  // Schedules `fn` at absolute virtual time `when` (must be >= now()). Inline and by rvalue
+  // reference so the callback relocates once, caller straight into the queue's slab (see
+  // EventQueue::Schedule) — this path runs once per event and dominates scheduling cost.
+  EventHandle ScheduleAt(SimTime when, EventCallback&& fn) {
+    DS_DCHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
+    return queue_.Schedule(when, std::move(fn));
+  }
 
   // Schedules `fn` after a non-negative delay.
-  EventHandle ScheduleAfter(SimTime delay, EventCallback fn);
+  EventHandle ScheduleAfter(SimTime delay, EventCallback&& fn) {
+    DS_DCHECK(delay >= 0.0);
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
 
   // Runs until the event queue is empty or virtual time would exceed `until`.
   // Returns the number of events processed by this call.
   int64_t Run(SimTime until = std::numeric_limits<SimTime>::infinity());
 
+  // Processes every event strictly before `bound`, then advances the clock to exactly `bound`
+  // (events at `bound` itself stay pending). This is one conservative-lookahead window of the
+  // sharded simulator: after the call the shard's clock sits on the window edge, where
+  // cross-shard messages timestamped >= the edge can be delivered without reordering.
+  int64_t RunBefore(SimTime bound);
+
   // True when no live events remain.
   bool Idle() const { return queue_.empty(); }
+
+  // Time of the earliest pending event; +infinity when idle. The sharded simulator computes
+  // each lookahead window's start as the minimum across shards.
+  SimTime NextTime() const { return queue_.NextTime(); }
 
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
+  SimTime last_event_time_ = 0.0;
   int64_t events_processed_ = 0;
 };
 

@@ -1,0 +1,77 @@
+// A bounded single-producer single-consumer ring channel, in the spirit of the BCL FastQueue
+// idiom: one atomic head owned by the consumer, one atomic tail owned by the producer, and a
+// fixed power-of-two slot array between them. Push and Pop are wait-free; a full ring refuses
+// the push (the sharded simulator spills to a producer-owned overflow vector instead of
+// blocking — blocking inside a lookahead window could deadlock the barrier).
+//
+// Memory ordering: the producer publishes a slot with a release store of `tail_`; the
+// consumer's acquire load of `tail_` therefore observes the slot contents. Symmetrically the
+// consumer releases `head_` after moving a value out, letting the producer reuse the slot.
+// The sharded simulator additionally drains channels only after a ParallelFor barrier, so the
+// channel's own ordering is a second, stricter fence than the use requires — which keeps the
+// door open for draining mid-window later.
+#ifndef DISTSERVE_SIMCORE_SPSC_CHANNEL_H_
+#define DISTSERVE_SIMCORE_SPSC_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace distserve::simcore {
+
+template <typename T>
+class SpscChannel {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2) so the index math is a mask.
+  explicit SpscChannel(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false (without consuming `value`'s guts) when the ring is full.
+  bool TryPush(T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Padded to separate the producer- and consumer-owned lines.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace distserve::simcore
+
+#endif  // DISTSERVE_SIMCORE_SPSC_CHANNEL_H_

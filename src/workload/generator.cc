@@ -57,6 +57,63 @@ Trace GenerateShiftingTrace(const TraceSpec& spec, const Dataset& first, const D
   return trace;
 }
 
+Trace GenerateSourceTrace(const FleetTraceSpec& spec, const Dataset& dataset, int source) {
+  DS_CHECK_GT(spec.rate_per_source, 0.0);
+  DS_CHECK_GT(spec.requests_per_source, 0);
+  DS_CHECK_GE(source, 0);
+  const Rng root(spec.seed);
+  Rng arrival_rng = root.Fork(kArrivalStream).Jumped(static_cast<uint64_t>(source));
+  Rng length_rng = root.Fork(kLengthStream).Jumped(static_cast<uint64_t>(source));
+  GammaArrivals arrivals(spec.rate_per_source, spec.burstiness_cv);
+
+  Trace trace;
+  trace.reserve(static_cast<size_t>(spec.requests_per_source));
+  double clock = 0.0;
+  for (int i = 0; i < spec.requests_per_source; ++i) {
+    if (i > 0) {
+      clock += arrivals.NextGap(arrival_rng);
+    }
+    const LengthSample lens = dataset.Sample(length_rng);
+    trace.push_back(Request{/*id=*/i, /*arrival_time=*/clock, lens.input_len, lens.output_len});
+  }
+  return trace;
+}
+
+Trace GenerateFleetTrace(const FleetTraceSpec& spec, const Dataset& dataset) {
+  DS_CHECK_GT(spec.num_sources, 0);
+  // Tag each request with its source so equal arrival times merge in source order — a total
+  // order that no shard mapping can disturb.
+  struct Tagged {
+    Request request;
+    int source;
+  };
+  std::vector<Tagged> merged;
+  merged.reserve(static_cast<size_t>(spec.num_sources) *
+                 static_cast<size_t>(spec.requests_per_source));
+  for (int s = 0; s < spec.num_sources; ++s) {
+    for (Request& r : GenerateSourceTrace(spec, dataset, s)) {
+      merged.push_back(Tagged{r, s});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.request.arrival_time != b.request.arrival_time) {
+      return a.request.arrival_time < b.request.arrival_time;
+    }
+    if (a.source != b.source) {
+      return a.source < b.source;
+    }
+    return a.request.id < b.request.id;
+  });
+  Trace trace;
+  trace.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    Request r = merged[i].request;
+    r.id = static_cast<workload::RequestId>(i);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
 TraceStats ComputeTraceStats(const Trace& trace) {
   TraceStats stats;
   if (trace.empty()) {

@@ -31,6 +31,26 @@ Trace GenerateTrace(const TraceSpec& spec, const Dataset& dataset);
 Trace GenerateShiftingTrace(const TraceSpec& spec, const Dataset& first, const Dataset& second,
                             int shift_after, double second_rate);
 
+// Fleet-scale workload: `num_sources` independent arrival processes (think regional
+// frontends), each a fixed function of (seed, source) via the Rng jump-ahead scheme —
+// source k draws from the arrival/length streams advanced by k * 2^128, so adding sources,
+// resizing the fleet, or sharding the simulation never perturbs an existing source's
+// sequence. The merged trace is sorted by (arrival time, source) and re-numbered 0..N-1.
+struct FleetTraceSpec {
+  double rate_per_source = 1.0;  // mean requests/second per source
+  double burstiness_cv = 1.0;    // 1.0 = Poisson
+  int requests_per_source = 1000;
+  int num_sources = 1;
+  uint64_t seed = 42;
+};
+
+// One source's sub-trace (ids local 0..requests_per_source-1). Exposed so tests can assert
+// the fleet merge is exactly the union of per-source sequences.
+Trace GenerateSourceTrace(const FleetTraceSpec& spec, const Dataset& dataset, int source);
+
+// The merged fleet trace: num_sources * requests_per_source requests, globally renumbered.
+Trace GenerateFleetTrace(const FleetTraceSpec& spec, const Dataset& dataset);
+
 // Summary statistics of a trace.
 struct TraceStats {
   double duration = 0.0;        // last arrival time

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 namespace distserve::workload {
 namespace {
 
@@ -97,6 +101,75 @@ TEST(GeneratorTest, ShiftingTraceChangesRegime) {
   const double first_span = trace[199].arrival_time - trace[0].arrival_time;
   const double second_span = trace[399].arrival_time - trace[200].arrival_time;
   EXPECT_LT(second_span, first_span / 2.0);
+}
+
+TEST(GeneratorTest, FleetSourceSequencesIndependentOfFleetSize) {
+  // Source k's sub-trace is a fixed function of (seed, k): growing the fleet, resharding, or
+  // regenerating alone must never perturb it.
+  const std::unique_ptr<Dataset> dataset = MakeShareGptLike();
+  FleetTraceSpec small;
+  small.rate_per_source = 2.0;
+  small.requests_per_source = 50;
+  small.num_sources = 2;
+  FleetTraceSpec big = small;
+  big.num_sources = 8;
+  for (int s = 0; s < small.num_sources; ++s) {
+    const Trace a = GenerateSourceTrace(small, *dataset, s);
+    const Trace b = GenerateSourceTrace(big, *dataset, s);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+      EXPECT_EQ(a[i].input_len, b[i].input_len);
+      EXPECT_EQ(a[i].output_len, b[i].output_len);
+    }
+  }
+}
+
+TEST(GeneratorTest, FleetSourcesDiffer) {
+  const std::unique_ptr<Dataset> dataset = MakeShareGptLike();
+  FleetTraceSpec spec;
+  spec.requests_per_source = 50;
+  spec.num_sources = 2;
+  const Trace a = GenerateSourceTrace(spec, *dataset, 0);
+  const Trace b = GenerateSourceTrace(spec, *dataset, 1);
+  bool differ = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differ = differ || a[i].arrival_time != b[i].arrival_time ||
+             a[i].input_len != b[i].input_len;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, FleetMergeIsUnionOfSources) {
+  const std::unique_ptr<Dataset> dataset = MakeShareGptLike();
+  FleetTraceSpec spec;
+  spec.rate_per_source = 3.0;
+  spec.requests_per_source = 40;
+  spec.num_sources = 4;
+  const Trace fleet = GenerateFleetTrace(spec, *dataset);
+  ASSERT_EQ(fleet.size(),
+            static_cast<size_t>(spec.num_sources * spec.requests_per_source));
+  // Globally renumbered and sorted by arrival.
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].id, static_cast<RequestId>(i));
+    if (i > 0) {
+      EXPECT_GE(fleet[i].arrival_time, fleet[i - 1].arrival_time);
+    }
+  }
+  // Every per-source (arrival, input, output) triple appears in the merge exactly as often.
+  std::vector<std::tuple<double, int, int>> expected;
+  for (int s = 0; s < spec.num_sources; ++s) {
+    for (const Request& r : GenerateSourceTrace(spec, *dataset, s)) {
+      expected.emplace_back(r.arrival_time, r.input_len, r.output_len);
+    }
+  }
+  std::vector<std::tuple<double, int, int>> got;
+  for (const Request& r : fleet) {
+    got.emplace_back(r.arrival_time, r.input_len, r.output_len);
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
 }
 
 TEST(GeneratorTest, TraceStatsComputesExtremes) {
