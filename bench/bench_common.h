@@ -6,6 +6,7 @@
 #ifndef DISTSERVE_BENCH_BENCH_COMMON_H_
 #define DISTSERVE_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -59,60 +60,113 @@ enum CommonFlagBits : unsigned {
   kFlagShards = 1u << 6,
 };
 
+// Strict integer parse for --shards=N / DISTSERVE_SHARDS: the whole token must be a base-10
+// integer in [1, 1<<20]. (std::atoi would accept "4x" as 4 and turn "abc" into a misleading
+// "--shards must be >= 1" failure.)
+inline bool ParseShardsValue(const char* v, int* out) {
+  if (v == nullptr || *v == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || n < 1 || n > (1 << 20)) {
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
+}
+
 // Parses argv against the accepted subset. DISTSERVE_SHARDS seeds `shards` before parsing, so
-// an explicit --shards=N wins over the environment. Returns false (after printing a usage
-// line built from the same table) on any unknown flag or bad value.
+// an explicit --shards=N wins over the environment. Returns false (after a specific error
+// line plus a usage line built from the same table) on any unknown flag, a value-taking flag
+// with a missing or empty `=VALUE`, a value handed to a valueless flag, or a value the flag's
+// validator rejects (non-numeric/zero/negative --shards).
 inline bool ParseCommonFlags(int argc, char** argv, unsigned accepted, CommonFlags* flags) {
   struct FlagEntry {
     unsigned bit;
     const char* name;  // without the "=VALUE" suffix
     bool takes_value;
     const char* usage;
-    void (*apply)(CommonFlags*, const char*);
+    const char* value_hint;  // appended to the error when apply() rejects the value
+    bool (*apply)(CommonFlags*, const char*);
   };
   static const FlagEntry kTable[] = {
-      {kFlagSmoke, "--smoke", false, "[--smoke]",
-       [](CommonFlags* f, const char*) { f->smoke = true; }},
-      {kFlagJson, "--json", true, "[--json=PATH]",
-       [](CommonFlags* f, const char* v) { f->json_path = v; }},
-      {kFlagGoodputCache, "--goodput-cache", true, "[--goodput-cache=PATH]",
-       [](CommonFlags* f, const char* v) { f->goodput_cache = v; }},
-      {kFlagTrace, "--trace", true, "[--trace=PATH]",
-       [](CommonFlags* f, const char* v) { f->trace_path = v; }},
-      {kFlagNoAnalyticTier, "--no-analytic-tier", false, "[--no-analytic-tier]",
-       [](CommonFlags* f, const char*) { f->analytic_tier = false; }},
-      {kFlagCluster, "--cluster", true, "[--cluster=SPEC]",
-       [](CommonFlags* f, const char* v) { f->cluster_spec = v; }},
-      {kFlagShards, "--shards", true, "[--shards=N]",
-       [](CommonFlags* f, const char* v) { f->shards = std::atoi(v); }},
+      {kFlagSmoke, "--smoke", false, "[--smoke]", nullptr,
+       [](CommonFlags* f, const char*) {
+         f->smoke = true;
+         return true;
+       }},
+      {kFlagJson, "--json", true, "[--json=PATH]", nullptr,
+       [](CommonFlags* f, const char* v) {
+         f->json_path = v;
+         return true;
+       }},
+      {kFlagGoodputCache, "--goodput-cache", true, "[--goodput-cache=PATH]", nullptr,
+       [](CommonFlags* f, const char* v) {
+         f->goodput_cache = v;
+         return true;
+       }},
+      {kFlagTrace, "--trace", true, "[--trace=PATH]", nullptr,
+       [](CommonFlags* f, const char* v) {
+         f->trace_path = v;
+         return true;
+       }},
+      {kFlagNoAnalyticTier, "--no-analytic-tier", false, "[--no-analytic-tier]", nullptr,
+       [](CommonFlags* f, const char*) {
+         f->analytic_tier = false;
+         return true;
+       }},
+      {kFlagCluster, "--cluster", true, "[--cluster=SPEC]", nullptr,
+       [](CommonFlags* f, const char* v) {
+         f->cluster_spec = v;
+         return true;
+       }},
+      {kFlagShards, "--shards", true, "[--shards=N]", "expected an integer >= 1",
+       [](CommonFlags* f, const char* v) { return ParseShardsValue(v, &f->shards); }},
   };
+  bool ok = true;
   if ((accepted & kFlagShards) != 0) {
     if (const char* env = std::getenv("DISTSERVE_SHARDS")) {
-      flags->shards = std::atoi(env);
+      if (!ParseShardsValue(env, &flags->shards)) {
+        std::fprintf(stderr, "DISTSERVE_SHARDS=%s: expected an integer >= 1\n", env);
+        ok = false;
+      }
     }
   }
-  bool ok = true;
   for (int i = 1; i < argc && ok; ++i) {
     const char* arg = argv[i];
-    bool matched = false;
+    const FlagEntry* match = nullptr;
+    const char* value = nullptr;
     for (const FlagEntry& entry : kTable) {
       if ((accepted & entry.bit) == 0) {
         continue;
       }
       const size_t len = std::strlen(entry.name);
-      if (entry.takes_value) {
-        if (std::strncmp(arg, entry.name, len) == 0 && arg[len] == '=') {
-          entry.apply(flags, arg + len + 1);
-          matched = true;
-          break;
-        }
-      } else if (std::strcmp(arg, entry.name) == 0) {
-        entry.apply(flags, nullptr);
-        matched = true;
-        break;
+      if (std::strncmp(arg, entry.name, len) != 0) {
+        continue;
       }
+      if (arg[len] != '\0' && arg[len] != '=') {
+        continue;  // different flag sharing a prefix (e.g. --jsonify)
+      }
+      match = &entry;
+      value = arg[len] == '=' ? arg + len + 1 : nullptr;
+      break;
     }
-    ok = matched;
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      ok = false;
+    } else if (match->takes_value && (value == nullptr || *value == '\0')) {
+      std::fprintf(stderr, "%s requires a value: %s=VALUE\n", match->name, match->name);
+      ok = false;
+    } else if (!match->takes_value && value != nullptr) {
+      std::fprintf(stderr, "%s does not take a value\n", match->name);
+      ok = false;
+    } else if (!match->apply(flags, value)) {
+      std::fprintf(stderr, "%s=%s: %s\n", match->name, value,
+                   match->value_hint != nullptr ? match->value_hint : "invalid value");
+      ok = false;
+    }
   }
   if (ok && flags->shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");

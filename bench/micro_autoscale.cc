@@ -1,0 +1,102 @@
+// Microbenchmarks of the autoscaling layer's hot paths (DESIGN.md §18).
+//
+// The autoscaler itself is control-plane code — one decision per control window — but two of
+// its ingredients sit on real hot paths: RateSchedule::rate(t) is evaluated once per
+// candidate arrival during scheduled-trace generation (hundreds of thousands of calls per
+// simulated day), and GenerateScheduledTrace runs before every fig_autoscale day. The
+// decision loop row exists to keep the controller O(1) per window: any accidental
+// per-window allocation or scan would show up here long before it mattered in a bench.
+// The perf gate tracks all three against BENCH_simcore.json.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "serving/autoscaler.h"
+#include "workload/arrival.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve {
+namespace {
+
+workload::RateSchedule MakeDaySchedule() {
+  workload::RateSchedule schedule = workload::RateSchedule::Diurnal(2.0, 10.0, 86400.0);
+  schedule.AddSpike({47520.0, 3600.0, 1.6});
+  schedule.AddSpike({20000.0, 1800.0, 1.3});
+  return schedule;
+}
+
+// rate(t) across a day of sample points: the thinning inner loop's cost.
+void BM_ScheduleRate(benchmark::State& state) {
+  const workload::RateSchedule schedule = MakeDaySchedule();
+  const int kSamples = 8192;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += schedule.rate(static_cast<double>(i) * (86400.0 / kSamples));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_ScheduleRate);
+
+// A compressed scheduled day end to end: thinning + dataset sampling + trace assembly.
+void BM_ScheduledTraceGen(benchmark::State& state) {
+  const workload::RateSchedule schedule = MakeDaySchedule();
+  const auto dataset = workload::MakeDatasetByName("sharegpt");
+  workload::ScheduledTraceSpec spec;
+  spec.schedule = &schedule;
+  spec.horizon = 3600.0;
+  spec.seed = 77;
+  int64_t requests = 0;
+  for (auto _ : state) {
+    const workload::Trace trace = workload::GenerateScheduledTrace(spec, *dataset);
+    requests += static_cast<int64_t>(trace.size());
+    benchmark::DoNotOptimize(trace.data());
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ScheduledTraceGen);
+
+// Controller decisions over a synthetic day of window samples (load swings through the
+// band edges so every branch — scale-up, confirm, cooldown, hold — is exercised).
+void BM_AutoscalerDecide(benchmark::State& state) {
+  const int kWindows = 4096;
+  std::vector<serving::WindowSample> samples;
+  samples.reserve(kWindows);
+  for (int w = 0; w < kWindows; ++w) {
+    serving::WindowSample s;
+    s.start = w * 60.0;
+    s.end = s.start + 60.0;
+    const double phase = static_cast<double>(w % 96) / 96.0;
+    s.observed_rate = 2.0 + 8.0 * phase;
+    s.requests = static_cast<int>(s.observed_rate * 60.0);
+    s.attainment = phase > 0.8 ? 0.85 : 0.99;
+    s.goodput = s.observed_rate * s.attainment;
+    s.mean_latency = 1.5;
+    samples.push_back(s);
+  }
+  for (auto _ : state) {
+    serving::Autoscaler::Options options;
+    options.cooldown = 120.0;
+    serving::Autoscaler controller(options, 8.0, 0.0);
+    int actions = 0;
+    for (const serving::WindowSample& s : samples) {
+      const serving::AutoscaleDecision d = controller.Observe(s);
+      if (d.action != serving::AutoscaleAction::kHold) {
+        ++actions;
+        controller.InstallPlan(d.plan_rate * 1.05, s.end);
+      }
+    }
+    benchmark::DoNotOptimize(actions);
+  }
+  state.SetItemsProcessed(state.iterations() * kWindows);
+}
+BENCHMARK(BM_AutoscalerDecide);
+
+}  // namespace
+}  // namespace distserve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+#include "serving/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace distserve::serving {
+
+namespace {
+
+std::string FormatReason(const char* what, double value, const char* cmp, double threshold) {
+  std::ostringstream os;
+  os << what << " " << value << " " << cmp << " " << threshold;
+  return os.str();
+}
+
+}  // namespace
+
+Autoscaler::Autoscaler(const Options& options, double initial_capacity, double initial_time)
+    : options_(options), capacity_(initial_capacity), last_action_time_(initial_time) {
+  DS_CHECK(std::isfinite(initial_capacity) && initial_capacity > 0.0)
+      << "Autoscaler: initial capacity must be finite and > 0";
+  DS_CHECK_GT(options_.attainment_high, options_.attainment_low)
+      << "Autoscaler: hysteresis band is empty";
+  DS_CHECK_GT(options_.utilization_high, options_.utilization_low);
+  DS_CHECK_GE(options_.confirm_windows, 1);
+  DS_CHECK_GE(options_.cooldown, 0.0);
+  DS_CHECK_GE(options_.rate_headroom, 1.0);
+}
+
+void Autoscaler::InstallPlan(double capacity, double when) {
+  DS_CHECK(std::isfinite(capacity) && capacity > 0.0);
+  capacity_ = capacity;
+  last_action_time_ = when;
+  consecutive_low_windows_ = 0;
+}
+
+AutoscaleDecision Autoscaler::Observe(const WindowSample& sample) {
+  ++stats_.windows_observed;
+  AutoscaleDecision decision;
+
+  const bool in_cooldown = sample.end - last_action_time_ < options_.cooldown;
+  const double utilization = sample.observed_rate / capacity_;
+
+  // Scale-up triggers, checked first — overload beats economy. Either the SLO is already
+  // burning (attainment below the low-water mark) or it is about to (utilization past the
+  // proactive threshold).
+  const bool slo_burning = sample.requests > 0 && sample.attainment < options_.attainment_low;
+  const bool overloaded = utilization > options_.utilization_high;
+  if (slo_burning || overloaded) {
+    consecutive_low_windows_ = 0;
+    if (in_cooldown) {
+      ++stats_.cooldown_suppressed;
+      decision.reason = "scale-up suppressed by cooldown";
+      return decision;
+    }
+    decision.action = AutoscaleAction::kScaleUp;
+    // Plan for the worse of what we observed and what we thought we could do: a burst can
+    // push observed_rate past capacity, while an SLO burn at modest rate means capacity was
+    // overestimated — headroom on top of the max covers both.
+    decision.plan_rate = std::max(options_.min_plan_rate,
+                                  std::max(sample.observed_rate, capacity_) *
+                                      options_.rate_headroom);
+    decision.reason = slo_burning
+                          ? FormatReason("attainment", sample.attainment, "<",
+                                         options_.attainment_low)
+                          : FormatReason("utilization", utilization, ">",
+                                         options_.utilization_high);
+    ++stats_.scale_ups;
+    last_action_time_ = sample.end;
+    return decision;
+  }
+
+  // Scale-down: healthy SLO and persistent low utilization, confirmed across consecutive
+  // windows, outside the cooldown.
+  const bool scale_down_window = sample.attainment >= options_.attainment_high &&
+                                 utilization < options_.utilization_low;
+  if (!scale_down_window) {
+    consecutive_low_windows_ = 0;
+    decision.reason = "in hysteresis band";
+    return decision;
+  }
+  ++consecutive_low_windows_;
+  if (consecutive_low_windows_ < options_.confirm_windows) {
+    ++stats_.confirm_suppressed;
+    decision.reason = "scale-down awaiting confirmation";
+    return decision;
+  }
+  if (in_cooldown) {
+    ++stats_.cooldown_suppressed;
+    decision.reason = "scale-down suppressed by cooldown";
+    return decision;
+  }
+  decision.action = AutoscaleAction::kScaleDown;
+  decision.plan_rate = std::max(options_.min_plan_rate,
+                                sample.observed_rate * options_.rate_headroom);
+  decision.reason = FormatReason("utilization", utilization, "<", options_.utilization_low);
+  ++stats_.scale_downs;
+  last_action_time_ = sample.end;
+  consecutive_low_windows_ = 0;
+  return decision;
+}
+
+MigrationCost EstimateMigrationCost(const placement::PlacementPlan& from,
+                                    const placement::PlacementPlan& to,
+                                    const model::ModelSpec& model,
+                                    const cluster::ClusterSpec& cluster,
+                                    double resident_kv_tokens) {
+  DS_CHECK_GE(resident_kv_tokens, 0.0);
+  MigrationCost cost;
+  const bool same_shape = from.prefill_par == to.prefill_par &&
+                          from.decode_par == to.decode_par &&
+                          from.num_prefill == to.num_prefill && from.num_decode == to.num_decode;
+  if (same_shape) {
+    return cost;  // nothing moves
+  }
+  cost.kv_bytes = resident_kv_tokens * static_cast<double>(model.kv_bytes_per_token());
+  cost.drain_seconds = cost.kv_bytes / cluster.cross_node_bandwidth;
+  cost.gpu_seconds = cost.drain_seconds * static_cast<double>(from.total_gpus() + to.total_gpus());
+  return cost;
+}
+
+double EstimateResidentKvTokens(double observed_rate, double mean_latency, double mean_input_len,
+                                double mean_output_len) {
+  if (!(observed_rate > 0.0) || !(mean_latency > 0.0)) {
+    return 0.0;
+  }
+  const double concurrency = observed_rate * mean_latency;
+  return concurrency * (mean_input_len + 0.5 * mean_output_len);
+}
+
+}  // namespace distserve::serving

@@ -1,0 +1,136 @@
+// Load-driven autoscaling (§4.3 upgraded from failure-driven to traffic-driven; DESIGN.md §18).
+//
+// The Replanner reacts to workload *shape* drift and to failures; the Autoscaler closes the
+// remaining loop: it watches windowed SLO attainment and observed rate from the metrics
+// stream and decides when the fleet itself is the wrong size. Decisions are deliberately
+// conservative — a hysteresis band between the scale-up and scale-down attainment thresholds,
+// a cooldown after every action, and a multi-window confirmation requirement before scaling
+// down — because re-placement is never free: the migration cost model below charges the KV
+// drain on the transfer links (plus double-occupancy of old and new fleets during the drain)
+// against goodput-per-GPU-hour.
+//
+// The controller is pure decision logic over WindowSample values; the caller (a serving loop
+// or bench/fig_autoscale) executes decisions through DistServe::Replan with warm
+// goodput-cache starts and reports the installed plan's capacity back via InstallPlan.
+// Keeping the controller side-effect-free makes it unit-testable and keeps determinism
+// trivial: the decision sequence is a function of the sample sequence.
+#ifndef DISTSERVE_SERVING_AUTOSCALER_H_
+#define DISTSERVE_SERVING_AUTOSCALER_H_
+
+#include <string>
+
+#include "cluster/topology.h"
+#include "model/model_spec.h"
+#include "placement/placement.h"
+
+namespace distserve::serving {
+
+// One control window's worth of observed serving behavior, aggregated by the caller from the
+// metrics/span stream.
+struct WindowSample {
+  double start = 0.0;            // window bounds, virtual seconds
+  double end = 0.0;
+  int requests = 0;              // offered in this window
+  double observed_rate = 0.0;    // requests / (end - start)
+  double attainment = 1.0;       // joint-SLO attainment in [0, 1] over the window
+  double goodput = 0.0;          // requests served under both SLOs per second
+  double mean_latency = 0.0;     // mean end-to-end latency (s), for resident-KV estimation
+};
+
+enum class AutoscaleAction {
+  kHold,
+  kScaleUp,
+  kScaleDown,
+};
+
+struct AutoscaleDecision {
+  AutoscaleAction action = AutoscaleAction::kHold;
+  // For scale actions: the traffic rate the new plan should be computed for (already
+  // includes headroom). Meaningless for kHold.
+  double plan_rate = 0.0;
+  // Stable human-readable cause, suitable for deterministic logs ("attainment 0.82 < 0.90").
+  std::string reason;
+};
+
+class Autoscaler {
+ public:
+  struct Options {
+    // Scale up when windowed attainment falls below this...
+    double attainment_low = 0.90;
+    // ...and only consider scaling down while it sits above this. The gap is the hysteresis
+    // band: attainment in [low, high) never triggers anything.
+    double attainment_high = 0.98;
+    // Proactive overload trigger: scale up when observed rate exceeds this fraction of the
+    // current plan's capacity even if attainment has not yet collapsed (diurnal ramps are
+    // gradual; acting on utilization avoids burning a window of bad service first).
+    double utilization_high = 0.85;
+    // Scale down only when observed rate is below this fraction of capacity.
+    double utilization_low = 0.55;
+    // Minimum virtual seconds between any two scale actions.
+    double cooldown = 1800.0;
+    // Consecutive qualifying windows required before a scale-DOWN fires (scale-up is urgent
+    // and fires on a single window; scale-down is an economy measure and must be confirmed).
+    int confirm_windows = 2;
+    // New plans are computed for observed_rate * rate_headroom, so the fleet lands with
+    // slack instead of at 100% utilization.
+    double rate_headroom = 1.25;
+    // Floor for plan_rate, so a dead-quiet window never asks the planner for a ~0-rate plan.
+    double min_plan_rate = 0.5;
+  };
+
+  struct Stats {
+    int windows_observed = 0;
+    int scale_ups = 0;
+    int scale_downs = 0;
+    int cooldown_suppressed = 0;   // would have acted but for the cooldown
+    int confirm_suppressed = 0;    // scale-down candidate still accumulating confirmation
+  };
+
+  // `initial_capacity` is the installed plan's sustainable rate (its system goodput estimate,
+  // requests/second); `initial_time` stamps when it went live (cooldown starts there).
+  Autoscaler(const Options& options, double initial_capacity, double initial_time);
+
+  // The caller installed a new plan with the given capacity at virtual time `when`.
+  void InstallPlan(double capacity, double when);
+
+  // Feed one completed control window; returns the controller's decision for it.
+  AutoscaleDecision Observe(const WindowSample& sample);
+
+  double capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  double capacity_;
+  double last_action_time_;
+  int consecutive_low_windows_ = 0;  // scale-down confirmation counter
+  Stats stats_;
+};
+
+// Migration cost of swapping `from` for `to`: every byte of resident KV cache must drain
+// across the transfer fabric before the old fleet releases its GPUs, and during the drain
+// both fleets hold their footprints. Charged by the caller against the GPU-hour denominator
+// so scaling is never free (ISSUE/DESIGN §18). `resident_kv_tokens` is the caller's estimate
+// of KV tokens live at the switch (see EstimateResidentKvTokens); the drain rides the
+// cross-node links — re-placement moves instances between nodes, so NVLink locality cannot
+// be assumed mid-migration.
+struct MigrationCost {
+  double kv_bytes = 0.0;       // resident KV bytes to move
+  double drain_seconds = 0.0;  // time to push them over the cross-node fabric
+  double gpu_seconds = 0.0;    // (old + new fleet footprint) held for the drain
+};
+MigrationCost EstimateMigrationCost(const placement::PlacementPlan& from,
+                                    const placement::PlacementPlan& to,
+                                    const model::ModelSpec& model,
+                                    const cluster::ClusterSpec& cluster,
+                                    double resident_kv_tokens);
+
+// Little's-law estimate of KV tokens resident at an instant: concurrency = rate * mean
+// latency requests in flight, each holding its full input plus (on average) half its output
+// — decode KV grows linearly over a request's lifetime.
+double EstimateResidentKvTokens(double observed_rate, double mean_latency,
+                                double mean_input_len, double mean_output_len);
+
+}  // namespace distserve::serving
+
+#endif  // DISTSERVE_SERVING_AUTOSCALER_H_

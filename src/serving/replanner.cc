@@ -27,6 +27,13 @@ void Replanner::Observe(const workload::Request& request) {
 void Replanner::NotifyFailure(double time, int failed_gpus) {
   ++failures_reported_;
   if (!on_failure_) {
+    ++failure_triggers_dropped_;
+    if (failure_triggers_dropped_ == 1) {
+      DS_LOG(Warning) << "Replanner::NotifyFailure at t=" << time << " (" << failed_gpus
+                      << " GPUs down) dropped: no failure callback installed "
+                         "(set_on_failure). Further drops are counted in "
+                         "failure_triggers_dropped() without repeating this warning.";
+    }
     return;
   }
   if (time - last_failure_replan_time_ < options_.failure_cooldown) {

@@ -47,7 +47,9 @@ class Replanner {
   // Feeds one observed request (call at its arrival, with arrival_time set).
   void Observe(const workload::Request& request);
 
-  // Enables the failure trigger path; without it NotifyFailure is a counter-only no-op.
+  // Enables the failure trigger path. Without it NotifyFailure drops the trigger: the drop is
+  // warned about once, and every drop is counted in failure_triggers_dropped() so a mis-wired
+  // replanner (failures reported, callback never installed) is diagnosable from stats.
   void set_on_failure(FailureReplanFn fn) { on_failure_ = std::move(fn); }
 
   // Reports a component failure at virtual time `time` with `failed_gpus` GPUs now dead in
@@ -60,6 +62,8 @@ class Replanner {
   int replans_triggered() const { return replans_triggered_; }
   int failure_replans_triggered() const { return failure_replans_triggered_; }
   int failures_reported() const { return failures_reported_; }
+  // Failure triggers that arrived with no on_failure_ callback installed and were dropped.
+  int failure_triggers_dropped() const { return failure_triggers_dropped_; }
   const workload::WorkloadProfiler& profiler() const { return profiler_; }
 
  private:
@@ -72,6 +76,7 @@ class Replanner {
   int replans_triggered_ = 0;
   int failure_replans_triggered_ = 0;
   int failures_reported_ = 0;
+  int failure_triggers_dropped_ = 0;
 };
 
 }  // namespace distserve::serving

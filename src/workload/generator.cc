@@ -114,6 +114,27 @@ Trace GenerateFleetTrace(const FleetTraceSpec& spec, const Dataset& dataset) {
   return trace;
 }
 
+Trace GenerateScheduledTrace(const ScheduledTraceSpec& spec, const Dataset& dataset) {
+  DS_CHECK(spec.schedule != nullptr) << "GenerateScheduledTrace: schedule is required";
+  DS_CHECK(spec.horizon > 0.0) << "GenerateScheduledTrace: horizon must be > 0";
+  const Rng root(spec.seed);
+  Rng arrival_rng = root.Fork(kArrivalStream);
+  Rng length_rng = root.Fork(kLengthStream);
+  ScheduledArrivals arrivals(spec.schedule, spec.burstiness_cv);
+
+  Trace trace;
+  trace.reserve(static_cast<size_t>(spec.schedule->MeanRate(spec.horizon) * spec.horizon) + 16);
+  double clock = arrivals.NextArrival(arrival_rng, 0.0);
+  int id = 0;
+  while (clock < spec.horizon) {
+    const LengthSample lens = dataset.Sample(length_rng);
+    trace.push_back(
+        Request{/*id=*/id++, /*arrival_time=*/clock, lens.input_len, lens.output_len});
+    clock = arrivals.NextArrival(arrival_rng, clock);
+  }
+  return trace;
+}
+
 TraceStats ComputeTraceStats(const Trace& trace) {
   TraceStats stats;
   if (trace.empty()) {

@@ -51,6 +51,19 @@ Trace GenerateSourceTrace(const FleetTraceSpec& spec, const Dataset& dataset, in
 // The merged fleet trace: num_sources * requests_per_source requests, globally renumbered.
 Trace GenerateFleetTrace(const FleetTraceSpec& spec, const Dataset& dataset);
 
+// Time-varying workload (DESIGN.md §18): arrivals follow `schedule` over [0, horizon) via
+// ScheduledArrivals thinning, so the trace's local rate tracks rate(t) — a simulated day of
+// diurnal traffic with flash crowds, driving the autoscaler experiments. The request count is
+// whatever the schedule produces (≈ integral of rate(t)); ids are 0..N-1 in arrival order and
+// the same (seed, schedule) always yields the same trace.
+struct ScheduledTraceSpec {
+  const RateSchedule* schedule = nullptr;  // required, non-owning
+  double burstiness_cv = 1.0;              // 1.0 = non-homogeneous Poisson
+  double horizon = 86400.0;                // seconds of simulated wall-clock to cover
+  uint64_t seed = 42;
+};
+Trace GenerateScheduledTrace(const ScheduledTraceSpec& spec, const Dataset& dataset);
+
 // Summary statistics of a trace.
 struct TraceStats {
   double duration = 0.0;        // last arrival time

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace distserve::workload {
 namespace {
@@ -78,6 +79,153 @@ TEST(ArrivalDeathTest, InvalidParametersAbort) {
   EXPECT_DEATH(PoissonArrivals{0.0}, "");
   EXPECT_DEATH((GammaArrivals{1.0, 0.0}), "");
   EXPECT_DEATH(FixedArrivals{-1.0}, "");
+}
+
+TEST(ArrivalDeathTest, NonFiniteParametersAbort) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(PoissonArrivals{inf}, "finite");
+  EXPECT_DEATH(PoissonArrivals{nan}, "");
+  EXPECT_DEATH(PoissonArrivals{-inf}, "");
+  EXPECT_DEATH((GammaArrivals{inf, 1.0}), "finite");
+  EXPECT_DEATH((GammaArrivals{1.0, nan}), "");
+  EXPECT_DEATH((GammaArrivals{1.0, inf}), "finite");
+  EXPECT_DEATH(FixedArrivals{nan}, "");
+}
+
+TEST(ArrivalTest, ExtremeCvIsClampedAndKeepsMeanRate) {
+  // cv far outside the supported band clamps (with a warning) instead of silently
+  // generating underflowed gaps; the mean-rate contract survives the clamp.
+  GammaArrivals tiny(5.0, 1e-6);
+  EXPECT_DOUBLE_EQ(tiny.cv(), GammaArrivals::kMinCv);
+  GammaArrivals huge(5.0, 1e6);
+  EXPECT_DOUBLE_EQ(huge.cv(), GammaArrivals::kMaxCv);
+  Rng rng(11);
+  EXPECT_NEAR(MeanGap(tiny, rng, 100000), 0.2, 0.01);
+}
+
+// The NextGap contract: finite and >= 0 for every process across the whole supported
+// parameter space, including the clamp edges where Gamma sampling is numerically nastiest.
+TEST(ArrivalTest, NextGapContractHoldsAcrossParameterSpace) {
+  const int kSamples = 20000;
+  uint64_t seed = 100;
+  for (double rate : {1e-3, 1.0, 1e3}) {
+    for (double cv : {1e-9, GammaArrivals::kMinCv, 0.5, 1.0, 4.0, GammaArrivals::kMaxCv, 1e9}) {
+      GammaArrivals gamma(rate, cv);
+      Rng rng(seed++);
+      for (int i = 0; i < kSamples; ++i) {
+        const double gap = gamma.NextGap(rng);
+        ASSERT_TRUE(std::isfinite(gap)) << "rate=" << rate << " cv=" << cv;
+        ASSERT_GE(gap, 0.0) << "rate=" << rate << " cv=" << cv;
+      }
+    }
+    PoissonArrivals poisson(rate);
+    FixedArrivals fixed(rate);
+    Rng rng(seed++);
+    for (int i = 0; i < kSamples; ++i) {
+      const double pg = poisson.NextGap(rng);
+      ASSERT_TRUE(std::isfinite(pg) && pg >= 0.0);
+      const double fg = fixed.NextGap(rng);
+      ASSERT_TRUE(std::isfinite(fg) && fg > 0.0);
+    }
+  }
+}
+
+TEST(RateScheduleTest, InterpolatesBetweenKnots) {
+  RateSchedule schedule({{0.0, 2.0}, {100.0, 10.0}, {200.0, 4.0}});
+  EXPECT_DOUBLE_EQ(schedule.rate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.rate(50.0), 6.0);
+  EXPECT_DOUBLE_EQ(schedule.rate(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.rate(150.0), 7.0);
+  // Non-periodic: holds the last rate past the end.
+  EXPECT_DOUBLE_EQ(schedule.rate(500.0), 4.0);
+}
+
+TEST(RateScheduleTest, PeriodicWrapsAndSpikesMultiply) {
+  RateSchedule schedule({{0.0, 2.0}, {50.0, 8.0}, {100.0, 2.0}}, /*periodic=*/true);
+  EXPECT_DOUBLE_EQ(schedule.rate(125.0), schedule.rate(25.0));
+  EXPECT_DOUBLE_EQ(schedule.rate(250.0), 8.0);
+  schedule.AddSpike({120.0, 10.0, 3.0});
+  EXPECT_DOUBLE_EQ(schedule.rate(125.0), 3.0 * schedule.rate(25.0));
+  EXPECT_DOUBLE_EQ(schedule.rate(130.0), schedule.rate(30.0));  // half-open spike interval
+  // Overlapping spikes compound, and max_rate bounds the worst case.
+  schedule.AddSpike({125.0, 10.0, 2.0});
+  EXPECT_DOUBLE_EQ(schedule.rate(126.0), 6.0 * schedule.rate(26.0));
+  EXPECT_DOUBLE_EQ(schedule.max_rate(), 8.0 * 6.0);
+}
+
+TEST(RateScheduleTest, MeanRateIsExactForPiecewiseLinear) {
+  RateSchedule schedule({{0.0, 2.0}, {100.0, 6.0}});
+  EXPECT_NEAR(schedule.MeanRate(100.0), 4.0, 1e-9);
+  // Constant 4.0 with a x2 spike over a tenth of the horizon: mean 4.0 * 1.1.
+  RateSchedule flat({{0.0, 4.0}, {100.0, 4.0}});
+  flat.AddSpike({40.0, 10.0, 2.0});
+  EXPECT_NEAR(flat.MeanRate(100.0), 4.4, 1e-6);
+}
+
+TEST(RateScheduleTest, DiurnalShapeAndEnvelope) {
+  const RateSchedule day = RateSchedule::Diurnal(2.0, 10.0, 86400.0);
+  EXPECT_DOUBLE_EQ(day.rate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(day.rate(0.5 * 86400.0), 10.0);  // mid-plateau
+  EXPECT_DOUBLE_EQ(day.max_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(day.rate(86400.0), 2.0);  // wraps to the trough
+  EXPECT_GT(day.MeanRate(86400.0), 2.0);
+  EXPECT_LT(day.MeanRate(86400.0), 10.0);
+}
+
+TEST(RateScheduleDeathTest, InvalidKnotsAndSpikesAbort) {
+  EXPECT_DEATH(RateSchedule({{0.0, 1.0}}), "");                          // too few knots
+  EXPECT_DEATH(RateSchedule({{5.0, 1.0}, {10.0, 1.0}}), "");             // not starting at 0
+  EXPECT_DEATH(RateSchedule({{0.0, 1.0}, {0.0, 2.0}}), "");              // non-increasing
+  EXPECT_DEATH(RateSchedule({{0.0, 1.0}, {10.0, 0.0}}), "");             // zero rate
+  EXPECT_DEATH(RateSchedule({{0.0, 1.0}, {10.0, std::nan("")}}), "");    // NaN rate
+  RateSchedule ok({{0.0, 1.0}, {10.0, 2.0}});
+  EXPECT_DEATH(ok.AddSpike({-1.0, 5.0, 2.0}), "");
+  EXPECT_DEATH(ok.AddSpike({0.0, 0.0, 2.0}), "");
+  EXPECT_DEATH(ok.AddSpike({0.0, 5.0, 0.0}), "");
+}
+
+TEST(ScheduledArrivalsTest, ConstantScheduleMatchesPoissonRate) {
+  // Thinning a constant schedule at cv=1 is an ordinary Poisson process.
+  RateSchedule flat({{0.0, 5.0}, {1000.0, 5.0}});
+  ScheduledArrivals arrivals(&flat, 1.0);
+  Rng rng(21);
+  double t = 0.0;
+  int count = 0;
+  while ((t = arrivals.NextArrival(rng, t)) < 1000.0) {
+    ++count;
+  }
+  EXPECT_NEAR(count / 1000.0, 5.0, 0.25);
+}
+
+TEST(ScheduledArrivalsTest, LocalRateTracksSchedule) {
+  // Step schedule: 2 rps for the first half, 10 rps for the second; counts follow.
+  RateSchedule steps({{0.0, 2.0}, {999.0, 2.0}, {1001.0, 10.0}, {2000.0, 10.0}});
+  ScheduledArrivals arrivals(&steps, 1.0);
+  Rng rng(22);
+  double t = 0.0;
+  int low = 0;
+  int high = 0;
+  while ((t = arrivals.NextArrival(rng, t)) < 2000.0) {
+    (t < 1000.0 ? low : high) += 1;
+  }
+  EXPECT_NEAR(low / 1000.0, 2.0, 0.3);
+  EXPECT_NEAR(high / 1000.0, 10.0, 0.6);
+  EXPECT_GT(high, 3 * low);
+}
+
+TEST(ScheduledArrivalsTest, ArrivalsAreMonotone) {
+  RateSchedule day = RateSchedule::Diurnal(1.0, 6.0, 2000.0);
+  day.AddSpike({900.0, 200.0, 2.0});
+  ScheduledArrivals arrivals(&day, 2.0);
+  Rng rng(23);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double next = arrivals.NextArrival(rng, t);
+    ASSERT_TRUE(std::isfinite(next));
+    ASSERT_GE(next, t);
+    t = next;
+  }
 }
 
 }  // namespace

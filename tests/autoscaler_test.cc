@@ -1,0 +1,158 @@
+#include "serving/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "model/model_spec.h"
+
+namespace distserve::serving {
+namespace {
+
+Autoscaler::Options FastOptions() {
+  Autoscaler::Options options;
+  options.cooldown = 100.0;
+  options.confirm_windows = 2;
+  return options;
+}
+
+WindowSample MakeSample(double start, double rate, double attainment) {
+  WindowSample s;
+  s.start = start;
+  s.end = start + 100.0;
+  s.observed_rate = rate;
+  s.requests = static_cast<int>(rate * 100.0);
+  s.attainment = attainment;
+  s.goodput = rate * attainment;
+  s.mean_latency = 1.0;
+  return s;
+}
+
+TEST(AutoscalerTest, ScaleUpOnLowAttainment) {
+  Autoscaler controller(FastOptions(), /*capacity=*/10.0, /*time=*/0.0);
+  const AutoscaleDecision d = controller.Observe(MakeSample(100.0, 5.0, 0.80));
+  EXPECT_EQ(d.action, AutoscaleAction::kScaleUp);
+  // Plans for max(observed, capacity) * headroom: capacity was overestimated, keep it.
+  EXPECT_DOUBLE_EQ(d.plan_rate, 10.0 * 1.25);
+  EXPECT_NE(d.reason.find("attainment"), std::string::npos);
+  EXPECT_EQ(controller.stats().scale_ups, 1);
+}
+
+TEST(AutoscalerTest, ScaleUpOnHighUtilizationBeforeSloBurns) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  // Attainment still fine, but the fleet is nearly saturated: proactive scale-up.
+  const AutoscaleDecision d = controller.Observe(MakeSample(100.0, 9.0, 0.99));
+  EXPECT_EQ(d.action, AutoscaleAction::kScaleUp);
+  EXPECT_DOUBLE_EQ(d.plan_rate, 10.0 * 1.25);
+  EXPECT_NE(d.reason.find("utilization"), std::string::npos);
+}
+
+TEST(AutoscalerTest, HysteresisBandHolds) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  // Attainment between low and high watermarks, moderate utilization: never act.
+  for (int w = 0; w < 10; ++w) {
+    const AutoscaleDecision d = controller.Observe(MakeSample(100.0 + 100.0 * w, 7.0, 0.94));
+    EXPECT_EQ(d.action, AutoscaleAction::kHold) << "window " << w;
+  }
+  EXPECT_EQ(controller.stats().scale_ups, 0);
+  EXPECT_EQ(controller.stats().scale_downs, 0);
+}
+
+TEST(AutoscalerTest, CooldownSuppressesBackToBackScaleUps) {
+  Autoscaler::Options options = FastOptions();
+  options.cooldown = 1000.0;
+  Autoscaler controller(options, 10.0, 0.0);
+  EXPECT_EQ(controller.Observe(MakeSample(1000.0, 5.0, 0.5)).action, AutoscaleAction::kScaleUp);
+  EXPECT_EQ(controller.Observe(MakeSample(1100.0, 5.0, 0.5)).action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.stats().cooldown_suppressed, 1);
+  // Past the cooldown it fires again.
+  EXPECT_EQ(controller.Observe(MakeSample(2100.0, 5.0, 0.5)).action, AutoscaleAction::kScaleUp);
+}
+
+TEST(AutoscalerTest, ScaleDownNeedsConfirmationWindows) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  // First quiet window: candidate only.
+  EXPECT_EQ(controller.Observe(MakeSample(200.0, 2.0, 1.0)).action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.stats().confirm_suppressed, 1);
+  // Second consecutive quiet window confirms.
+  const AutoscaleDecision d = controller.Observe(MakeSample(300.0, 2.0, 1.0));
+  EXPECT_EQ(d.action, AutoscaleAction::kScaleDown);
+  EXPECT_DOUBLE_EQ(d.plan_rate, 2.0 * 1.25);
+  EXPECT_EQ(controller.stats().scale_downs, 1);
+}
+
+TEST(AutoscalerTest, ConfirmationResetsOnBusyWindow) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  EXPECT_EQ(controller.Observe(MakeSample(200.0, 2.0, 1.0)).action, AutoscaleAction::kHold);
+  // A busy window in between resets the confirmation counter.
+  EXPECT_EQ(controller.Observe(MakeSample(300.0, 7.0, 0.95)).action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.Observe(MakeSample(400.0, 2.0, 1.0)).action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.Observe(MakeSample(500.0, 2.0, 1.0)).action, AutoscaleAction::kScaleDown);
+}
+
+TEST(AutoscalerTest, InstallPlanResetsCapacityAndCooldown) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  controller.InstallPlan(20.0, 500.0);
+  EXPECT_DOUBLE_EQ(controller.capacity(), 20.0);
+  // 9 rps is 45% of the new capacity: a scale-down candidate, not a scale-up.
+  const AutoscaleDecision d = controller.Observe(MakeSample(700.0, 9.0, 0.99));
+  EXPECT_EQ(d.action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.stats().scale_ups, 0);
+  EXPECT_EQ(controller.stats().confirm_suppressed, 1);
+}
+
+TEST(AutoscalerTest, EmptyWindowNeverScalesUp) {
+  Autoscaler controller(FastOptions(), 10.0, 0.0);
+  WindowSample s = MakeSample(200.0, 0.0, 0.0);  // no traffic: attainment meaningless
+  s.requests = 0;
+  s.attainment = 1.0;
+  EXPECT_EQ(controller.Observe(s).action, AutoscaleAction::kHold);
+  EXPECT_EQ(controller.stats().scale_ups, 0);
+}
+
+TEST(MigrationCostTest, IdenticalPlansCostNothing) {
+  placement::PlacementPlan plan;
+  plan.prefill_par = {2, 1};
+  plan.decode_par = {1, 1};
+  plan.num_prefill = 1;
+  plan.num_decode = 2;
+  const MigrationCost cost = EstimateMigrationCost(
+      plan, plan, model::ModelSpec::Opt13B(), cluster::ClusterSpec::PaperTestbed(), 1e6);
+  EXPECT_DOUBLE_EQ(cost.kv_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(cost.drain_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cost.gpu_seconds, 0.0);
+}
+
+TEST(MigrationCostTest, DrainScalesWithTokensAndFootprint) {
+  placement::PlacementPlan from;
+  from.prefill_par = {2, 1};
+  from.decode_par = {1, 1};
+  from.num_prefill = 1;
+  from.num_decode = 2;  // 4 GPUs
+  placement::PlacementPlan to = from;
+  to.num_decode = 6;  // 8 GPUs
+  const model::ModelSpec model = model::ModelSpec::Opt13B();
+  const cluster::ClusterSpec cluster = cluster::ClusterSpec::PaperTestbed();
+
+  const double tokens = 200000.0;
+  const MigrationCost cost = EstimateMigrationCost(from, to, model, cluster, tokens);
+  EXPECT_DOUBLE_EQ(cost.kv_bytes,
+                   tokens * static_cast<double>(model.kv_bytes_per_token()));
+  EXPECT_DOUBLE_EQ(cost.drain_seconds, cost.kv_bytes / cluster.cross_node_bandwidth);
+  EXPECT_DOUBLE_EQ(cost.gpu_seconds,
+                   cost.drain_seconds * (from.total_gpus() + to.total_gpus()));
+  EXPECT_GT(cost.drain_seconds, 0.0);
+
+  // Twice the resident tokens, twice the drain.
+  const MigrationCost doubled = EstimateMigrationCost(from, to, model, cluster, 2.0 * tokens);
+  EXPECT_DOUBLE_EQ(doubled.drain_seconds, 2.0 * cost.drain_seconds);
+}
+
+TEST(MigrationCostTest, ResidentKvTokensFollowsLittlesLaw) {
+  // 4 rps * 2.5 s latency = 10 requests in flight, each holding 300 + 100/2 tokens.
+  EXPECT_DOUBLE_EQ(EstimateResidentKvTokens(4.0, 2.5, 300.0, 100.0), 10.0 * 350.0);
+  EXPECT_DOUBLE_EQ(EstimateResidentKvTokens(0.0, 2.5, 300.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateResidentKvTokens(4.0, 0.0, 300.0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace distserve::serving

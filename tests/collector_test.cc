@@ -110,5 +110,101 @@ TEST(CollectorTest, CompletedThroughput) {
   EXPECT_DOUBLE_EQ(collector.CompletedThroughput(), 2.0 / 5.0);
 }
 
+// Deterministic synthetic record with id-dependent (but well-formed) timings: varied enough
+// that percentile and attainment outputs are sensitive to any record being dropped/mangled.
+RequestRecord MakeIdRecord(int id) {
+  const double base = 0.1 * id;
+  RequestRecord r = MakeRecord(base, base + 0.01 * (id % 3), base + 0.05 + 0.02 * (id % 5),
+                               base + 0.08 + 0.02 * (id % 5), base + 0.09 + 0.02 * (id % 5),
+                               base + 0.5 + 0.07 * (id % 7), 10 + id % 13);
+  r.id = id;
+  return r;
+}
+
+TEST(CollectorMergeTest, EmptyPlusEmptyIsEmpty) {
+  Collector a;
+  Collector b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.lost_count(), 0u);
+  EXPECT_FALSE(a.fault_stats().any());
+  EXPECT_DOUBLE_EQ(a.CompletionRate(), 1.0);
+}
+
+TEST(CollectorMergeTest, EmptyPlusNonEmptyInBothDirections) {
+  Collector full;
+  for (int id = 0; id < 8; ++id) {
+    full.Record(MakeIdRecord(id));
+  }
+  full.RecordLost(MakeIdRecord(8));
+  full.fault_stats().requests_lost = 1;
+
+  Collector empty_into_full = full;
+  empty_into_full.Merge(Collector{});
+  EXPECT_TRUE(BitIdentical(empty_into_full, full));
+  EXPECT_EQ(empty_into_full.fault_stats().requests_lost, 1);
+
+  Collector full_into_empty;
+  full_into_empty.Merge(full);
+  full_into_empty.SortById();
+  EXPECT_TRUE(BitIdentical(full_into_empty, full));
+  EXPECT_EQ(full_into_empty.lost_count(), 1u);
+  EXPECT_EQ(full_into_empty.fault_stats().requests_lost, 1);
+}
+
+TEST(CollectorMergeTest, MergeMatchesSingleCollectorBitwise) {
+  // Partition one id space across two collectors (odd/even — the worst interleaving for
+  // order-dependent summation), merge, SortById: every percentile/attainment/mean output
+  // must be bitwise identical to the single collector that saw all records in id order.
+  const int kN = 40;
+  Collector single;
+  Collector evens;
+  Collector odds;
+  for (int id = 0; id < kN; ++id) {
+    const RequestRecord r = MakeIdRecord(id);
+    single.Record(r);
+    (id % 2 == 0 ? evens : odds).Record(r);
+  }
+  single.RecordLost(MakeIdRecord(kN));
+  odds.RecordLost(MakeIdRecord(kN));
+
+  Collector merged;
+  merged.Merge(evens);
+  merged.Merge(odds);
+  merged.SortById();
+
+  EXPECT_TRUE(BitIdentical(merged, single));
+  const SloSpec slo{0.12, 0.05};
+  const Attainment m = merged.ComputeAttainment(slo);
+  const Attainment s = single.ComputeAttainment(slo);
+  EXPECT_EQ(m.both, s.both);
+  EXPECT_EQ(m.ttft_only, s.ttft_only);
+  EXPECT_EQ(m.tpot_only, s.tpot_only);
+  for (double q : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(merged.TtftPercentile(q), single.TtftPercentile(q)) << "q=" << q;
+    EXPECT_EQ(merged.TpotPercentile(q), single.TpotPercentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.MeanTtft(), single.MeanTtft());
+  EXPECT_EQ(merged.MeanTpot(), single.MeanTpot());
+  EXPECT_EQ(merged.GoodputUnderSlo(slo), single.GoodputUnderSlo(slo));
+  EXPECT_EQ(merged.CompletionRate(), single.CompletionRate());
+}
+
+TEST(CollectorMergeTest, FaultStatsSumAcrossMerge) {
+  Collector a;
+  a.fault_stats().instance_failures = 2;
+  a.fault_stats().requests_lost = 1;
+  a.fault_stats().downtime_seconds = 3.5;
+  Collector b;
+  b.fault_stats().instance_failures = 3;
+  b.fault_stats().kv_reprefills = 4;
+  b.fault_stats().downtime_seconds = 1.5;
+  a.Merge(b);
+  EXPECT_EQ(a.fault_stats().instance_failures, 5);
+  EXPECT_EQ(a.fault_stats().requests_lost, 1);
+  EXPECT_EQ(a.fault_stats().kv_reprefills, 4);
+  EXPECT_DOUBLE_EQ(a.fault_stats().downtime_seconds, 5.0);
+}
+
 }  // namespace
 }  // namespace distserve::metrics

@@ -172,6 +172,56 @@ TEST(GeneratorTest, FleetMergeIsUnionOfSources) {
   EXPECT_EQ(got, expected);
 }
 
+TEST(GeneratorTest, ScheduledTraceFollowsRateSchedule) {
+  // Step schedule: 2 rps for the first 500 s, 10 rps for the second 500 s.
+  const RateSchedule steps({{0.0, 2.0}, {499.0, 2.0}, {501.0, 10.0}, {1000.0, 10.0}});
+  const std::unique_ptr<Dataset> dataset = MakeShareGptLike();
+  ScheduledTraceSpec spec;
+  spec.schedule = &steps;
+  spec.horizon = 1000.0;
+  spec.seed = 31;
+  const Trace trace = GenerateScheduledTrace(spec, *dataset);
+  int low = 0;
+  int high = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<RequestId>(i));
+    EXPECT_LT(trace[i].arrival_time, spec.horizon);
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+    }
+    (trace[i].arrival_time < 500.0 ? low : high) += 1;
+  }
+  EXPECT_NEAR(low / 500.0, 2.0, 0.4);
+  EXPECT_NEAR(high / 500.0, 10.0, 0.8);
+}
+
+TEST(GeneratorTest, ScheduledTraceIsDeterministic) {
+  const RateSchedule day = RateSchedule::Diurnal(1.0, 5.0, 2000.0);
+  const std::unique_ptr<Dataset> dataset = MakeShareGptLike();
+  ScheduledTraceSpec spec;
+  spec.schedule = &day;
+  spec.horizon = 2000.0;
+  spec.seed = 33;
+  spec.burstiness_cv = 2.0;
+  const Trace a = GenerateScheduledTrace(spec, *dataset);
+  const Trace b = GenerateScheduledTrace(spec, *dataset);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].input_len, b[i].input_len);
+    EXPECT_EQ(a[i].output_len, b[i].output_len);
+  }
+  ScheduledTraceSpec other = spec;
+  other.seed = 34;
+  const Trace c = GenerateScheduledTrace(other, *dataset);
+  bool differ = c.size() != a.size();
+  for (size_t i = 0; !differ && i < std::min(a.size(), c.size()); ++i) {
+    differ = a[i].arrival_time != c[i].arrival_time;
+  }
+  EXPECT_TRUE(differ);
+}
+
 TEST(GeneratorTest, TraceStatsComputesExtremes) {
   Trace trace = {
       Request{0, 0.0, 10, 5},

@@ -91,5 +91,30 @@ TEST(ReplannerTest, RebaseAfterReplanPreventsRefire) {
   EXPECT_LE(replans, 2);
 }
 
+TEST(ReplannerTest, NotifyFailureWithoutCallbackCountsDroppedTriggers) {
+  Replanner replanner(SmallOptions(),
+                      [](const workload::EmpiricalDataset&, double, double) {});
+  for (int i = 0; i < 50; ++i) {
+    replanner.Observe(workload::Request{i, i * 0.5, 200, 100});
+  }
+  // No on_failure callback installed: triggers are dropped, counted, and warned about once —
+  // never silently swallowed.
+  replanner.NotifyFailure(30.0, 8);
+  replanner.NotifyFailure(31.0, 16);
+  EXPECT_EQ(replanner.failures_reported(), 2);
+  EXPECT_EQ(replanner.failure_triggers_dropped(), 2);
+  EXPECT_EQ(replanner.failure_replans_triggered(), 0);
+
+  // Wiring the callback stops the dropping; the drop count is sticky history.
+  int fired = 0;
+  replanner.set_on_failure(
+      [&](const workload::EmpiricalDataset&, double, double, int) { ++fired; });
+  replanner.NotifyFailure(200.0, 8);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(replanner.failures_reported(), 3);
+  EXPECT_EQ(replanner.failure_triggers_dropped(), 2);
+  EXPECT_EQ(replanner.failure_replans_triggered(), 1);
+}
+
 }  // namespace
 }  // namespace distserve::serving
