@@ -48,6 +48,9 @@ struct CommonFlags {
   std::string goodput_cache;   // --goodput-cache=PATH (DISTSERVE_GOODPUT_CACHE fallback)
   std::string trace_path;      // --trace=PATH
   std::string cluster_spec;    // --cluster=SPEC (caller may preset a default)
+  double prefix_hit = -1.0;    // --prefix-hit=F in [0,1]; negative = unset (bench default)
+  int64_t chunk_budget = 0;    // --chunk-budget=N > 0; 0 = unset (bench default)
+  double tenants = -1.0;       // --tenants=F in [0,1]; negative = unset (bench default)
 };
 
 enum CommonFlagBits : unsigned {
@@ -58,6 +61,9 @@ enum CommonFlagBits : unsigned {
   kFlagCluster = 1u << 4,
   kFlagNoAnalyticTier = 1u << 5,
   kFlagShards = 1u << 6,
+  kFlagPrefixHit = 1u << 7,
+  kFlagChunkBudget = 1u << 8,
+  kFlagTenants = 1u << 9,
 };
 
 // Strict integer parse for --shards=N / DISTSERVE_SHARDS: the whole token must be a base-10
@@ -74,6 +80,33 @@ inline bool ParseShardsValue(const char* v, int* out) {
     return false;
   }
   *out = static_cast<int>(n);
+  return true;
+}
+
+// Strict fraction parse for --prefix-hit=F / --tenants=F: the whole token must be a decimal
+// number in [0, 1].
+inline bool ParseUnitFraction(const char* v, double* out) {
+  if (v == nullptr || *v == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double f = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE || f < 0.0 || f > 1.0) {
+    return false;
+  }
+  *out = f;
+  return true;
+}
+
+// Strict integer parse for --chunk-budget=N: a base-10 integer in [1, 1<<20] (tokens per
+// step; budgets beyond a megabatch are surely a typo).
+inline bool ParseChunkBudgetValue(const char* v, int64_t* out) {
+  int n = 0;
+  if (!ParseShardsValue(v, &n)) {
+    return false;
+  }
+  *out = n;
   return true;
 }
 
@@ -124,6 +157,14 @@ inline bool ParseCommonFlags(int argc, char** argv, unsigned accepted, CommonFla
        }},
       {kFlagShards, "--shards", true, "[--shards=N]", "expected an integer >= 1",
        [](CommonFlags* f, const char* v) { return ParseShardsValue(v, &f->shards); }},
+      {kFlagPrefixHit, "--prefix-hit", true, "[--prefix-hit=F]",
+       "expected a fraction in [0, 1]",
+       [](CommonFlags* f, const char* v) { return ParseUnitFraction(v, &f->prefix_hit); }},
+      {kFlagChunkBudget, "--chunk-budget", true, "[--chunk-budget=N]",
+       "expected an integer >= 1",
+       [](CommonFlags* f, const char* v) { return ParseChunkBudgetValue(v, &f->chunk_budget); }},
+      {kFlagTenants, "--tenants", true, "[--tenants=F]", "expected a fraction in [0, 1]",
+       [](CommonFlags* f, const char* v) { return ParseUnitFraction(v, &f->tenants); }},
   };
   bool ok = true;
   if ((accepted & kFlagShards) != 0) {

@@ -1,5 +1,6 @@
 #include "baselines/vllm_system.h"
 
+#include <algorithm>
 #include <limits>
 #include <string>
 
@@ -36,6 +37,19 @@ VllmSystem::VllmSystem(VllmConfig config) : config_(std::move(config)) {
         on_request_done_(*r);
       }
     });
+    instances_.back()->set_on_cancelled([this](engine::RequestState* r) {
+      if (r->phase == engine::RequestPhase::kTimedOut) {
+        collector_.RecordTimedOut(r->record);
+      } else {
+        collector_.RecordCancelled(r->record);
+      }
+      if (on_request_done_) {
+        on_request_done_(*r);
+      }
+    });
+    instances_.back()->set_on_preempt([this](engine::RequestState*) {
+      ++collector_.scenario_stats().decode_preemptions;
+    });
   }
   if (DS_TRACE_ON(config_.recorder)) {
     for (const auto& inst : instances_) {
@@ -69,12 +83,43 @@ engine::RequestState* VllmSystem::Submit(const workload::Request& request) {
       best = inst.get();
     }
   }
+  ScheduleAbandonment(state);
   best->Enqueue(state);
   return state;
 }
 
+void VllmSystem::ScheduleAbandonment(engine::RequestState* request) {
+  const workload::Request& req = request->request;
+  if (req.cancel_at > 0.0) {
+    sim_->ScheduleAt(std::max(req.cancel_at, sim_->now()),
+                     [this, request] { CancelRequest(request, /*timed_out=*/false); });
+  }
+  if (req.deadline > 0.0) {
+    sim_->ScheduleAt(std::max(req.deadline, sim_->now()),
+                     [this, request] { CancelRequest(request, /*timed_out=*/true); });
+  }
+}
+
+void VllmSystem::CancelRequest(engine::RequestState* request, bool timed_out) {
+  switch (request->phase) {
+    case engine::RequestPhase::kDone:
+    case engine::RequestPhase::kCancelled:
+    case engine::RequestPhase::kTimedOut:
+      return;  // already terminal (e.g. completed before the deadline fired)
+    default:
+      break;
+  }
+  if (request->cancel_pending) {
+    return;  // an earlier cancel/timeout is already tearing it down
+  }
+  request->phase =
+      timed_out ? engine::RequestPhase::kTimedOut : engine::RequestPhase::kCancelled;
+  instances_[static_cast<size_t>(request->prefill_instance)]->Cancel(request);
+}
+
 metrics::Collector VllmSystem::FinishStream(double /*end_time*/) {
-  DS_CHECK_EQ(completed_, static_cast<int64_t>(states_.size()))
+  DS_CHECK_EQ(completed_ + static_cast<int64_t>(collector_.NeverCompletedCount()),
+              static_cast<int64_t>(states_.size()))
       << "requests lost in flight: the vLLM simulation deadlocked";
   return std::move(collector_);
 }
@@ -125,6 +170,52 @@ ColocatedSearchResult FindBestColocatedConfig(const placement::PlannerInputs& in
     const double per_gpu = goodput / static_cast<double>(par.num_gpus());
     if (per_gpu > best.per_gpu) {
       best = ColocatedSearchResult{par, goodput, per_gpu};
+    }
+  }
+  return best;
+}
+
+double SimulateChunkedGoodput(const placement::PlannerInputs& inputs,
+                              const model::ParallelismConfig& par, int64_t chunk_budget) {
+  DS_CHECK(inputs.dataset != nullptr);
+  DS_CHECK_EQ(par.pp, 1);
+  DS_CHECK_GT(chunk_budget, 0);
+  const model::LatencyModel lm(inputs.model, par, inputs.cluster.gpu);
+  const model::ShardedModelView view(inputs.model, par);
+  if (!view.FitsInMemory(inputs.cluster.gpu)) {
+    return 0.0;
+  }
+  placement::ColocatedFastConfig fast;
+  fast.num_instances = 1;
+  fast.chunk_budget = chunk_budget;
+  fast.cpu_overhead_per_step = kVllmStepCpuOverhead;
+  fast.kv_capacity_tokens = view.KvCapacityTokens(inputs.cluster.gpu);
+  if (fast.kv_capacity_tokens <= 0) {
+    return 0.0;
+  }
+  model::StepTimeCache step_cache(&lm);
+  fast.step_cache = &step_cache;
+  auto attainment = [&](const workload::Trace& trace) {
+    const std::vector<placement::FastRecord> records =
+        placement::SimulateColocated(lm, trace, fast);
+    return placement::FastAttainment(records, inputs.slo).both;
+  };
+  placement::GoodputSearchOptions search = inputs.search;
+  search.attainment_target = inputs.attainment_target;
+  return placement::FindMaxRate(attainment, *inputs.dataset, search);
+}
+
+ChunkedSearchResult FindBestChunkedConfig(const placement::PlannerInputs& inputs) {
+  static constexpr int64_t kBudgets[] = {256, 512, 1024, 2048};
+  ChunkedSearchResult best;
+  for (int tp = 1; tp <= inputs.cluster.gpus_per_node; tp *= 2) {
+    const model::ParallelismConfig par{tp, 1};
+    for (const int64_t budget : kBudgets) {
+      const double goodput = SimulateChunkedGoodput(inputs, par, budget);
+      const double per_gpu = goodput / static_cast<double>(par.num_gpus());
+      if (per_gpu > best.per_gpu) {
+        best = ChunkedSearchResult{par, budget, goodput, per_gpu};
+      }
     }
   }
   return best;

@@ -93,6 +93,11 @@ class VllmSystem {
   int total_gpus() const { return config_.par.num_gpus() * config_.num_instances; }
 
  private:
+  // Scenario machinery: schedules the request's cancel_at / deadline events (no-ops when
+  // both are 0) and routes the teardown to the owning replica.
+  void ScheduleAbandonment(engine::RequestState* request);
+  void CancelRequest(engine::RequestState* request, bool timed_out);
+
   VllmConfig config_;
   std::unique_ptr<simcore::Simulator> owned_sim_;  // standalone mode only
   simcore::Simulator* sim_ = nullptr;              // owned_sim_ or config_.sim
@@ -116,6 +121,22 @@ struct ColocatedSearchResult {
   double per_gpu = 0.0;
 };
 ColocatedSearchResult FindBestColocatedConfig(const placement::PlannerInputs& inputs);
+
+// Chunked-prefill colocation (SARATHI-style, §2.2's "advanced variant"): per-instance goodput
+// of one colocated instance running the chunk-budget scheduler, via the fast simulator. The
+// same step CPU overhead as the vLLM baseline applies (both are Python-scheduled systems).
+double SimulateChunkedGoodput(const placement::PlannerInputs& inputs,
+                              const model::ParallelismConfig& par, int64_t chunk_budget);
+
+// Enumerates intra-op degree × chunk budget for the best per-GPU goodput — the chunked
+// analogue of vLLM++'s search, with the token budget as an extra searchable knob.
+struct ChunkedSearchResult {
+  model::ParallelismConfig par{1, 1};
+  int64_t chunk_budget = 0;
+  double goodput = 0.0;  // per instance
+  double per_gpu = 0.0;
+};
+ChunkedSearchResult FindBestChunkedConfig(const placement::PlannerInputs& inputs);
 
 }  // namespace distserve::baselines
 

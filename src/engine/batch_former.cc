@@ -27,9 +27,15 @@ std::vector<RequestState*> FormPrefillBatch(
     queue.pop_front();
     total_tokens += head_tokens;
     if (workload != nullptr) {
-      workload->prefill_tokens += head_tokens;
+      // Prefix-cache hits skip compute for the cached window: only L-C tokens run, each
+      // attending over the full prompt, so sq = (L-C)*(C+(L-C)) = (L-C)*L. With C == 0 this
+      // is exactly the legacy L*L arithmetic (bit-identical). The *batching* budget
+      // (total_tokens) still counts full prompts — KV admission and the memory_fits
+      // predicate are sized by resident KV, which cached prefixes fully occupy.
+      const int64_t computed = head_tokens - head->request.cached_prefix_len;
+      workload->prefill_tokens += computed;
       workload->prefill_sq_tokens +=
-          static_cast<double>(head_tokens) * static_cast<double>(head_tokens);
+          static_cast<double>(computed) * static_cast<double>(head_tokens);
     }
     // An over-length head runs alone.
     if (is_first && head_tokens >= policy.target_tokens) {

@@ -34,7 +34,10 @@ struct PrefillBatchPolicy {
 //
 // When `workload` is non-null it accumulates the admitted prompts' BatchWorkload in admission
 // order (the same order BatchWorkload::Prefill would sum them, so the FP total is identical),
-// sparing the caller a second pass over the batch.
+// sparing the caller a second pass over the batch. Cached prefixes
+// (workload::Request::cached_prefix_len) are skipped in the accumulated *compute* — only the
+// uncached suffix contributes tokens, attending over the full prompt — while the batching
+// token budget keeps counting full prompts (KV residency is what admission must bound).
 std::vector<RequestState*> FormPrefillBatch(
     std::deque<RequestState*>& queue, const PrefillBatchPolicy& policy,
     const std::function<bool(int64_t)>& memory_fits,

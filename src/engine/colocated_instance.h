@@ -13,8 +13,20 @@
 //     "ineffective scheduling");
 //   * kMixed (Orca-style): prompts and decodes share one batch; interference appears as the
 //     roofline `max()` stretching the shared step;
-//   * kChunked (SARATHI): prompts split into fixed-size chunks, one chunk per step,
-//     piggybacked onto decodes — trading TTFT for TPOT, as §2.2 describes.
+//   * kChunked (SARATHI): prompts split into chunks piggybacked onto decodes — trading TTFT
+//     for TPOT, as §2.2 describes. With Options::chunk_budget set, every step carries a fixed
+//     token budget shared by the resident decodes (one token each) and prompt chunks from as
+//     many waiting prompts as fit — the Sarathi-style chunked-prefill colocation "Beyond the
+//     Buzz" argues can rival disaggregation. chunk_budget == 0 keeps the legacy
+//     one-chunk-from-the-head-prompt-per-step behaviour.
+//
+// Scenario support (all inert on unannotated traces):
+//   * prefix-cache hits (workload::Request::cached_prefix_len) skip prefill *compute* — the
+//     chunk window starts at the cached length — but still reserve full KV;
+//   * tenant priorities: admission picks the highest-priority waiting request first, and a
+//     blocked higher-priority prompt may preempt (evict) the lowest-priority resident decode,
+//     which re-queues and re-prefills from scratch;
+//   * Cancel() tears a request down at the next step boundary, releasing its KV.
 //
 // The paper's evaluated vLLM supports intra-op parallelism only, so pp must be 1 here.
 #ifndef DISTSERVE_ENGINE_COLOCATED_INSTANCE_H_
@@ -50,6 +62,10 @@ class ColocatedInstance {
     // Prefill tokens admitted into one step (vLLM's max_num_batched_tokens analogue).
     int64_t max_prefill_tokens_per_step = 4096;
     int chunk_size = 512;  // kChunked only
+    // kChunked only: per-step token budget shared by resident decodes (one token each) and
+    // prompt chunks filling the remainder, across multiple prompts. 0 = legacy behaviour
+    // (exactly one chunk_size chunk from the head prompt per step).
+    int64_t chunk_budget = 0;
     int kv_block_size = 16;
     // Host-side scheduler/runtime overhead added to every iteration. The 2023-era vLLM the
     // paper evaluates runs a Python scheduling loop costing O(ms) per iteration — one of the
@@ -71,11 +87,28 @@ class ColocatedInstance {
 
   void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
 
+  // Fired once when a Cancel() finishes tearing the request down (KV released). The caller
+  // set the terminal phase (kCancelled / kTimedOut) before calling Cancel.
+  void set_on_cancelled(std::function<void(RequestState*)> fn) {
+    on_cancelled_ = std::move(fn);
+  }
+
+  // Fired when a resident decode is evicted by a higher-priority tenant (it re-queues and
+  // will re-prefill; the callback is for counters only).
+  void set_on_preempt(std::function<void(RequestState*)> fn) { on_preempt_ = std::move(fn); }
+
   // Optional span recorder (trace/recorder.h); null leaves the hot path untouched.
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
-  // Adds an arriving request to the FCFS waiting queue.
+  // Adds an arriving request to the waiting queue (FCFS within a tenant class; higher
+  // priorities admit first).
   void Enqueue(RequestState* request);
+
+  // Client cancellation / timeout. The caller must have set request->phase to kCancelled or
+  // kTimedOut. Teardown is immediate when the request is queued or between steps; a request
+  // inside the executing step is reaped at the step boundary (cancel_pending). Either way KV
+  // is fully released and on_cancelled fires exactly once.
+  void Cancel(RequestState* request);
 
   int64_t load() const {
     return static_cast<int64_t>(waiting_.size() + prefilling_.size() + decoding_.size());
@@ -89,10 +122,22 @@ class ColocatedInstance {
   int64_t steps_executed() const { return steps_executed_; }
   int64_t tokens_generated() const { return tokens_generated_; }
   double busy_seconds() const { return busy_seconds_; }
+  int64_t preemptions() const { return preemptions_; }
+  int64_t cancellations() const { return cancellations_; }
 
  private:
   void MaybeStep();
   void StepEnd(std::vector<RequestState*> prefilled_now, bool decodes_advanced);
+  // Adds one prompt's chunk (or whole remaining prompt) to `workload`; stamps prefill_start
+  // on the first computed token and opens the prefill_exec span.
+  void AddPrefillWork(RequestState* request, int64_t chunk, model::BatchWorkload* workload);
+  // Admission scan: highest priority first, FCFS within a class; plain front() when no
+  // annotated priorities ever arrived (single-tenant fast path).
+  std::deque<RequestState*>::iterator PickWaiting();
+  // Evicts the lowest-priority resident decode strictly below `floor`; returns true if one
+  // was evicted (its KV is freed and it re-queues for a full re-prefill).
+  bool PreemptLowestBelow(int floor);
+  void FinishCancel(RequestState* request, double now);
 
   simcore::Simulator* sim_;
   model::LatencyModel latency_model_;
@@ -102,6 +147,8 @@ class ColocatedInstance {
   int id_;
 
   std::function<void(RequestState*)> on_complete_;
+  std::function<void(RequestState*)> on_cancelled_;
+  std::function<void(RequestState*)> on_preempt_;
   trace::Recorder* recorder_ = nullptr;
 
   std::deque<RequestState*> waiting_;       // not yet admitted (no KV reserved)
@@ -112,10 +159,15 @@ class ColocatedInstance {
   // this matches a per-step rescan bit for bit).
   int64_t decode_ctx_tokens_ = 0;
   bool step_in_flight_ = false;
+  // True once any enqueued request carried priority != 0; gates the admission scan so
+  // single-tenant runs keep the plain FCFS front() path.
+  bool priorities_active_ = false;
 
   int64_t steps_executed_ = 0;
   int64_t tokens_generated_ = 0;
   double busy_seconds_ = 0.0;
+  int64_t preemptions_ = 0;
+  int64_t cancellations_ = 0;
 };
 
 }  // namespace distserve::engine

@@ -36,10 +36,60 @@ void DecodeInstance::Submit(RequestState* request) {
       << "single-token requests must not be submitted to decode";
   request->decode_instance = id_;
   request->phase = RequestPhase::kDecodePending;
+  priorities_active_ = priorities_active_ || request->request.priority != 0;
   DS_TRACE(recorder_, Transition(request->request.id, sim_->now(),
                                  trace::SpanKind::kDecodeAdmit, trace::DecodePid(id_), 0));
   pending_.push_back(request);
   TryAdmit();
+}
+
+std::deque<RequestState*>::iterator DecodeInstance::PickPending() {
+  if (!priorities_active_) {
+    return pending_.begin();  // single-tenant fast path: plain FCFS
+  }
+  auto best = pending_.begin();
+  for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+    if ((*it)->request.priority > (*best)->request.priority) {
+      best = it;  // strictly greater: FCFS stays stable within a class
+    }
+  }
+  return best;
+}
+
+bool DecodeInstance::PreemptLowestBelow(int floor) {
+  RequestState* victim = nullptr;
+  for (Lane& lane : lanes_) {
+    for (const std::vector<RequestState*>* members : {&lane.joining, &lane.active}) {
+      for (RequestState* r : *members) {
+        if (r->request.priority >= floor) {
+          continue;
+        }
+        // Lowest priority wins; ties go to the latest-scanned (least decode progress bias).
+        if (victim == nullptr || r->request.priority <= victim->request.priority) {
+          victim = r;
+        }
+      }
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  kv_.Release(victim->request.id);
+  --resident_count_;
+  for (Lane& lane : lanes_) {
+    std::erase(lane.joining, victim);
+    if (std::erase(lane.active, victim) > 0) {
+      lane.ctx_tokens -= victim->context_len();
+    }
+  }
+  ++victim->preemptions;
+  ++preemptions_;
+  DS_TRACE(recorder_, Transition(victim->request.id, sim_->now(), trace::SpanKind::kPreempt,
+                                 trace::DecodePid(id_), 0, victim->preemptions));
+  if (on_preempt_) {
+    on_preempt_(victim);  // serving layer re-prefills: the decode-side KV is gone
+  }
+  return true;
 }
 
 void DecodeInstance::Fail() {
@@ -100,17 +150,23 @@ void DecodeInstance::TryAdmit() {
   const int64_t usable_blocks = static_cast<int64_t>(
       static_cast<double>(kv_.total_blocks()) * options_.admission_watermark);
   while (!pending_.empty()) {
-    RequestState* request = pending_.front();
+    auto it = PickPending();
+    RequestState* request = *it;
     const int64_t needed_tokens = request->request.total_len();
     const int64_t needed_blocks = kv_.BlocksForTokens(needed_tokens);
     DS_CHECK_LE(needed_blocks, usable_blocks)
         << "request " << request->request.id << " can never fit decode instance " << id_;
     if (kv_.used_blocks() + needed_blocks > usable_blocks) {
-      break;  // Wait for completions to release memory; prefill side buffers the KV.
+      // A blocked higher-priority tenant may evict the lowest-priority resident (strictly
+      // below it); otherwise wait for completions — the prefill side buffers the KV.
+      if (!priorities_active_ || !PreemptLowestBelow(request->request.priority)) {
+        break;
+      }
+      continue;  // re-evaluate with the freed blocks
     }
     const bool reserved = kv_.Reserve(request->request.id, needed_tokens);
     DS_CHECK(reserved);
-    pending_.pop_front();
+    pending_.erase(it);
     ++resident_count_;
     request->record.transfer_start = sim_->now();
     request->phase = RequestPhase::kTransferring;

@@ -63,6 +63,11 @@ class DecodeInstance {
   void set_transfer_fn(TransferFn fn) { transfer_fn_ = std::move(fn); }
   void set_on_complete(std::function<void(RequestState*)> fn) { on_complete_ = std::move(fn); }
 
+  // Fired when a resident request is evicted by a higher-priority tenant's admission. The
+  // victim's decode-side KV is gone; the serving layer must re-prefill it (the same recovery
+  // path as a KV-loss fault).
+  void set_on_preempt(std::function<void(RequestState*)> fn) { on_preempt_ = std::move(fn); }
+
   // Optional span recorder (trace/recorder.h); null leaves the hot path untouched.
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
@@ -96,8 +101,15 @@ class DecodeInstance {
   int64_t steps_executed() const { return steps_executed_; }
   double busy_seconds() const { return busy_seconds_; }
   int64_t resident_requests() const { return resident_count_; }
+  int64_t preemptions() const { return preemptions_; }
 
  private:
+  // Admission scan over pending_: highest priority first, FCFS within a class; plain front()
+  // when no prioritized request was ever submitted (single-tenant fast path).
+  std::deque<RequestState*>::iterator PickPending();
+  // Evicts the lowest-priority joining/active resident strictly below `floor`: releases its
+  // KV, emits a preempt span, and hands it to on_preempt_. Returns false when no such victim.
+  bool PreemptLowestBelow(int floor);
   struct Lane {
     std::vector<RequestState*> active;
     std::vector<RequestState*> joining;  // admitted, waiting for the next step boundary
@@ -123,6 +135,7 @@ class DecodeInstance {
 
   TransferFn transfer_fn_;
   std::function<void(RequestState*)> on_complete_;
+  std::function<void(RequestState*)> on_preempt_;
   trace::Recorder* recorder_ = nullptr;
 
   // Fault state: events scheduled before a Fail() carry the old epoch and become no-ops.
@@ -132,10 +145,14 @@ class DecodeInstance {
   std::deque<RequestState*> pending_;  // waiting for memory reservation
   std::vector<Lane> lanes_;
   int64_t resident_count_ = 0;  // admitted (transferring, joining, or active)
+  // True once any submitted request carried priority != 0; gates the admission scan so
+  // single-tenant runs keep the plain FCFS front() path.
+  bool priorities_active_ = false;
 
   int64_t tokens_generated_ = 0;
   int64_t steps_executed_ = 0;
   double busy_seconds_ = 0.0;
+  int64_t preemptions_ = 0;
 };
 
 }  // namespace distserve::engine

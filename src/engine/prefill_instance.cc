@@ -48,6 +48,21 @@ void PrefillInstance::ReleaseKv(RequestState* request) {
   }
 }
 
+bool PrefillInstance::Withdraw(RequestState* request) {
+  DS_CHECK(request != nullptr);
+  if (!alive_) {
+    return false;  // Fail() already emptied the queue
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == request) {
+      queue_.erase(it);
+      queued_tokens_ -= request->request.input_len;
+      return true;
+    }
+  }
+  return false;
+}
+
 void PrefillInstance::Fail() {
   if (!alive_) {
     return;

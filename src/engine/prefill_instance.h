@@ -73,6 +73,11 @@ class PrefillInstance {
   void Recover();
   bool alive() const { return alive_; }
 
+  // Removes a request still waiting in the FCFS queue (client cancel / timeout before its
+  // batch formed). Returns false when the request is not queued here — already executing or
+  // completed — in which case the caller defers the teardown to the batch boundary.
+  bool Withdraw(RequestState* request);
+
   // Dispatch load signals (§4.3: dispatch to the prefill instance with the shortest queue).
   size_t queue_length() const { return queue_.size(); }
   int64_t queued_tokens() const { return queued_tokens_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -38,11 +39,33 @@ void Collector::RecordLost(const RequestRecord& record) {
   ++fault_stats_.requests_lost;
 }
 
+void Collector::RecordCancelled(const RequestRecord& record) {
+  cancelled_.push_back(record);
+  ++scenario_stats_.requests_cancelled;
+}
+
+void Collector::RecordTimedOut(const RequestRecord& record) {
+  timed_out_.push_back(record);
+  ++scenario_stats_.requests_timed_out;
+}
+
+std::string ScenarioOutcomeStats::ToString() const {
+  std::ostringstream out;
+  out << "cancelled=" << requests_cancelled << " timed_out=" << requests_timed_out
+      << " preemptions=" << decode_preemptions;
+  return out.str();
+}
+
 void Collector::Merge(const Collector& other) {
   records_.insert(records_.end(), other.records_.begin(), other.records_.end());
   // Straight append, not RecordLost: other's fault_stats_.requests_lost already counts these
   // and is summed below.
   lost_.insert(lost_.end(), other.lost_.begin(), other.lost_.end());
+  cancelled_.insert(cancelled_.end(), other.cancelled_.begin(), other.cancelled_.end());
+  timed_out_.insert(timed_out_.end(), other.timed_out_.begin(), other.timed_out_.end());
+  scenario_stats_.requests_cancelled += other.scenario_stats_.requests_cancelled;
+  scenario_stats_.requests_timed_out += other.scenario_stats_.requests_timed_out;
+  scenario_stats_.decode_preemptions += other.scenario_stats_.decode_preemptions;
   fault_stats_.instance_failures += other.fault_stats_.instance_failures;
   fault_stats_.instance_recoveries += other.fault_stats_.instance_recoveries;
   fault_stats_.link_failures += other.fault_stats_.link_failures;
@@ -59,16 +82,22 @@ void Collector::SortById() {
   const auto by_id = [](const RequestRecord& a, const RequestRecord& b) { return a.id < b.id; };
   std::sort(records_.begin(), records_.end(), by_id);
   std::sort(lost_.begin(), lost_.end(), by_id);
+  std::sort(cancelled_.begin(), cancelled_.end(), by_id);
+  std::sort(timed_out_.begin(), timed_out_.end(), by_id);
+}
+
+size_t Collector::NeverCompletedCount() const {
+  return lost_.size() + cancelled_.size() + timed_out_.size();
 }
 
 double Collector::CompletionRate() const {
-  const size_t offered = records_.size() + lost_.size();
+  const size_t offered = records_.size() + NeverCompletedCount();
   return offered == 0 ? 1.0 : static_cast<double>(records_.size()) / offered;
 }
 
 Attainment Collector::ComputeAttainment(const SloSpec& slo) const {
   Attainment result;
-  if (records_.empty() && lost_.empty()) {
+  if (records_.empty() && NeverCompletedCount() == 0) {
     return result;
   }
   int64_t both = 0;
@@ -81,10 +110,41 @@ Attainment Collector::ComputeAttainment(const SloSpec& slo) const {
     ttft_ok += t_ok ? 1 : 0;
     tpot_ok += p_ok ? 1 : 0;
   }
-  const double n = static_cast<double>(records_.size() + lost_.size());
+  const double n = static_cast<double>(records_.size() + NeverCompletedCount());
   result.both = both / n;
   result.ttft_only = ttft_ok / n;
   result.tpot_only = tpot_ok / n;
+  return result;
+}
+
+Attainment Collector::ComputeAttainmentForPriority(const SloSpec& slo, int priority) const {
+  Attainment result;
+  int64_t both = 0;
+  int64_t ttft_ok = 0;
+  int64_t tpot_ok = 0;
+  int64_t n = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.priority != priority) {
+      continue;
+    }
+    ++n;
+    const bool t_ok = r.Ttft() <= slo.ttft;
+    const bool p_ok = r.Tpot() <= slo.tpot;
+    both += (t_ok && p_ok) ? 1 : 0;
+    ttft_ok += t_ok ? 1 : 0;
+    tpot_ok += p_ok ? 1 : 0;
+  }
+  for (const std::vector<RequestRecord>* v : {&lost_, &cancelled_, &timed_out_}) {
+    for (const RequestRecord& r : *v) {
+      n += (r.priority == priority) ? 1 : 0;
+    }
+  }
+  if (n == 0) {
+    return result;
+  }
+  result.both = both / static_cast<double>(n);
+  result.ttft_only = ttft_ok / static_cast<double>(n);
+  result.tpot_only = tpot_ok / static_cast<double>(n);
   return result;
 }
 
@@ -102,8 +162,10 @@ double Collector::GoodputUnderSlo(const SloSpec& slo) const {
     first_arrival = std::min(first_arrival, r.arrival);
     last_completion = std::max(last_completion, r.completion);
   }
-  for (const RequestRecord& r : lost_) {
-    first_arrival = std::min(first_arrival, r.arrival);
+  for (const std::vector<RequestRecord>* v : {&lost_, &cancelled_, &timed_out_}) {
+    for (const RequestRecord& r : *v) {
+      first_arrival = std::min(first_arrival, r.arrival);
+    }
   }
   const double span = last_completion - first_arrival;
   return span > 0.0 ? static_cast<double>(both) / span : 0.0;
@@ -172,8 +234,18 @@ double Collector::CompletedThroughput() const {
 }
 
 bool BitIdentical(const Collector& a, const Collector& b) {
-  if (a.count() != b.count() || a.lost_count() != b.lost_count()) {
+  if (a.count() != b.count() || a.lost_count() != b.lost_count() ||
+      a.cancelled_count() != b.cancelled_count() ||
+      a.timed_out_count() != b.timed_out_count()) {
     return false;
+  }
+  for (auto [va, vb] : {std::pair{&a.cancelled_records(), &b.cancelled_records()},
+                        std::pair{&a.timed_out_records(), &b.timed_out_records()}}) {
+    for (size_t i = 0; i < va->size(); ++i) {
+      if ((*va)[i].id != (*vb)[i].id || (*va)[i].arrival != (*vb)[i].arrival) {
+        return false;
+      }
+    }
   }
   for (size_t i = 0; i < a.count(); ++i) {
     const RequestRecord& ra = a.records()[i];

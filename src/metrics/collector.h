@@ -22,6 +22,7 @@ struct RequestRecord {
   double arrival = 0.0;
   int input_len = 0;
   int output_len = 0;
+  int priority = 0;  // tenant class (workload::Request::priority); 0 = best-effort
 
   double prefill_start = 0.0;   // prefill execution begins (leaves prefill queue)
   double first_token = 0.0;     // prefill completes = first output token ready
@@ -84,6 +85,19 @@ struct FaultStats {
   std::string ToString() const;  // one line of counters
 };
 
+// Scenario outcome counters (multi-tenant preemption and client abandonment; all zero when
+// the scenario passes are off).
+struct ScenarioOutcomeStats {
+  int64_t requests_cancelled = 0;  // client cancelled before completion
+  int64_t requests_timed_out = 0;  // missed their completion deadline
+  int64_t decode_preemptions = 0;  // decode-queue evictions by a higher-priority tenant
+
+  bool any() const {
+    return requests_cancelled > 0 || requests_timed_out > 0 || decode_preemptions > 0;
+  }
+  std::string ToString() const;  // one line of counters
+};
+
 // Sums of time spent by all requests in each lifecycle stage (Figure 10a).
 struct LatencyBreakdown {
   double prefill_queue = 0.0;
@@ -108,10 +122,23 @@ class Collector {
   // timestamps are meaningless.
   void RecordLost(const RequestRecord& record);
 
+  // Client abandonment outcomes. Like lost requests, cancelled/timed-out requests count
+  // against attainment (an abandoned request meets no SLO) but appear in no latency
+  // statistic — they have no completion.
+  void RecordCancelled(const RequestRecord& record);
+  void RecordTimedOut(const RequestRecord& record);
+
   size_t count() const { return records_.size(); }
   const std::vector<RequestRecord>& records() const { return records_; }
   size_t lost_count() const { return lost_.size(); }
   const std::vector<RequestRecord>& lost_records() const { return lost_; }
+  size_t cancelled_count() const { return cancelled_.size(); }
+  const std::vector<RequestRecord>& cancelled_records() const { return cancelled_; }
+  size_t timed_out_count() const { return timed_out_.size(); }
+  const std::vector<RequestRecord>& timed_out_records() const { return timed_out_; }
+
+  // lost + cancelled + timed out: every offered request that never completed.
+  size_t NeverCompletedCount() const;
 
   // Folds `other` into this collector: appends its completed and lost records and sums its
   // fault counters. The fleet merge (serving/fleet.cc) re-sorts by request id afterwards; call
@@ -127,11 +154,19 @@ class Collector {
   FaultStats& fault_stats() { return fault_stats_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
 
-  // Completed / offered: 1.0 when nothing was lost.
+  // Scenario counters, populated by the serving system when tenants/cancellation are on.
+  ScenarioOutcomeStats& scenario_stats() { return scenario_stats_; }
+  const ScenarioOutcomeStats& scenario_stats() const { return scenario_stats_; }
+
+  // Completed / offered: 1.0 when nothing was lost, cancelled, or timed out.
   double CompletionRate() const;
 
-  // Attainment denominators include lost requests (a dropped request meets no SLO).
+  // Attainment denominators include lost, cancelled, and timed-out requests (a request that
+  // never completed meets no SLO).
   Attainment ComputeAttainment(const SloSpec& slo) const;
+  // Attainment restricted to one tenant class (RequestRecord::priority == priority), with the
+  // same never-completed denominators. The per-class goodput view of fig_scenarios.
+  Attainment ComputeAttainmentForPriority(const SloSpec& slo, int priority) const;
   LatencyBreakdown ComputeBreakdown() const;
 
   // Degraded goodput: requests completing within both SLOs per second of span (first arrival
@@ -153,12 +188,16 @@ class Collector {
  private:
   std::vector<RequestRecord> records_;
   std::vector<RequestRecord> lost_;
+  std::vector<RequestRecord> cancelled_;
+  std::vector<RequestRecord> timed_out_;
   FaultStats fault_stats_;
+  ScenarioOutcomeStats scenario_stats_;
 };
 
 // True when both collectors hold the same completed records with bitwise-equal timestamps
-// (and equal lost counts). The determinism exhibits (fig13's no-fault check, the trace
-// bit-identity test) rely on this being exact FP equality, not tolerance-based.
+// (and equal lost/cancelled/timed-out record ids). The determinism exhibits (fig13's no-fault
+// check, the trace bit-identity test) rely on this being exact FP equality, not
+// tolerance-based.
 bool BitIdentical(const Collector& a, const Collector& b);
 
 }  // namespace distserve::metrics

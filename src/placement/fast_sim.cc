@@ -98,9 +98,13 @@ std::vector<double> PrefillFinishTimesView(CachedLm lm, const TraceView& trace,
       if (!is_head && tokens + r.input_len > target_tokens) {
         break;
       }
-      workload.prefill_tokens += r.input_len;
+      // Cached prefixes skip compute (the uncached suffix attends over the full prompt:
+      // sq = (L-C)*L, exactly L*L when C == 0) while the batching budget keeps counting
+      // full prompts — mirroring the engine's batch former.
+      const int64_t computed = r.input_len - r.cached_prefix_len;
+      workload.prefill_tokens += computed;
       workload.prefill_sq_tokens +=
-          static_cast<double>(r.input_len) * static_cast<double>(r.input_len);
+          static_cast<double>(computed) * static_cast<double>(r.input_len);
       ++batch_count;
       tokens += r.input_len;
       ++j;
@@ -299,13 +303,21 @@ void SimulateColocatedOne(CachedLm lm, const TraceView& trace,
     int64_t ctx;
     double first_token;
   };
+  // Chunked mode: an admitted prompt whose compute window has advanced to `done` tokens
+  // (starting at the cached prefix).
+  struct Prefilling {
+    size_t local_idx;
+    int64_t done;
+  };
   std::deque<size_t> waiting;
+  std::deque<Prefilling> prefilling;  // chunked mode only
   std::vector<Active> decoding;
   decoding.reserve(static_cast<size_t>(config.max_batch_size));
   size_t next_arrival = 0;
   double now = 0.0;
   int64_t used_tokens = 0;
   int64_t decode_ctx_sum = 0;  // invariant: sum of ctx over `decoding` (exact: integer adds)
+  const bool chunked = config.chunk_budget > 0;
 
   auto pull_arrivals = [&] {
     while (next_arrival < trace.size() && trace[next_arrival].arrival_time <= now) {
@@ -316,7 +328,7 @@ void SimulateColocatedOne(CachedLm lm, const TraceView& trace,
 
   while (true) {
     pull_arrivals();
-    if (waiting.empty() && decoding.empty()) {
+    if (waiting.empty() && prefilling.empty() && decoding.empty()) {
       if (next_arrival >= trace.size()) {
         break;
       }
@@ -328,35 +340,85 @@ void SimulateColocatedOne(CachedLm lm, const TraceView& trace,
     BatchWorkload workload;
     std::vector<size_t> prefilled_now;
     int64_t prefill_tokens = 0;
-    while (!waiting.empty() &&
-           static_cast<int>(decoding.size() + prefilled_now.size()) < config.max_batch_size) {
-      const size_t idx = waiting.front();
-      const int64_t need = trace[idx].total_len();
-      if (need > config.kv_capacity_tokens) {
-        // Unserveable on this configuration: count as failing both SLOs and drop it.
-        records[trace.global(idx)].ttft = std::numeric_limits<double>::infinity();
-        records[trace.global(idx)].tpot = std::numeric_limits<double>::infinity();
+    bool decodes_advance = false;
+    if (chunked) {
+      // Sarathi-style token budget (mirroring ColocatedInstance's kChunked + chunk_budget):
+      // resident decodes claim one token each; prompt chunks from as many prompts as fit
+      // fill the remainder, FCFS in admission order. Decodes always advance.
+      while (!waiting.empty() &&
+             static_cast<int>(decoding.size() + prefilling.size()) < config.max_batch_size) {
+        const size_t idx = waiting.front();
+        const int64_t need = trace[idx].total_len();
+        if (need > config.kv_capacity_tokens) {
+          records[trace.global(idx)].ttft = std::numeric_limits<double>::infinity();
+          records[trace.global(idx)].tpot = std::numeric_limits<double>::infinity();
+          waiting.pop_front();
+          continue;
+        }
+        if (used_tokens + need > config.kv_capacity_tokens) {
+          break;
+        }
+        used_tokens += need;
         waiting.pop_front();
-        continue;
+        prefilling.push_back(
+            Prefilling{idx, static_cast<int64_t>(trace[idx].cached_prefix_len)});
       }
-      if (used_tokens + need > config.kv_capacity_tokens) {
-        break;
+      int64_t budget = config.chunk_budget - static_cast<int64_t>(decoding.size());
+      auto it = prefilling.begin();
+      while (budget > 0 && it != prefilling.end()) {
+        const int64_t remaining = trace[it->local_idx].input_len - it->done;
+        const int64_t chunk = std::min(remaining, budget);
+        // Chunk attention reads the whole window so far: ~ chunk * (done + chunk) pairs.
+        workload.prefill_tokens += chunk;
+        workload.prefill_sq_tokens +=
+            static_cast<double>(chunk) *
+            (static_cast<double>(it->done) + static_cast<double>(chunk));
+        it->done += chunk;
+        prefill_tokens += chunk;
+        budget -= chunk;
+        if (it->done == trace[it->local_idx].input_len) {
+          prefilled_now.push_back(it->local_idx);
+          it = prefilling.erase(it);
+        } else {
+          ++it;
+        }
       }
-      const int64_t prompt = trace[idx].input_len;
-      if (!prefilled_now.empty() &&
-          prefill_tokens + prompt > config.max_prefill_tokens_per_step) {
-        break;
+      decodes_advance = !decoding.empty();
+    } else {
+      while (!waiting.empty() &&
+             static_cast<int>(decoding.size() + prefilled_now.size()) <
+                 config.max_batch_size) {
+        const size_t idx = waiting.front();
+        const int64_t need = trace[idx].total_len();
+        if (need > config.kv_capacity_tokens) {
+          // Unserveable on this configuration: count as failing both SLOs and drop it.
+          records[trace.global(idx)].ttft = std::numeric_limits<double>::infinity();
+          records[trace.global(idx)].tpot = std::numeric_limits<double>::infinity();
+          waiting.pop_front();
+          continue;
+        }
+        if (used_tokens + need > config.kv_capacity_tokens) {
+          break;
+        }
+        // Budgeted tokens are the computed ones (a cached prefix costs no step time),
+        // mirroring the colocated engine's admission arithmetic.
+        const int64_t computed = trace[idx].input_len - trace[idx].cached_prefix_len;
+        if (!prefilled_now.empty() &&
+            prefill_tokens + computed > config.max_prefill_tokens_per_step) {
+          break;
+        }
+        used_tokens += need;
+        waiting.pop_front();
+        workload.prefill_tokens += computed;
+        workload.prefill_sq_tokens +=
+            static_cast<double>(computed) * static_cast<double>(trace[idx].input_len);
+        prefill_tokens += computed;
+        prefilled_now.push_back(idx);
       }
-      used_tokens += need;
-      waiting.pop_front();
-      workload.prefill_tokens += prompt;
-      workload.prefill_sq_tokens += static_cast<double>(prompt) * static_cast<double>(prompt);
-      prefill_tokens += prompt;
-      prefilled_now.push_back(idx);
+      // Prefill-priority scheduling (matching the vLLM engine baseline): a step carrying
+      // prefill work is prefill-only and stalls resident decodes.
+      decodes_advance = decoding.empty() ? false : prefilled_now.empty();
     }
-    // Prefill-priority scheduling (matching the vLLM engine baseline): a step carrying
-    // prefill work is prefill-only and stalls resident decodes.
-    const bool decodes_advance = decoding.empty() ? false : prefilled_now.empty();
     if (decodes_advance) {
       workload.decode_requests = static_cast<int64_t>(decoding.size());
       workload.decode_context_tokens = decode_ctx_sum;

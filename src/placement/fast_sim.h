@@ -89,13 +89,19 @@ struct ColocatedFastConfig {
   int64_t kv_capacity_tokens = 0;
   int max_batch_size = 256;
   int64_t max_prefill_tokens_per_step = 4096;
+  // Sarathi-style chunked prefill: per-step token budget shared by resident decodes (one
+  // token each) and prompt chunks filling the remainder. 0 (default) = vLLM prefill-priority
+  // scheduling with monolithic prompts; > 0 mirrors ColocatedInstance's kChunked mode with
+  // Options::chunk_budget.
+  int64_t chunk_budget = 0;
   // Per-iteration host overhead (see ColocatedInstance::Options::cpu_overhead_per_step).
   double cpu_overhead_per_step = 0.0;
   // Optional memo bound to `lm` (see note above).
   model::StepTimeCache* step_cache = nullptr;
 };
 
-// Colocated (vLLM-style) continuous batching: mixed prefill+decode steps, monolithic prompts.
+// Colocated (vLLM-style) continuous batching: mixed prefill+decode steps, monolithic prompts
+// (or chunked prompts piggybacked on decodes when chunk_budget > 0).
 std::vector<FastRecord> SimulateColocated(const model::LatencyModel& lm,
                                           const workload::Trace& trace,
                                           const ColocatedFastConfig& config);

@@ -79,6 +79,7 @@ ServingSystem::ServingSystem(ServingConfig config) : config_(std::move(config)) 
           StartKvPull(link_idx, r, std::move(done));
         });
     decode->set_on_complete([this](engine::RequestState* r) { OnDecodeDone(r); });
+    decode->set_on_preempt([this](engine::RequestState* r) { OnDecodePreempt(r); });
   }
 
   prefill_down_since_.resize(prefills_.size());
@@ -151,6 +152,14 @@ void ServingSystem::DispatchToDecode(engine::RequestState* request) {
 }
 
 void ServingSystem::OnPrefillDone(engine::RequestState* request) {
+  if (request->cancel_pending) {
+    // The client abandoned while this prefill batch was executing; the KV just computed is
+    // released and the deferred teardown completes here.
+    prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
+    request->cancel_pending = false;
+    FinishAbandon(request, request->abandon_timed_out);
+    return;
+  }
   if (request->request.output_len <= 1) {
     // Single-token output: the request completes at prefill; no transfer, no decode.
     const double now = sim_->now();
@@ -343,6 +352,13 @@ void ServingSystem::OnPrefillFailure(int index) {
     if (r->prefill_instance != index) {
       continue;
     }
+    if (r->cancel_pending) {
+      // The abandoning request's executing batch died with the instance; its KV pool is
+      // gone wholesale, so the deferred teardown completes with nothing left to release.
+      r->cancel_pending = false;
+      FinishAbandon(r, r->abandon_timed_out);
+      continue;
+    }
     switch (r->phase) {
       case engine::RequestPhase::kPrefillQueued:
       case engine::RequestPhase::kPrefilling:
@@ -488,6 +504,122 @@ void ServingSystem::FailFast(engine::RequestState* request) {
   }
 }
 
+// --- Scenario machinery (client abandonment + multi-tenant preemption) -------------------
+
+void ServingSystem::ScheduleAbandonment(engine::RequestState* request) {
+  const workload::Request& req = request->request;
+  if (req.cancel_at > 0.0) {
+    sim_->ScheduleAt(std::max(req.cancel_at, sim_->now()),
+                     [this, request] { CancelRequest(request, /*timed_out=*/false); });
+  }
+  if (req.deadline > 0.0) {
+    sim_->ScheduleAt(std::max(req.deadline, sim_->now()),
+                     [this, request] { CancelRequest(request, /*timed_out=*/true); });
+  }
+}
+
+void ServingSystem::FinishAbandon(engine::RequestState* request, bool timed_out) {
+  request->phase =
+      timed_out ? engine::RequestPhase::kTimedOut : engine::RequestPhase::kCancelled;
+  DS_TRACE(config_.recorder,
+           Drop(request->request.id, sim_->now(),
+                timed_out ? trace::Recorder::OutcomeKind::kTimedOut
+                          : trace::Recorder::OutcomeKind::kCancelled));
+  if (timed_out) {
+    collector_.RecordTimedOut(request->record);
+  } else {
+    collector_.RecordCancelled(request->record);
+  }
+  if (on_request_done_ && !finishing_) {
+    on_request_done_(*request);
+  }
+}
+
+void ServingSystem::CancelRequest(engine::RequestState* request, bool timed_out) {
+  switch (request->phase) {
+    case engine::RequestPhase::kDone:
+    case engine::RequestPhase::kLost:
+    case engine::RequestPhase::kCancelled:
+    case engine::RequestPhase::kTimedOut:
+      return;  // already terminal (e.g. completed before the deadline fired)
+    default:
+      break;
+  }
+  if (request->cancel_pending) {
+    return;  // an earlier cancel/timeout is already tearing it down
+  }
+  switch (request->phase) {
+    case engine::RequestPhase::kPending: {
+      // Awaiting a fault re-route, or parked: nothing holds resources.
+      if (request->parked) {
+        request->parked = false;
+        std::erase(parked_, request);
+      }
+      ++request->attempt;  // squashes any scheduled re-route
+      FinishAbandon(request, timed_out);
+      return;
+    }
+    case engine::RequestPhase::kPrefillQueued: {
+      if (prefills_[static_cast<size_t>(request->prefill_instance)]->Withdraw(request)) {
+        ++request->attempt;
+        FinishAbandon(request, timed_out);  // still queued: no KV reserved yet
+        return;
+      }
+      // Already popped into a formed batch (KV reserved, execution imminent or running):
+      // defer to the batch boundary like kPrefilling.
+      request->cancel_pending = true;
+      request->abandon_timed_out = timed_out;
+      return;
+    }
+    case engine::RequestPhase::kPrefilling: {
+      // Mid-batch: the batch finishes on schedule; OnPrefillDone reaps the teardown.
+      request->cancel_pending = true;
+      request->abandon_timed_out = timed_out;
+      return;
+    }
+    case engine::RequestPhase::kDecodePending:
+    case engine::RequestPhase::kTransferring: {
+      // The prefill side still holds the KV copy; the attempt bump squashes an in-flight
+      // pull completion and its watchdog (the FailFast release discipline).
+      ++request->attempt;
+      if (request->decode_instance >= 0) {
+        decodes_[static_cast<size_t>(request->decode_instance)]->Abort(request);
+      }
+      if (request->prefill_instance >= 0) {
+        prefills_[static_cast<size_t>(request->prefill_instance)]->ReleaseKv(request);
+      }
+      FinishAbandon(request, timed_out);
+      return;
+    }
+    case engine::RequestPhase::kDecoding: {
+      // Abort releases the decode-side KV and removes the request from its lane even
+      // mid-step (LaneStepEnd reads the live membership, the same safety the fault path
+      // relies on); the prefill copy was released at pull completion.
+      ++request->attempt;
+      decodes_[static_cast<size_t>(request->decode_instance)]->Abort(request);
+      FinishAbandon(request, timed_out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ServingSystem::OnDecodePreempt(engine::RequestState* request) {
+  // Same recovery as a decode-side KV-loss fault, but charged to scenario counters: the
+  // prefill copy is long released, so the victim re-prefills from scratch (keeping any
+  // cached prefix) and loses its decode progress.
+  ++request->attempt;
+  ++collector_.scenario_stats().decode_preemptions;
+  request->decode_steps_done = 0;
+  request->phase = engine::RequestPhase::kPending;
+  request->decode_instance = -1;
+  DS_TRACE(config_.recorder,
+           Transition(request->request.id, sim_->now(), trace::SpanKind::kRePrefill,
+                      trace::kControllerPid, 0, request->preemptions));
+  ScheduleReroute(request);
+}
+
 void ServingSystem::BeginStream(size_t expected_requests) {
   DS_TRACE(config_.recorder, NewRun());
   collector_ = metrics::Collector();
@@ -501,6 +633,7 @@ void ServingSystem::BeginStream(size_t expected_requests) {
 engine::RequestState* ServingSystem::Submit(const workload::Request& request) {
   states_.push_back(std::make_unique<engine::RequestState>(request));
   engine::RequestState* state = states_.back().get();
+  ScheduleAbandonment(state);
   DispatchArrival(state);
   return state;
 }
@@ -552,19 +685,22 @@ metrics::Collector ServingSystem::FinishStream(double end_time) {
       *since = end;
     }
   }
-  if (completed_ + static_cast<int64_t>(collector_.lost_count()) !=
+  if (completed_ + static_cast<int64_t>(collector_.NeverCompletedCount()) !=
       static_cast<int64_t>(states_.size())) {
-    std::array<int, 9> by_phase{};
+    std::array<int, 11> by_phase{};
     for (const auto& state : states_) {
       by_phase[static_cast<size_t>(state->phase)]++;
     }
     DS_CHECK(false) << "requests lost in flight: the simulation deadlocked (completed="
-                    << completed_ << " lost=" << collector_.lost_count() << " of "
+                    << completed_ << " lost=" << collector_.lost_count()
+                    << " cancelled=" << collector_.cancelled_count()
+                    << " timed_out=" << collector_.timed_out_count() << " of "
                     << states_.size() << "; phases: pending=" << by_phase[0]
                     << " prefill_queued=" << by_phase[1] << " prefilling=" << by_phase[2]
                     << " decode_pending=" << by_phase[3] << " transferring=" << by_phase[4]
                     << " decoding=" << by_phase[5] << " done=" << by_phase[6]
-                    << " lost=" << by_phase[7] << ")";
+                    << " lost=" << by_phase[7] << " cancelled=" << by_phase[8]
+                    << " timed_out=" << by_phase[9] << ")";
   }
   return std::move(collector_);
 }

@@ -162,6 +162,19 @@ class ServingSystem {
   void OnPrefillDone(engine::RequestState* request);
   void OnDecodeDone(engine::RequestState* request);
 
+  // Scenario machinery (client abandonment + multi-tenant preemption).
+  // Schedules the request's cancel_at / deadline events (no-ops when both are 0).
+  void ScheduleAbandonment(engine::RequestState* request);
+  // Tears the request down per its phase. Immediate except for an executing prefill batch,
+  // where teardown is deferred (cancel_pending) to the batch boundary.
+  void CancelRequest(engine::RequestState* request, bool timed_out);
+  // Terminal bookkeeping shared by the immediate and deferred paths: stamps the terminal
+  // phase, records the outcome, emits the drop span, fires the done callback.
+  void FinishAbandon(engine::RequestState* request, bool timed_out);
+  // A decode instance evicted `request` for a higher-priority tenant: its decode-side KV is
+  // gone, so it re-prefills (same recovery as a KV-loss fault, charged to scenario counters).
+  void OnDecodePreempt(engine::RequestState* request);
+
   // Fault machinery.
   void ApplyFault(const FaultEvent& event);
   void OnPrefillFailure(int index);

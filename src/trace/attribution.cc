@@ -74,7 +74,9 @@ std::vector<RequestAttribution> ComputeAttribution(const Recorder& recorder) {
     RequestAttribution attr;
     attr.request = outcome.request;
     attr.run = outcome.run;
-    attr.lost = outcome.lost;
+    // Every early termination (lost, cancelled, timed-out) folds into the lost bucket: the
+    // request has partial stage extents and no meaningful end-to-end latency.
+    attr.lost = !outcome.done();
     attr.end = outcome.at;
     const auto it = folds.find({outcome.run, outcome.request});
     if (it != folds.end()) {
@@ -194,7 +196,7 @@ std::string ValidateSpans(const Recorder& recorder) {
       return err.str();
     }
     outcome_by_request[key] = &outcome;
-    if (timelines.find(key) == timelines.end() && !outcome.lost) {
+    if (timelines.find(key) == timelines.end() && outcome.done()) {
       err << "request " << outcome.request << " run " << outcome.run
           << " completed without any recorded span";
       return err.str();

@@ -29,8 +29,24 @@ const char* SpanKindName(SpanKind kind) {
       return "redispatch";
     case SpanKind::kLinkRetry:
       return "link_retry";
+    case SpanKind::kPreempt:
+      return "preempt";
     case SpanKind::kEngineStep:
       return "engine_step";
+  }
+  return "unknown";
+}
+
+const char* Recorder::OutcomeName(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kDone:
+      return "request_done";
+    case OutcomeKind::kLost:
+      return "request_lost";
+    case OutcomeKind::kCancelled:
+      return "request_cancelled";
+    case OutcomeKind::kTimedOut:
+      return "request_timed_out";
   }
   return "unknown";
 }
@@ -86,16 +102,17 @@ void Recorder::Finish(workload::RequestId id, double now) {
   DS_CHECK(it != open_.end()) << "Finish for request " << id << " with no open span";
   CloseOpen(id, it->second, now);
   open_.erase(it);
-  outcomes_.push_back(Outcome{id, run_, now, false});
+  outcomes_.push_back(Outcome{id, run_, now, OutcomeKind::kDone});
 }
 
-void Recorder::Drop(workload::RequestId id, double now) {
+void Recorder::Drop(workload::RequestId id, double now, OutcomeKind kind) {
+  DS_CHECK(kind != OutcomeKind::kDone) << "Drop with a done outcome; use Finish";
   auto it = open_.find(id);
   if (it != open_.end()) {
     CloseOpen(id, it->second, now);
     open_.erase(it);
   }
-  outcomes_.push_back(Outcome{id, run_, now, true});
+  outcomes_.push_back(Outcome{id, run_, now, kind});
 }
 
 void Recorder::InstanceSpan(int32_t pid, int32_t tid, SpanKind kind, double start, double end,
@@ -177,7 +194,7 @@ std::string Recorder::ChromeJson() const {
   }
   for (const Outcome& outcome : outcomes_) {
     std::string event = "{\"name\":\"";
-    event += outcome.lost ? "request_lost" : "request_done";
+    event += OutcomeName(outcome.kind);
     event += "\",\"cat\":\"outcome\",\"ph\":\"i\",\"s\":\"p\",\"pid\":" +
              std::to_string(kControllerPid);
     event += ",\"tid\":" + std::to_string(RequestTrack(outcome.run, outcome.request));

@@ -62,10 +62,16 @@ class Recorder {
   // Registers a display name for a pid (idempotent; first name wins).
   void SetProcessName(int32_t pid, const std::string& name);
 
+  // Terminal outcome classes. kLost is the fault path (retry exhaustion); kCancelled and
+  // kTimedOut are the client-abandonment outcomes of the multi-tenant scenarios. All three
+  // early terminations behave identically for tiling purposes (the timeline may end on any
+  // span); attribution folds them into the same lost bucket.
+  enum class OutcomeKind : uint8_t { kDone = 0, kLost, kCancelled, kTimedOut };
+
   void Transition(workload::RequestId id, double now, SpanKind kind, int32_t pid, int32_t tid,
                   int64_t detail = 0);
   void Finish(workload::RequestId id, double now);
-  void Drop(workload::RequestId id, double now);
+  void Drop(workload::RequestId id, double now, OutcomeKind kind = OutcomeKind::kLost);
 
   void InstanceSpan(int32_t pid, int32_t tid, SpanKind kind, double start, double end,
                     int64_t detail = 0);
@@ -74,8 +80,12 @@ class Recorder {
     workload::RequestId request = 0;
     int32_t run = 0;
     double at = 0.0;
-    bool lost = false;
+    OutcomeKind kind = OutcomeKind::kDone;
+
+    bool done() const { return kind == OutcomeKind::kDone; }
   };
+
+  static const char* OutcomeName(OutcomeKind kind);
 
   // Closed spans in close order (chronological per request; single-threaded simulation).
   const std::vector<Span>& spans() const { return spans_; }

@@ -45,6 +45,9 @@ enum class SpanKind : uint8_t {
   kRePrefill,   // computed KV lost; re-running the prefill
   kRedispatch,  // decode-side re-route that kept the prefill KV copy (also: parked waits)
   kLinkRetry,   // pull reissued after a watchdog timeout (detail: tries so far)
+  // Multi-tenant path (controller work, folded into fault time by attribution like the
+  // fault-path kinds above — keep it after kLinkRetry so the lifecycle indices 0..5 hold).
+  kPreempt,  // evicted from a decode queue by a higher-priority tenant; awaiting re-prefill
   // Instance-track only (never appears in a request timeline).
   kEngineStep,  // one colocated engine iteration (mixed prefill+decode batch)
 };

@@ -21,8 +21,27 @@ struct Request {
   int input_len = 0;          // prompt tokens (prefill)
   int output_len = 0;         // generated tokens (decode steps), >= 1: prefill emits token #1
 
+  // Scenario annotations (workload/scenario.h). All default to "feature off": a trace that
+  // never passes through a scenario post-pass behaves exactly as before these fields existed.
+  //
+  // Leading prompt tokens already resident in a shared prefix cache (system prompt reuse).
+  // They skip prefill *compute* but still occupy KV memory on whichever instance serves the
+  // request, and they still transfer in the disaggregated pull. Always < input_len.
+  int cached_prefix_len = 0;
+  // Tenant class; higher values are scheduled first and may preempt lower ones in the decode
+  // queue. 0 = best-effort (the only class in single-tenant traces).
+  int priority = 0;
+  // Absolute simulation time at which the client cancels the request; 0 = never. A request
+  // still in flight at cancel_at is torn down and reported as cancelled, not lost.
+  double cancel_at = 0.0;
+  // Absolute completion deadline; 0 = none. Missing it tears the request down as timed-out.
+  double deadline = 0.0;
+
   // Total sequence length at completion.
   int total_len() const { return input_len + output_len; }
+
+  // Prompt tokens whose attention/MLP work must actually run at prefill time.
+  int uncached_prompt_len() const { return input_len - cached_prefix_len; }
 };
 
 using Trace = std::vector<Request>;

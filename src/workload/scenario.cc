@@ -1,0 +1,109 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace distserve::workload {
+
+namespace {
+// generator.cc owns streams 1 (arrivals) and 2 (lengths); scenario passes continue the
+// numbering so no pass ever shares a stream with the base trace or with another pass.
+constexpr uint64_t kPrefixStream = 3;
+constexpr uint64_t kTenantStream = 4;
+constexpr uint64_t kCancelStream = 5;
+}  // namespace
+
+int ApplyPrefixCache(Trace* trace, const PrefixCacheSpec& spec) {
+  DS_CHECK(trace != nullptr);
+  DS_CHECK_GE(spec.hit_rate, 0.0);
+  DS_CHECK_LE(spec.hit_rate, 1.0);
+  DS_CHECK_GT(spec.prefix_len, 0);
+  if (spec.hit_rate == 0.0) {
+    return 0;
+  }
+  Rng rng = Rng(spec.seed).Fork(kPrefixStream);
+  int hits = 0;
+  for (Request& r : *trace) {
+    // One draw per request regardless of outcome, so the hit pattern at a given seed is a
+    // fixed function of the request index — raising hit_rate only adds hits, never reshuffles.
+    const bool hit = rng.NextDouble() < spec.hit_rate;
+    if (!hit) {
+      continue;
+    }
+    r.cached_prefix_len = std::min(spec.prefix_len, r.input_len - 1);
+    if (r.cached_prefix_len > 0) {
+      ++hits;
+    } else {
+      r.cached_prefix_len = 0;  // 1-token prompts cannot hit
+    }
+  }
+  return hits;
+}
+
+int ApplyTenantClasses(Trace* trace, const TenantSpec& spec) {
+  DS_CHECK(trace != nullptr);
+  DS_CHECK_GE(spec.high_priority_fraction, 0.0);
+  DS_CHECK_LE(spec.high_priority_fraction, 1.0);
+  if (spec.high_priority_fraction == 0.0) {
+    return 0;
+  }
+  Rng rng = Rng(spec.seed).Fork(kTenantStream);
+  int promoted = 0;
+  for (Request& r : *trace) {
+    if (rng.NextDouble() < spec.high_priority_fraction) {
+      r.priority = 1;
+      ++promoted;
+    }
+  }
+  return promoted;
+}
+
+int ApplyCancellations(Trace* trace, const CancellationSpec& spec) {
+  DS_CHECK(trace != nullptr);
+  DS_CHECK_GE(spec.cancel_rate, 0.0);
+  DS_CHECK_LE(spec.cancel_rate, 1.0);
+  DS_CHECK_GT(spec.cancel_after_mean, 0.0);
+  DS_CHECK_GE(spec.timeout, 0.0);
+  Rng rng = Rng(spec.seed).Fork(kCancelStream);
+  int cancels = 0;
+  for (Request& r : *trace) {
+    if (spec.cancel_rate > 0.0) {
+      // Two draws per request unconditionally (Bernoulli + delay), same index-stability
+      // argument as ApplyPrefixCache.
+      const bool cancels_this = rng.NextDouble() < spec.cancel_rate;
+      const double delay = rng.Exponential(1.0 / spec.cancel_after_mean);
+      if (cancels_this) {
+        r.cancel_at = r.arrival_time + delay;
+        ++cancels;
+      }
+    }
+    if (spec.timeout > 0.0) {
+      r.deadline = r.arrival_time + spec.timeout;
+    }
+  }
+  return cancels;
+}
+
+ScenarioStats ComputeScenarioStats(const Trace& trace) {
+  ScenarioStats stats;
+  for (const Request& r : trace) {
+    if (r.cached_prefix_len > 0) {
+      ++stats.prefix_hits;
+      stats.cached_prefix_tokens += r.cached_prefix_len;
+    }
+    if (r.priority > 0) {
+      ++stats.high_priority;
+    }
+    if (r.cancel_at > 0.0) {
+      ++stats.with_cancel;
+    }
+    if (r.deadline > 0.0) {
+      ++stats.with_deadline;
+    }
+  }
+  return stats;
+}
+
+}  // namespace distserve::workload

@@ -1,0 +1,70 @@
+// Scenario post-passes: prefix-cache hits, tenant classes, cancellations/timeouts.
+//
+// "Beyond the Buzz" and LLMServingSim 2.0 (PAPERS.md) both argue that the disaggregate-or-
+// colocate question is undecidable on mean-rate Poisson sweeps alone: real traffic reuses
+// shared system prompts (KV prefix cache), mixes tenants of different urgency, and abandons
+// requests. Each pass here annotates an already-generated Trace in place, drawing from an RNG
+// stream forked from the trace seed that is *disjoint* from the generator's arrival/length
+// streams (generator.cc uses streams 1 and 2; these use 3..5) — so applying a scenario never
+// perturbs which arrival times or lengths a request receives, and a pass with its knob at the
+// "off" default leaves the trace byte-identical.
+#ifndef DISTSERVE_WORKLOAD_SCENARIO_H_
+#define DISTSERVE_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+
+#include "workload/request.h"
+
+namespace distserve::workload {
+
+// Shared-system-prompt KV reuse. Each request is independently a cache hit with probability
+// `hit_rate`; a hit's cached_prefix_len is min(prefix_len, input_len - 1) — at least one
+// prompt token always prefills, so every request still produces a first token the normal way.
+// Cached tokens skip prefill compute but still occupy KV memory (engine layers enforce this).
+struct PrefixCacheSpec {
+  double hit_rate = 0.0;  // P(request shares the cached prefix); 0 disables the pass
+  int prefix_len = 256;   // tokens of the shared system prompt
+  uint64_t seed = 42;     // use the trace seed so (seed, hit_rate) names the scenario
+};
+
+// Returns the number of hits marked. hit_rate == 0 touches nothing.
+int ApplyPrefixCache(Trace* trace, const PrefixCacheSpec& spec);
+
+// Multi-tenant traffic: a fraction of requests belong to an interactive tenant (priority 1);
+// the rest stay best-effort (priority 0). Engines schedule higher priorities first and may
+// preempt lower-priority residents in the decode queue.
+struct TenantSpec {
+  double high_priority_fraction = 0.0;  // P(priority = 1); 0 disables the pass
+  uint64_t seed = 42;
+};
+
+// Returns the number of requests promoted to priority 1.
+int ApplyTenantClasses(Trace* trace, const TenantSpec& spec);
+
+// Client-side abandonment. Each request is independently cancelled with probability
+// `cancel_rate` at arrival_time + Exp(1/cancel_after_mean); if `timeout` > 0, every request
+// additionally carries deadline = arrival_time + timeout. Serving layers turn both into
+// first-class cancelled/timed-out outcomes that release KV and count against attainment.
+struct CancellationSpec {
+  double cancel_rate = 0.0;       // P(client cancels); 0 disables cancels
+  double cancel_after_mean = 2.0; // mean seconds from arrival to the cancel (exponential)
+  double timeout = 0.0;           // completion deadline in seconds; 0 = none
+  uint64_t seed = 42;
+};
+
+// Returns the number of requests given a cancel_at time.
+int ApplyCancellations(Trace* trace, const CancellationSpec& spec);
+
+// Scenario summary of an annotated trace (for bench headers and tests).
+struct ScenarioStats {
+  int prefix_hits = 0;
+  int64_t cached_prefix_tokens = 0;
+  int high_priority = 0;
+  int with_cancel = 0;
+  int with_deadline = 0;
+};
+ScenarioStats ComputeScenarioStats(const Trace& trace);
+
+}  // namespace distserve::workload
+
+#endif  // DISTSERVE_WORKLOAD_SCENARIO_H_

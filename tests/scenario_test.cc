@@ -1,0 +1,193 @@
+// The scenario annotation passes (workload/scenario.h): determinism, off-by-default
+// byte-identity, stream disjointness from the generator, and the per-field contracts each
+// engine relies on (cached prefixes always leave one computable token, cancels fire after
+// arrival, deadlines are uniform).
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace distserve::workload {
+namespace {
+
+Trace MakeTrace(int n = 500, uint64_t seed = 11) {
+  const auto dataset = MakeDatasetByName("sharegpt");
+  TraceSpec spec;
+  spec.rate = 8.0;
+  spec.num_requests = n;
+  spec.seed = seed;
+  return GenerateTrace(spec, *dataset);
+}
+
+bool SameArrivalsAndLengths(const Trace& a, const Trace& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival_time != b[i].arrival_time || a[i].input_len != b[i].input_len ||
+        a[i].output_len != b[i].output_len || a[i].id != b[i].id) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ScenarioWorkloadTest, OffDefaultsLeaveTraceByteIdentical) {
+  const Trace base = MakeTrace();
+  Trace trace = base;
+  EXPECT_EQ(ApplyPrefixCache(&trace, PrefixCacheSpec{}), 0);
+  EXPECT_EQ(ApplyTenantClasses(&trace, TenantSpec{}), 0);
+  EXPECT_EQ(ApplyCancellations(&trace, CancellationSpec{}), 0);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(trace[i].cached_prefix_len, 0);
+    EXPECT_EQ(trace[i].priority, 0);
+    EXPECT_EQ(trace[i].cancel_at, 0.0);
+    EXPECT_EQ(trace[i].deadline, 0.0);
+  }
+  EXPECT_TRUE(SameArrivalsAndLengths(base, trace));
+}
+
+TEST(ScenarioWorkloadTest, PassesAreDeterministicAndPreserveArrivals) {
+  const Trace base = MakeTrace();
+  auto annotate = [&base] {
+    Trace t = base;
+    PrefixCacheSpec prefix;
+    prefix.hit_rate = 0.4;
+    prefix.seed = 11;
+    ApplyPrefixCache(&t, prefix);
+    TenantSpec tenants;
+    tenants.high_priority_fraction = 0.3;
+    tenants.seed = 11;
+    ApplyTenantClasses(&t, tenants);
+    CancellationSpec cancels;
+    cancels.cancel_rate = 0.1;
+    cancels.timeout = 25.0;
+    cancels.seed = 11;
+    ApplyCancellations(&t, cancels);
+    return t;
+  };
+  const Trace a = annotate();
+  const Trace b = annotate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cached_prefix_len, b[i].cached_prefix_len);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    EXPECT_EQ(a[i].cancel_at, b[i].cancel_at);
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+  }
+  // The annotation streams are disjoint from the generator's: arrivals and lengths survive.
+  EXPECT_TRUE(SameArrivalsAndLengths(base, a));
+}
+
+TEST(ScenarioWorkloadTest, PrefixHitsAlwaysLeaveOneComputableToken) {
+  Trace trace = MakeTrace();
+  PrefixCacheSpec prefix;
+  prefix.hit_rate = 1.0;  // every request hits
+  prefix.prefix_len = 1 << 20;  // longer than any prompt
+  prefix.seed = 11;
+  const int hits = ApplyPrefixCache(&trace, prefix);
+  EXPECT_EQ(hits, static_cast<int>(trace.size()));
+  for (const Request& r : trace) {
+    EXPECT_GT(r.cached_prefix_len, 0);
+    EXPECT_LE(r.cached_prefix_len, r.input_len - 1) << "request " << r.id;
+    EXPECT_GE(r.uncached_prompt_len(), 1);
+  }
+}
+
+TEST(ScenarioWorkloadTest, HitRateLandsNearTarget) {
+  Trace trace = MakeTrace(2000);
+  PrefixCacheSpec prefix;
+  prefix.hit_rate = 0.5;
+  prefix.seed = 11;
+  const int hits = ApplyPrefixCache(&trace, prefix);
+  EXPECT_GT(hits, 2000 * 0.4);
+  EXPECT_LT(hits, 2000 * 0.6);
+  TenantSpec tenants;
+  tenants.high_priority_fraction = 0.25;
+  tenants.seed = 11;
+  const int promoted = ApplyTenantClasses(&trace, tenants);
+  EXPECT_GT(promoted, static_cast<int>(2000 * 0.18));
+  EXPECT_LT(promoted, static_cast<int>(2000 * 0.32));
+}
+
+TEST(ScenarioWorkloadTest, CancellationsFireAfterArrivalAndDeadlinesAreUniform) {
+  Trace trace = MakeTrace();
+  CancellationSpec cancels;
+  cancels.cancel_rate = 0.2;
+  cancels.cancel_after_mean = 1.5;
+  cancels.timeout = 30.0;
+  cancels.seed = 11;
+  const int cancelled = ApplyCancellations(&trace, cancels);
+  EXPECT_GT(cancelled, 0);
+  int seen = 0;
+  for (const Request& r : trace) {
+    if (r.cancel_at > 0.0) {
+      ++seen;
+      EXPECT_GT(r.cancel_at, r.arrival_time);
+    }
+    EXPECT_EQ(r.deadline, r.arrival_time + 30.0);
+  }
+  EXPECT_EQ(seen, cancelled);
+}
+
+TEST(ScenarioWorkloadTest, StatsSummarizeAnnotations) {
+  Trace trace = MakeTrace();
+  PrefixCacheSpec prefix;
+  prefix.hit_rate = 0.5;
+  prefix.seed = 11;
+  const int hits = ApplyPrefixCache(&trace, prefix);
+  TenantSpec tenants;
+  tenants.high_priority_fraction = 0.25;
+  tenants.seed = 11;
+  const int promoted = ApplyTenantClasses(&trace, tenants);
+  CancellationSpec cancels;
+  cancels.cancel_rate = 0.1;
+  cancels.timeout = 20.0;
+  cancels.seed = 11;
+  const int cancelled = ApplyCancellations(&trace, cancels);
+
+  const ScenarioStats stats = ComputeScenarioStats(trace);
+  EXPECT_EQ(stats.prefix_hits, hits);
+  EXPECT_EQ(stats.high_priority, promoted);
+  EXPECT_EQ(stats.with_cancel, cancelled);
+  EXPECT_EQ(stats.with_deadline, static_cast<int>(trace.size()));
+  int64_t cached = 0;
+  for (const Request& r : trace) {
+    cached += r.cached_prefix_len;
+  }
+  EXPECT_EQ(stats.cached_prefix_tokens, cached);
+}
+
+// Each pass draws exactly once per request regardless of outcome, so the annotation of
+// request i is independent of every other request's knob values — reordering-free and safe
+// to reason about per request.
+TEST(ScenarioWorkloadTest, PerRequestDrawsAreIndependentOfOtherKnobs) {
+  const Trace base = MakeTrace();
+  Trace alone = base;
+  PrefixCacheSpec prefix;
+  prefix.hit_rate = 0.4;
+  prefix.seed = 11;
+  ApplyPrefixCache(&alone, prefix);
+
+  Trace stacked = base;
+  TenantSpec tenants;
+  tenants.high_priority_fraction = 0.5;
+  tenants.seed = 11;
+  ApplyTenantClasses(&stacked, tenants);
+  CancellationSpec cancels;
+  cancels.cancel_rate = 0.5;
+  cancels.seed = 11;
+  ApplyCancellations(&stacked, cancels);
+  ApplyPrefixCache(&stacked, prefix);
+
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(alone[i].cached_prefix_len, stacked[i].cached_prefix_len) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace distserve::workload

@@ -5,14 +5,17 @@
 // pins them at the ServingSystem/VllmSystem level where a regression is easiest to localize.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/vllm_system.h"
+#include "engine/colocated_instance.h"
 #include "serving/serving_system.h"
 #include "trace/attribution.h"
 #include "trace/recorder.h"
 #include "workload/generator.h"
+#include "workload/scenario.h"
 
 namespace distserve {
 namespace {
@@ -162,6 +165,134 @@ TEST(TraceBitIdentityTest, AttributionMatchesCollectorBitwise) {
   ASSERT_EQ(from_span_times.size(), from_collector_times.size());
   for (size_t i = 0; i < from_span_times.size(); ++i) {
     EXPECT_EQ(from_span_times[i], from_collector_times[i]) << "transfer time " << i;
+  }
+}
+
+TEST(TraceBitIdentityTest, ScenarioOutcomesUnperturbedByTracing) {
+  // Multi-tenant scenario axes (priorities, cancels, deadlines, prefix hits) through the
+  // disaggregated system: tracing must stay invisible, every abandoned request must close
+  // its timeline with the matching outcome kind, and the span set must still validate.
+  workload::Trace trace = MakeTrace(12.0, 300, 9);
+  workload::PrefixCacheSpec prefix;
+  prefix.hit_rate = 0.4;
+  prefix.seed = 9;
+  workload::ApplyPrefixCache(&trace, prefix);
+  workload::TenantSpec tenants;
+  tenants.high_priority_fraction = 0.3;
+  tenants.seed = 9;
+  workload::ApplyTenantClasses(&trace, tenants);
+  workload::CancellationSpec cancels;
+  cancels.cancel_rate = 0.2;
+  cancels.cancel_after_mean = 0.3;
+  cancels.timeout = 0.55;
+  cancels.seed = 9;
+  workload::ApplyCancellations(&trace, cancels);
+
+  serving::ServingSystem plain(BasicConfig(1, 1));
+  trace::Recorder recorder;
+  serving::ServingConfig traced_config = BasicConfig(1, 1);
+  traced_config.recorder = &recorder;
+  serving::ServingSystem traced(std::move(traced_config));
+  const metrics::Collector ra = plain.Run(trace);
+  const metrics::Collector rb = traced.Run(trace);
+  EXPECT_TRUE(metrics::BitIdentical(ra, rb));
+  ASSERT_GT(rb.cancelled_count(), 0u);
+  ASSERT_GT(rb.timed_out_count(), 0u);
+  if (trace::kCompiledIn) {
+    EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+    EXPECT_EQ(recorder.outcomes().size(), trace.size());
+    size_t done = 0;
+    size_t cancelled = 0;
+    size_t timed_out = 0;
+    for (const trace::Recorder::Outcome& outcome : recorder.outcomes()) {
+      switch (outcome.kind) {
+        case trace::Recorder::OutcomeKind::kDone: ++done; break;
+        case trace::Recorder::OutcomeKind::kCancelled: ++cancelled; break;
+        case trace::Recorder::OutcomeKind::kTimedOut: ++timed_out; break;
+        case trace::Recorder::OutcomeKind::kLost: break;
+      }
+    }
+    EXPECT_EQ(done, rb.count());
+    EXPECT_EQ(cancelled, rb.cancelled_count());
+    EXPECT_EQ(timed_out, rb.timed_out_count());
+  }
+}
+
+TEST(TraceBitIdentityTest, EnginePreemptionAndCancelTracedBitIdentical) {
+  // Engine-level coverage of the kPreempt span kind: a starved chunked instance with tenant
+  // priorities evicts resident decodes while cancels land on every lifecycle position. The
+  // traced run must match the untraced one bitwise, and preempted timelines must still tile.
+  const auto dataset = workload::MakeShareGptLike();
+  workload::TraceSpec spec;
+  spec.rate = 20.0;
+  spec.num_requests = 80;
+  spec.seed = 13;
+  workload::Trace trace = workload::GenerateTrace(spec, *dataset);
+  workload::TenantSpec tenants;
+  tenants.high_priority_fraction = 0.4;
+  tenants.seed = 13;
+  workload::ApplyTenantClasses(&trace, tenants);
+  workload::CancellationSpec cancels;
+  cancels.cancel_rate = 0.2;
+  cancels.cancel_after_mean = 0.5;
+  cancels.seed = 13;
+  workload::ApplyCancellations(&trace, cancels);
+
+  auto run = [&](trace::Recorder* recorder, std::vector<double>* completions) {
+    simcore::Simulator sim;
+    const model::LatencyModel lm(model::ModelSpec::Opt13B(), {1, 1},
+                                 cluster::GpuSpec::A100_80GB());
+    engine::ColocatedInstance::Options options;
+    options.mode = engine::ColocatedInstance::Options::SchedulingMode::kChunked;
+    options.chunk_budget = 256;
+    engine::ColocatedInstance instance(&sim, lm, /*kv_capacity_tokens=*/2048, options, 0);
+    if (recorder != nullptr) {
+      instance.set_recorder(recorder);
+    }
+    instance.set_on_complete([](engine::RequestState*) {});
+    std::vector<std::unique_ptr<engine::RequestState>> states;
+    states.reserve(trace.size());
+    for (const workload::Request& req : trace) {
+      states.push_back(std::make_unique<engine::RequestState>(req));
+      engine::RequestState* rs = states.back().get();
+      sim.ScheduleAt(req.arrival_time, [&instance, rs] { instance.Enqueue(rs); });
+      if (req.cancel_at > 0.0) {
+        sim.ScheduleAt(req.cancel_at, [&instance, rs] {
+          if (rs->phase == engine::RequestPhase::kDone ||
+              rs->phase == engine::RequestPhase::kCancelled || rs->cancel_pending) {
+            return;
+          }
+          rs->phase = engine::RequestPhase::kCancelled;
+          instance.Cancel(rs);
+        });
+      }
+    }
+    sim.Run();
+    for (const auto& state : states) {
+      completions->push_back(state->record.completion);
+      completions->push_back(state->record.first_token);
+    }
+    EXPECT_GT(instance.preemptions(), 0);
+    EXPECT_EQ(instance.kv().used_blocks(), 0);
+    return instance.tokens_generated();
+  };
+  std::vector<double> plain_times;
+  std::vector<double> traced_times;
+  trace::Recorder recorder;
+  const int64_t plain_tokens = run(nullptr, &plain_times);
+  const int64_t traced_tokens = run(&recorder, &traced_times);
+  EXPECT_EQ(plain_tokens, traced_tokens);
+  ASSERT_EQ(plain_times.size(), traced_times.size());
+  for (size_t i = 0; i < plain_times.size(); ++i) {
+    EXPECT_EQ(plain_times[i], traced_times[i]) << "timestamp " << i;  // bitwise
+  }
+  if (trace::kCompiledIn) {
+    EXPECT_TRUE(trace::ValidateSpans(recorder).empty()) << trace::ValidateSpans(recorder);
+    bool saw_preempt = false;
+    for (const trace::Span& span : recorder.spans()) {
+      saw_preempt = saw_preempt || span.kind == trace::SpanKind::kPreempt;
+    }
+    EXPECT_TRUE(saw_preempt);
   }
 }
 

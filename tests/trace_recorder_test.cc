@@ -33,7 +33,7 @@ TEST(TraceRecorderTest, TransitionsTileGapFree) {
   EXPECT_EQ(rec.spans().front().kind, SpanKind::kPrefillQueue);
   EXPECT_EQ(rec.spans().back().end, 4.0);
   ASSERT_EQ(rec.outcomes().size(), 1u);
-  EXPECT_FALSE(rec.outcomes()[0].lost);
+  EXPECT_TRUE(rec.outcomes()[0].done());
   EXPECT_EQ(rec.outcomes()[0].at, 4.0);
   EXPECT_TRUE(ValidateSpans(rec).empty()) << ValidateSpans(rec);
 }
@@ -79,7 +79,8 @@ TEST(TraceRecorderTest, DropClosesOpenSpanAndMarksLost) {
   ASSERT_EQ(rec.spans().size(), 1u);
   EXPECT_EQ(rec.spans()[0].end, 2.0);
   ASSERT_EQ(rec.outcomes().size(), 1u);
-  EXPECT_TRUE(rec.outcomes()[0].lost);
+  EXPECT_FALSE(rec.outcomes()[0].done());
+  EXPECT_EQ(rec.outcomes()[0].kind, Recorder::OutcomeKind::kLost);
   // Dropping a request that never opened a span is tolerated (parked arrivals can be failed
   // fast before any instance saw them).
   rec.Drop(4, 2.5);

@@ -9,10 +9,12 @@ with), and fails when any benchmark's minimum is more than --threshold-pct slowe
 baseline's `new_ns`.
 
 Benchmarks present in the results but absent from the baseline are reported and skipped (new
-benchmarks have no baseline yet); baseline entries missing from the results are reported and
-skipped too (the job may build a subset). Only a measured slowdown beyond the threshold fails.
+benchmarks have no baseline yet). Baseline entries missing from the results are a hard
+failure: a silently-skipped row means the perf gate stopped covering a benchmark it used to
+gate (a renamed benchmark, a dropped build target, a filter typo) and every regression in it
+would sail through. Delete the row from the baseline if the benchmark is intentionally gone.
 
-Exit status 0 on pass, 1 on regression, 2 on usage/format errors.
+Exit status 0 on pass, 1 on regression, 2 on usage/format errors or missing baseline rows.
 """
 
 import argparse
@@ -119,11 +121,13 @@ def main():
         return 2
 
     regressions = []
+    missing = []
     checked = 0
     print(f"{'benchmark':<44} {'baseline ns':>12} {'current ns':>12} {'delta':>8}")
     for name in sorted(baseline):
         if name not in current:
-            print(f"{name:<44} {baseline[name]:>12.0f} {'(not run)':>12} {'-':>8}")
+            print(f"{name:<44} {baseline[name]:>12.0f} {'(NOT RUN)':>12} {'-':>8}")
+            missing.append(name)
             continue
         checked += 1
         delta_pct = 100.0 * (current[name] / baseline[name] - 1.0)
@@ -138,6 +142,11 @@ def main():
     if checked == 0:
         print("check_perf_regression: ERROR: result files share no benchmarks with the "
               "baseline (name drift?)")
+        return 2
+    if missing:
+        print(f"check_perf_regression: ERROR: {len(missing)} baseline row(s) absent from the "
+              f"results: {', '.join(missing)} — the gate no longer covers them. Run the "
+              "missing benchmarks, or delete the rows if they are intentionally gone.")
         return 2
     if regressions:
         worst = max(regressions, key=lambda r: r[1])

@@ -11,8 +11,8 @@ Checks the invariants DESIGN.md section 14 promises for every request timeline:
   * conservation: sum(span durations) equals the end-to-end extent (first start to last end)
     within accumulated-rounding tolerance -- tiling is exact, so only summation order can
     drift;
-  * every request has exactly one terminal outcome marker (request_done / request_lost) and it
-    closes the last span;
+  * every request has exactly one terminal outcome marker (request_done / request_lost /
+    request_cancelled / request_timed_out) and it closes the last span;
   * no orphan timelines (spans without an outcome) and no spanless completions;
   * per-(run, pid, tid) instance tracks never overlap.
 
@@ -28,6 +28,10 @@ import sys
 from collections import defaultdict
 
 LIFECYCLE_FIRST = {"prefill_queue", "redispatch"}
+
+# Outcomes that may legitimately terminate a request before any span was recorded (a request
+# failed-fast, cancelled, or timed out while parked, before first dispatch).
+EARLY_TERMINATIONS = {"request_lost", "request_cancelled", "request_timed_out"}
 
 
 def fail(msg):
@@ -130,7 +134,7 @@ def main():
         if key not in timelines:
             run, req = key
             name = outcomes[key][0]["name"]
-            if name != "request_lost":
+            if name not in EARLY_TERMINATIONS:
                 return fail(f"request {req} run {run}: {name} outcome without any span")
 
     for (run, pid, tid), evs in sorted(tracks.items()):
@@ -144,9 +148,11 @@ def main():
 
     spans = sum(len(v) for v in timelines.values())
     lost = sum(1 for v in outcomes.values() if v[0]["name"] == "request_lost")
+    abandoned = sum(1 for v in outcomes.values() if v[0]["name"] in EARLY_TERMINATIONS) - lost
     print(
         f"validate_trace: OK: {len(timelines)} request timelines ({spans} spans, "
-        f"{lost} lost), {len(tracks)} instance tracks, conservation exact per request"
+        f"{lost} lost, {abandoned} abandoned), {len(tracks)} instance tracks, "
+        f"conservation exact per request"
     )
     return 0
 
